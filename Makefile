@@ -1,0 +1,26 @@
+# Convenience targets for the SplitServe reproduction.
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/tpcds_burst.py
+	python examples/pagerank_segue.py
+	python examples/autoscaling_day.py
+	python examples/kmeans_reference.py
+
+# Regenerate the outputs EXPERIMENTS.md records.
+figures: bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache src/repro.egg-info

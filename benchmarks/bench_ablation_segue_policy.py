@@ -1,0 +1,99 @@
+"""Ablation: the segue design choices of §4.3.
+
+Two sweeps:
+
+1. **Drain vs kill.** SplitServe gracefully drains Lambda executors
+   ("simply stops directing additional tasks") instead of killing them,
+   because a kill marks tasks Failed and, with executor-local shuffle
+   state, triggers execution rollback. We run the same hybrid job and
+   decommission the Lambda executors mid-flight both ways.
+
+2. **The spark.lambda.executor.timeout knob.** Sweeping the threshold
+   shows the trade: small values drain Lambdas early (cheap, but work
+   shifts to the few VM cores -> slower); large values keep Lambdas
+   longer (faster until the GC/cost cliff).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.cloud import CloudProvider
+from repro.core import SplitServe
+from repro.simulation import Environment, RandomStreams
+from repro.spark import HostKind, SparkConf
+from repro.workloads import SyntheticWorkload
+from benchmarks.conftest import run_once
+
+WORKLOAD = dict(stages=4, core_seconds_per_stage=320.0,
+                shuffle_bytes_per_boundary=200 * 1024 * 1024,
+                required_cores=8, available_cores=2)
+
+
+def build_ss(seed=0, conf=None, worker_cores=2):
+    env = Environment()
+    rng = RandomStreams(seed)
+    provider = CloudProvider(env, rng)
+    master = provider.request_vm("m4.xlarge", name="master",
+                                 already_running=True)
+    master.allocate_cores(master.itype.vcpus)
+    ss = SplitServe(env, provider, rng, conf=conf, master_vm=master)
+    worker = provider.request_vm("m4.4xlarge", already_running=True)
+    worker.allocate_cores(worker.itype.vcpus - worker_cores)
+    return env, provider, ss
+
+
+def run_decommission(graceful: bool, at_s: float = 25.0):
+    env, provider, ss = build_ss()
+    workload = SyntheticWorkload(**WORKLOAD)
+    run = ss.submit_job(workload.build(8), required_cores=8, max_vm_cores=2)
+
+    def decommission(env):
+        yield env.timeout(at_s)
+        for executor in list(ss.driver.executors_of_kind(HostKind.LAMBDA)):
+            ss.driver.task_scheduler.decommission_executor(
+                executor, graceful=graceful, reason="ablation")
+
+    env.process(decommission(env))
+    env.run(until=run.job.done)
+    ss.finish_run(run)
+    return run.job.duration, len(run.job.failed_attempts)
+
+
+def run_timeout_sweep():
+    results = {}
+    for timeout in (20.0, 60.0, 120.0, None):
+        conf = SparkConf({"spark.lambda.executor.timeout": timeout})
+        env, provider, ss = build_ss(conf=conf)
+        workload = SyntheticWorkload(**WORKLOAD)
+        run = ss.submit_job(workload.build(8), required_cores=8,
+                            max_vm_cores=2)
+        env.run(until=run.job.done)
+        ss.finish_run(run)
+        lambda_cost = provider.meter.breakdown().get("lambda", 0.0)
+        results[timeout] = (run.job.duration, lambda_cost)
+    return results
+
+
+def test_ablation_drain_vs_kill(benchmark, emit):
+    (drain_t, drain_killed), (kill_t, kill_killed) = run_once(
+        benchmark, lambda: (run_decommission(True),
+                            run_decommission(False)))
+    emit("Ablation — graceful drain vs hard kill of Lambda executors",
+         format_table(["policy", "time (s)", "failed tasks"],
+                      [["drain (SplitServe)", f"{drain_t:.1f}", drain_killed],
+                       ["kill", f"{kill_t:.1f}", kill_killed]]))
+    # Draining never fails a task; killing fails the in-flight ones and
+    # costs recovery time.
+    assert drain_killed == 0
+    assert kill_killed > 0
+    assert kill_t >= drain_t
+
+
+def test_ablation_lambda_timeout_knob(benchmark, emit):
+    results = run_once(benchmark, run_timeout_sweep)
+    rows = [[("none" if k is None else f"{k:.0f}s"), f"{t:.1f}",
+             f"${c:.4f}"] for k, (t, c) in results.items()]
+    emit("Ablation — spark.lambda.executor.timeout sweep",
+         format_table(["timeout", "time (s)", "lambda cost"], rows))
+    # Earlier drains mean less Lambda spend but longer runs; the knob
+    # spans that trade monotonically at the extremes.
+    assert results[20.0][1] <= results[None][1]
+    assert results[20.0][0] >= results[None][0]

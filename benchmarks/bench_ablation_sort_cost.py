@@ -1,0 +1,61 @@
+"""Ablation: the §2 CloudSort cost claim, quantified.
+
+"Even though the per-write cost is relatively low, workloads like
+CloudSort, which can trigger on the order of 10^10 shuffle writes in
+single job execution, can incur enormous total S3 related costs."
+
+The request count of a per-pair S3 shuffle is M*R — quadratic in the
+task granularity. We sort the same 32 GB at increasing partition counts
+on SplitServe/HDFS (consolidated files, no request fees) and on
+Qubole-style per-pair S3, and watch the S3 line item (and the
+throttling-driven runtime) explode while HDFS stays flat.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.scenarios import run_scenario
+from repro.workloads.sort import SortWorkload
+from benchmarks.conftest import run_once
+
+PARTITION_SWEEP = (32, 128, 512)
+DATASET_GB = 32.0
+
+
+def run_sweep():
+    out = {}
+    for partitions in PARTITION_SWEEP:
+        workload = SortWorkload(dataset_gb=DATASET_GB,
+                                partitions=partitions)
+        ss = run_scenario(workload, "ss_hybrid")
+        qubole = run_scenario(workload, "qubole_R_la")
+        out[partitions] = (ss, qubole)
+    return out
+
+
+def test_ablation_sort_cost(benchmark, emit):
+    results = run_once(benchmark, run_sweep)
+    rows = []
+    for partitions, (ss, qubole) in results.items():
+        rows.append([
+            f"{partitions} ({partitions**2:,} pairs)",
+            f"{ss.duration_s:.0f}s / ${ss.cost:.3f}",
+            f"${ss.cost_breakdown.get('storage:hdfs', 0.0):.4f}",
+            f"{qubole.duration_s:.0f}s / ${qubole.cost:.3f}",
+            f"${qubole.cost_breakdown.get('storage:s3', 0.0):.4f}",
+        ])
+    emit(f"Ablation — {DATASET_GB:g} GB sort at rising task granularity: "
+         "SplitServe/HDFS vs Qubole/S3",
+         format_table(["partitions", "SS hybrid", "HDFS fees",
+                       "Qubole", "S3 fees"], rows))
+
+    s3_fees = {p: q.cost_breakdown.get("storage:s3", 0.0)
+               for p, (_ss, q) in results.items()}
+    hdfs_times = {p: ss.duration_s for p, (ss, _q) in results.items()}
+    qubole_times = {p: q.duration_s for p, (_ss, q) in results.items()}
+    # HDFS never charges per request; S3 fees grow ~quadratically.
+    for partitions, (ss, _q) in results.items():
+        assert ss.cost_breakdown.get("storage:hdfs", 0.0) == 0.0
+    assert s3_fees[512] > 10 * s3_fees[32]
+    # Throttled request floods also blow up the Qubole runtime while the
+    # HDFS runtime barely moves with granularity.
+    assert qubole_times[512] > 3 * qubole_times[32]
+    assert hdfs_times[512] < 2 * hdfs_times[32]

@@ -1,0 +1,39 @@
+"""Figure 1: cost of one vCPU — m4.large vs a 1536 MB Lambda vs time.
+
+Paper's reading: the VM shows a flat 60-second minimum charge then a
+per-second staircase; the Lambda's 100 ms staircase looks continuous,
+starts far cheaper, and "can quickly overshoot a VM in terms of cost".
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_series
+from repro.cloud import instance_type
+from repro.cloud.pricing import lambda_cost, lambda_vm_crossover_s, vm_vcpu_cost
+from benchmarks.conftest import run_once
+
+DURATIONS_S = [1, 5, 10, 20, 30, 45, 60, 90, 120, 180, 240, 300]
+
+
+def compute_curves():
+    itype = instance_type("m4.large")
+    vm = [vm_vcpu_cost(itype, t) for t in DURATIONS_S]
+    la = [lambda_cost(1536, t) for t in DURATIONS_S]
+    return itype, vm, la
+
+
+def test_fig1_cost_curves(benchmark, emit):
+    itype, vm, la = run_once(benchmark, compute_curves)
+    crossover = lambda_vm_crossover_s(itype, 1536)
+    body = format_series(
+        "seconds", DURATIONS_S,
+        {"m4.large vCPU ($)": vm, "Lambda 1536MB ($)": la},
+        value_format="{:.6f}")
+    body += f"\n\ncrossover: Lambda overtakes the VM vCPU at ~{crossover:.0f}s"
+    emit("Figure 1 — cost of one vCPU: m4.large vs 1536 MB Lambda", body)
+
+    # The paper's qualitative claims, asserted.
+    assert la[0] < vm[0]  # Lambda far cheaper for short bursts
+    assert la[-1] > vm[-1]  # VM cheaper for long-lasting work
+    assert vm[0] == pytest.approx(vm[5])  # flat across the 60s minimum
+    assert 25 < crossover < 45

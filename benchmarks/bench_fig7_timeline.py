@@ -1,0 +1,62 @@
+"""Figure 7: PageRank execution timelines under three setups.
+
+(i) vanilla Spark on 16 VM cores; (ii) SplitServe with 3 VM cores + 13
+Lambdas; (iii) the same with a segue to VM cores that free up at 45 s.
+The thin '+' marks are executor starts (the paper's thin red bars); 'S'
+on the stage axis marks when the segue commences (the blue bar).
+"""
+
+from repro.analysis.timeline import build_timeline
+from repro.core.scenarios import run_scenario
+from repro.workloads import PageRankWorkload
+from benchmarks.conftest import run_once
+
+
+def run_fig7():
+    workload = PageRankWorkload()
+    scenarios = ["spark_R_vm", "ss_hybrid", "ss_hybrid_segue"]
+    return {name: run_scenario(workload, name, keep_trace=True)
+            for name in scenarios}
+
+
+def test_fig7_timelines(benchmark, emit):
+    results = run_once(benchmark, run_fig7)
+    blocks = []
+    titles = {
+        "spark_R_vm": "(i) Vanilla Spark, 16 VM cores",
+        "ss_hybrid": "(ii) SplitServe, 3 VM cores + 13 Lambdas",
+        "ss_hybrid_segue": "(iii) as (ii), segue to VM cores at 45 s",
+    }
+    timelines = {}
+    for name, result in results.items():
+        timeline = build_timeline(result.trace)
+        timelines[name] = timeline
+        blocks.append(titles[name] + f"  (total {result.duration_s:.1f}s)\n"
+                      + timeline.render(width=64))
+    emit("Figure 7 — PageRank execution timelines", "\n\n".join(blocks))
+
+    # (i): 16 VM executors, no Lambdas, 6 stages.
+    vanilla = timelines["spark_R_vm"]
+    assert len(vanilla.executors_of_kind("vm")) == 16
+    assert len(vanilla.executors_of_kind("lambda")) == 0
+    assert len(vanilla.stage_boundaries) == 6
+
+    # (ii): 3 VM + 13 Lambda executors, no segue.
+    hybrid = timelines["ss_hybrid"]
+    assert len(hybrid.executors_of_kind("vm")) == 3
+    assert len(hybrid.executors_of_kind("lambda")) == 13
+    assert hybrid.segue_time is None
+
+    # (iii): segue commences shortly after the 45 s core availability.
+    segue = timelines["ss_hybrid_segue"]
+    assert segue.segue_time is not None
+    assert 40 < segue.segue_time < 70
+    # Replacement VM executors registered after the segue began.
+    late_vms = [e for e in segue.executors_of_kind("vm")
+                if e.registered_at >= 44.0]
+    assert late_vms
+    # Lambdas stopped being used after draining: their last task ends
+    # within a stage or two of the segue, well before the job's end.
+    lambda_ends = [e.tasks[-1].end for e in segue.executors_of_kind("lambda")
+                   if e.tasks]
+    assert max(lambda_ends) < results["ss_hybrid_segue"].duration_s

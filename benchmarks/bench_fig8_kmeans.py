@@ -1,0 +1,58 @@
+"""Figure 8: K-means performance and cost, with error bars (15 trials).
+
+Paper's findings at R=16, r=4:
+- r=4 degrades execution ~10x (cache thrash on top of the core deficit);
+- VM autoscaling still ~3.3x (cache-cold new executors);
+- Qubole's S3 shuffle costs ~51% extra; SS 16 La only ~11% worse;
+- here the hybrid is NOT the winner — an all-Lambda SplitServe run is.
+"""
+
+import statistics
+
+from repro.analysis.reporting import format_table
+from repro.core.scenarios import SCENARIO_NAMES, run_scenario
+from repro.workloads import KMeansWorkload
+from benchmarks.conftest import run_once
+
+TRIALS = 15  # the paper's sample count
+
+
+def run_fig8():
+    workload = KMeansWorkload()
+    out = {}
+    for name in SCENARIO_NAMES:
+        runs = [run_scenario(workload, name, seed=seed)
+                for seed in range(TRIALS)]
+        out[name] = runs
+    return out
+
+
+def test_fig8_kmeans(benchmark, emit):
+    by_scenario = run_once(benchmark, run_fig8)
+    spec = KMeansWorkload().spec
+    base_mean = statistics.mean(
+        r.duration_s for r in by_scenario["spark_R_vm"])
+
+    rows = []
+    stats = {}
+    for name in SCENARIO_NAMES:
+        runs = by_scenario[name]
+        durations = [r.duration_s for r in runs]
+        costs = [r.cost for r in runs]
+        mean, stdev = statistics.mean(durations), statistics.stdev(durations)
+        stats[name] = mean
+        rows.append([runs[0].label(spec), f"{mean:.1f}", f"{stdev:.2f}",
+                     f"{mean / base_mean:.2f}x",
+                     f"${statistics.mean(costs):.4f}"])
+    emit("Figure 8 — K-means, mean +/- stdev over 15 trials",
+         format_table(["scenario", "time (s)", "stdev", "vs base", "cost"],
+                      rows))
+
+    assert stats["spark_R_vm"] < 120.0  # the chosen SLO
+    assert stats["spark_r_vm"] / base_mean > 5.0  # paper: ~10x
+    assert 2.2 < stats["spark_autoscale"] / base_mean < 4.5  # paper: 3.3x
+    assert stats["ss_R_la"] / base_mean < 1.25  # paper: ~1.11x
+    assert stats["qubole_R_la"] > 1.3 * stats["ss_R_la"]  # paper: +51% vs +11%
+    # The paper's conclusion for this workload: all-Lambda under SS beats
+    # waiting out VM-based scaling by a wide margin.
+    assert stats["ss_R_la"] < 0.5 * stats["spark_autoscale"]

@@ -1,0 +1,20 @@
+"""Table 1: the related-work comparison matrix.
+
+Paper: SplitServe is the only system that uses both VMs and CFs while
+comparing favourably to vanilla Spark on both execution time and cost.
+"""
+
+from repro.baselines.comparison import (
+    COMPARISON_MATRIX,
+    hybrid_systems,
+    render_table1,
+)
+from benchmarks.conftest import run_once
+
+
+def test_table1_comparison(benchmark, emit):
+    text = run_once(benchmark, render_table1)
+    emit("Table 1 — SplitServe vs the state of the art", text)
+    splitserve = COMPARISON_MATRIX["SplitServe"]
+    assert splitserve.execution_time_favourable and splitserve.cost_favourable
+    assert {p.name for p in hybrid_systems()} == {"FEAT, MArk", "SplitServe"}

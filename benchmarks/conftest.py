@@ -1,0 +1,30 @@
+"""Shared helpers for the figure/table benches.
+
+Every bench regenerates one of the paper's tables or figures: it runs
+the experiment once (deterministically), prints the same rows/series the
+paper reports, and records the headline measurement via
+pytest-benchmark. Compare the printed output against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic experiment with a single execution."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered figure block, clearly delimited in bench output."""
+
+    def _emit(title: str, body: str) -> None:
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(body)
+
+    return _emit

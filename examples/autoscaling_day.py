@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A day in the life of a cost-conscious tenant (§4.1, Figure 2).
+
+Replays a diurnal executor-demand trace under three inter-job
+provisioning policies — m(t), m(t)+σ(t), m(t)+2σ(t) — and shows why
+SplitServe changes the optimal policy: once shortfalls can be bridged by
+Lambdas in ~100 ms, the lean policy's occasional under-provisioning is
+an expense, not an outage. Then it uses the cost manager to plan one
+concrete arriving job under the lean policy.
+
+Run:  python examples/autoscaling_day.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.cloud import instance_type
+from repro.core import InterJobAutoscaler, ProvisioningPolicy
+from repro.core.cost_manager import CostManager
+from repro.workloads.traces import DiurnalTrace
+
+
+def main() -> None:
+    trace = DiurnalTrace(seed=42)
+    points = trace.generate()
+    itype = instance_type("m4.4xlarge")
+    scaler = InterJobAutoscaler()
+
+    rows = []
+    for k in (0.0, 1.0, 2.0):
+        report = scaler.replay(points, ProvisioningPolicy(k=k))
+        rows.append([
+            report.policy.label,
+            f"{report.vm_core_hours:.0f}",
+            f"{report.shortfall_events}",
+            f"{report.idle_core_hours:.0f}",
+            f"${report.vm_cost(itype):.2f}",
+            f"${report.lambda_bridge_cost():.2f}",
+            f"${report.total_cost(itype):.2f}",
+        ])
+    print(format_table(
+        ["policy", "VM core-h", "shortfall samples", "idle core-h",
+         "VM cost", "Lambda bridge", "total / day"],
+        rows, title="Provisioning policies over one workday"))
+
+    print("\nThe lean m(t) policy under-provisions dozens of times a day —"
+          "\nunacceptable without SplitServe, merely a small Lambda bill "
+          "with it.\n")
+
+    # One concrete job arrives at the afternoon peak under the lean
+    # policy; the cost manager prescribes its execution.
+    profile = {2: 110.0, 4: 65.0, 8: 45.0, 16: 40.0, 32: 48.0}
+    manager = CostManager(profile)
+    plan = manager.plan(slo_s=50.0, free_vm_cores=3, vm_itype=itype)
+    print(f"Job arrives (SLO 50s, 3 free VM cores). Cost manager plan: "
+          f"{plan.required_cores} cores = {plan.vm_cores} VM + "
+          f"{plan.lambda_cores} Lambda, segue={plan.segue}, "
+          f"est. {plan.est_duration_s:.0f}s, est. ${plan.est_cost:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""§7's future work, prototyped: a Flink-style stream under SplitServe.
+
+A micro-batch pipeline ingests a record stream every 10 seconds on a
+fixed 4-core VM allotment. Mid-run, the input rate spikes 10x for half a
+minute. Without SplitServe the pipeline falls behind its deadlines and
+takes minutes to drain the backlog; with Lambda bridging, each burst
+batch borrows warm Lambdas for exactly one interval and the pipeline
+never misses a deadline.
+
+Run:  python examples/flink_style_stream.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.microbatch import MicroBatchSimulator
+
+
+def bursty_rate(t: float) -> float:
+    return 200_000.0 if 30.0 <= t < 60.0 else 20_000.0
+
+
+def main() -> None:
+    rows = []
+    for bridge in ("none", "lambda"):
+        sim = MicroBatchSimulator(bursty_rate, vm_cores=4,
+                                  batch_interval_s=10.0, bridge=bridge)
+        outcome = sim.run(120.0)
+        rows.append([
+            "vanilla (queue)" if bridge == "none" else "SplitServe bridge",
+            len(outcome.batches),
+            f"{outcome.on_time_fraction:.0%}",
+            f"{outcome.max_lateness_s:.1f}s",
+            outcome.bridged_batches,
+            f"${outcome.lambda_cost:.4f}",
+        ])
+    print(format_table(
+        ["pipeline", "batches", "on-time", "max lateness",
+         "bridged batches", "lambda cost"],
+        rows,
+        title="Micro-batch stream, 10x burst at t=30-60s, 4 VM cores"))
+    print("\nThe burst needs ~8 cores for three intervals. SplitServe "
+          "rents them as Lambdas for ~30 seconds total; the vanilla "
+          "pipeline instead drags a backlog long after the burst ends.")
+
+
+if __name__ == "__main__":
+    main()

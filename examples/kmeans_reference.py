@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Grounding the simulation: the real K-means next to the simulated one.
+
+Runs the actual NumPy K-means (the algorithm the HiBench workload
+models) on synthetic blobs with the paper's parameters, measures the
+per-point assign cost on this machine, and compares against the
+simulation's calibrated constant. Then runs the simulated K-means
+scenario so you can see both sides of the modelling boundary.
+
+Run:  python examples/kmeans_reference.py
+"""
+
+import time
+
+from repro.core import run_scenario
+from repro.workloads import KMeansWorkload
+from repro.workloads.kmeans import ASSIGN_SECONDS_PER_POINT
+from repro.workloads.kmeans_algo import (
+    generate_points,
+    kmeans,
+    measure_assign_cost,
+)
+
+
+def main() -> None:
+    print("1. The actual algorithm (NumPy), paper parameters scaled down")
+    points = generate_points(200_000, 20, 10, seed=0)
+    start = time.perf_counter()
+    result = kmeans(points, k=10, max_iterations=5,
+                    convergence_distance=0.5, seed=0)
+    elapsed = time.perf_counter() - start
+    print(f"   clustered {len(points):,} points x 20 dims into k=10 in "
+          f"{elapsed:.2f}s ({result.iterations} iterations, "
+          f"converged={result.converged})")
+
+    print("\n2. Calibration check")
+    measured = measure_assign_cost(n_points=200_000)
+    print(f"   measured assign cost : {measured * 1e9:8.1f} ns/point "
+          f"(NumPy, this machine)")
+    print(f"   simulated constant   : {ASSIGN_SECONDS_PER_POINT * 1e9:8.1f} "
+          f"ns/point (JVM/MLlib-calibrated)")
+    print(f"   JVM overhead factor  : {ASSIGN_SECONDS_PER_POINT / measured:8.1f}x")
+
+    print("\n3. The simulated cluster running the same workload")
+    baseline = run_scenario(KMeansWorkload(), "spark_R_vm")
+    all_lambda = run_scenario(KMeansWorkload(), "ss_R_la")
+    print(f"   Spark 16 VM : {baseline.duration_s:6.1f}s")
+    print(f"   SS 16 La    : {all_lambda.duration_s:6.1f}s "
+          f"(+{all_lambda.duration_s / baseline.duration_s - 1:.0%} — the "
+          f"paper reports +11%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: run one latency-critical job under every §5.1 scenario.
+
+A PageRank job (sized for 16 cores) arrives to a cluster with only 3
+free VM cores. This script runs all eight evaluation scenarios and
+prints execution time and marginal cost for each — the 30-second tour of
+what SplitServe buys you.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.reporting import format_table, relative_to
+from repro.core import SCENARIO_NAMES, run_scenario
+from repro.workloads import PageRankWorkload
+
+
+def main() -> None:
+    workload = PageRankWorkload()
+    spec = workload.spec
+    print(f"workload: {workload.name} "
+          f"(R={spec.required_cores} cores wanted, "
+          f"r={spec.available_cores} free on VMs)\n")
+
+    results = {name: run_scenario(workload, name) for name in SCENARIO_NAMES}
+    base = results["spark_R_vm"].duration_s
+
+    rows = []
+    for name in SCENARIO_NAMES:
+        result = results[name]
+        if result.failed:
+            rows.append([result.label(spec), "FAILED", "-", "-"])
+            continue
+        rows.append([result.label(spec), f"{result.duration_s:.1f}s",
+                     relative_to(base, result.duration_s),
+                     f"${result.cost:.4f}"])
+    print(format_table(["scenario", "time", "vs baseline", "marginal cost"],
+                       rows))
+
+    hybrid = results["ss_hybrid"].duration_s
+    autoscale = results["spark_autoscale"].duration_s
+    print(f"\nSplitServe's hybrid run beats VM-based autoscaling by "
+          f"{1 - hybrid / autoscale:.0%}: the {spec.shortfall_cores} "
+          f"Lambdas start in ~100 ms instead of waiting ~2 minutes "
+          f"for fresh VMs.")
+
+
+if __name__ == "__main__":
+    main()

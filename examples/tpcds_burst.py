@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""A burst of latency-critical TPC-DS queries hits an under-provisioned
+cluster — the paper's motivating scenario, end to end.
+
+Four analysts fire Q5, Q16, Q94, and Q95 (each sized for 32 cores) at a
+cluster with only 8 free VM cores. We compare, per query, what happens
+under VM-based autoscaling versus SplitServe's hybrid launch, and total
+up the damage.
+
+Run:  python examples/tpcds_burst.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core import run_scenario
+from repro.workloads import TPCDSWorkload
+from repro.workloads.tpcds import PRESENTED_QUERIES
+
+
+def main() -> None:
+    rows = []
+    total_autoscale, total_hybrid = 0.0, 0.0
+    for query in PRESENTED_QUERIES:
+        workload = TPCDSWorkload(query)
+        baseline = run_scenario(workload, "spark_R_vm")
+        autoscale = run_scenario(workload, "spark_autoscale")
+        hybrid = run_scenario(workload, "ss_hybrid")
+        total_autoscale += autoscale.duration_s
+        total_hybrid += hybrid.duration_s
+        improvement = 1 - hybrid.duration_s / autoscale.duration_s
+        rows.append([
+            query,
+            f"{baseline.duration_s:.1f}s",
+            f"{autoscale.duration_s:.1f}s",
+            f"{hybrid.duration_s:.1f}s",
+            f"{improvement:.0%}",
+            f"${hybrid.cost:.4f}",
+        ])
+    print(format_table(
+        ["query", "Spark 32 VM", "Spark 8/32 autoscale",
+         "SS 8 VM / 24 La", "improvement", "SS cost"],
+        rows,
+        title="TPC-DS burst: 32-core queries arriving to 8 free cores"))
+
+    overall = 1 - total_hybrid / total_autoscale
+    print(f"\nAcross the burst, SplitServe's hybrid launch answers "
+          f"{overall:.0%} faster than VM-based autoscaling "
+          f"(paper reports 55.2% on average) — every query finishes "
+          f"before the autoscaler's replacement VMs would even boot.")
+
+
+if __name__ == "__main__":
+    main()

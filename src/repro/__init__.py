@@ -1,0 +1,50 @@
+"""SplitServe reproduction: splitting Spark-like jobs across FaaS and IaaS.
+
+A full simulation-fidelity reproduction of *"SplitServe: Efficiently
+Splitting Apache Spark Jobs Across FaaS and IaaS"* (Middleware 2020),
+including every substrate the paper depends on: a discrete-event kernel,
+EC2/Lambda cloud models, five shuffle-storage services, a from-scratch
+Spark-like engine, and SplitServe's launching / segueing / state-transfer
+facilities — plus the eight evaluation scenarios and the benchmark
+harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro.workloads import PageRankWorkload
+    from repro.core import run_scenario
+
+    result = run_scenario(PageRankWorkload(), "ss_hybrid")
+    print(result.duration_s, result.cost)
+
+See README.md for the architecture tour and DESIGN.md for the
+per-experiment index.
+"""
+
+from repro.core import (
+    SCENARIO_NAMES,
+    ScenarioResult,
+    SplitServe,
+    run_all_scenarios,
+    run_scenario,
+)
+from repro.workloads import (
+    KMeansWorkload,
+    PageRankWorkload,
+    SparkPiWorkload,
+    TPCDSWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KMeansWorkload",
+    "PageRankWorkload",
+    "SCENARIO_NAMES",
+    "ScenarioResult",
+    "SparkPiWorkload",
+    "SplitServe",
+    "TPCDSWorkload",
+    "run_all_scenarios",
+    "run_scenario",
+    "__version__",
+]

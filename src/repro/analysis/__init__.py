@@ -1,0 +1,38 @@
+"""Analysis utilities: profiling sweeps, timelines, text reports.
+
+- :mod:`~repro.analysis.profiling` — the §5.1 offline-profiling harness
+  (execution time + cost vs degree of parallelism; Figure 4's U-curves);
+- :mod:`~repro.analysis.timeline` — per-executor activity timelines
+  extracted from traces (Figure 7);
+- :mod:`~repro.analysis.reporting` — plain-text renderers the benches
+  use to print the paper's tables/figures as aligned rows/series.
+"""
+
+from repro.analysis.profiling import ProfilePoint, profile_workload
+from repro.analysis.reporting import (
+    format_bar_chart,
+    format_series,
+    format_table,
+)
+from repro.analysis.stats import (
+    SampleSummary,
+    coefficient_of_variation,
+    relative_change,
+    summarize,
+)
+from repro.analysis.timeline import ExecutorSpan, TaskSpan, build_timeline
+
+__all__ = [
+    "ExecutorSpan",
+    "ProfilePoint",
+    "SampleSummary",
+    "TaskSpan",
+    "build_timeline",
+    "format_bar_chart",
+    "format_series",
+    "format_table",
+    "coefficient_of_variation",
+    "profile_workload",
+    "relative_change",
+    "summarize",
+]

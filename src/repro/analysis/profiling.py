@@ -1,0 +1,123 @@
+"""Offline workload profiling (§5.1, Figure 4).
+
+Measures execution time and marginal cost as a function of the degree of
+parallelism, with all executors either Lambda-based (Figure 4a) or
+VM-based on the fewest instances covering the cores (Figure 4b) — the
+classic U-curve from which the cost manager picks operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cloud.instance_types import fewest_instances_for_cores
+from repro.cloud.pricing import BillingMeter
+from repro.cloud.provisioner import CloudProvider
+from repro.simulation import Environment, RandomStreams
+from repro.spark.application import SparkDriver
+from repro.spark.config import SparkConf
+from repro.spark.shuffle import ExternalShuffleBackend, LocalShuffleBackend
+from repro.storage import HDFS
+from repro.workloads.base import Workload
+
+#: The sweep the paper uses: 1-128 executors in powers of two.
+DEFAULT_PARALLELISM_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One measured point of a profiling curve."""
+
+    parallelism: int
+    duration_s: float
+    cost: float
+    executor_kind: str  # "lambda" | "vm"
+
+
+def _profile_lambda(workload: Workload, parallelism: int,
+                    seed: int) -> ProfilePoint:
+    env = Environment()
+    rng = RandomStreams(seed)
+    meter = BillingMeter()
+    provider = CloudProvider(env, rng, meter=meter)
+    # Master + HDFS node, per the workload's paper setup.
+    master = provider.request_vm(workload.spec.master_itype, name="master",
+                                 already_running=True)
+    hdfs = HDFS(env, [master], rng, meter)
+    conf = SparkConf()
+    driver = SparkDriver(env, conf, rng,
+                         ExternalShuffleBackend(hdfs))
+
+    def read_input(executor, nbytes):
+        yield hdfs.batch_read(1, nbytes, via_links=executor.net_links())
+
+    driver.task_scheduler.input_reader = read_input
+    lambdas = []
+    for _ in range(parallelism):
+        fn = provider.invoke_lambda()
+        lambdas.append(fn)
+
+        def attach(env, fn=fn):
+            yield fn.ready
+            driver.add_lambda_executor(fn)
+
+        env.process(attach(env))
+    job = driver.submit(workload.build(parallelism))
+    env.run(until=job.done)
+    for fn in lambdas:
+        provider.release_lambda(fn)
+        provider.bill_lambda_usage(fn)
+    return ProfilePoint(parallelism, job.duration, meter.total(), "lambda")
+
+
+def _profile_vm(workload: Workload, parallelism: int,
+                seed: int) -> ProfilePoint:
+    env = Environment()
+    rng = RandomStreams(seed)
+    meter = BillingMeter()
+    provider = CloudProvider(env, rng, meter=meter)
+    conf = SparkConf()
+    driver = SparkDriver(env, conf, rng, LocalShuffleBackend())
+    vms = []
+    remaining = parallelism
+    # §5.1: "the fewest number of instances that provide the required
+    # number of cores to minimize the inter-VM communication overhead".
+    for itype in fewest_instances_for_cores(parallelism):
+        vm = provider.request_vm(itype, already_running=True)
+        vms.append(vm)
+        take = min(remaining, itype.vcpus)
+        remaining -= take
+        for _ in range(take):
+            driver.add_vm_executor(vm)
+    job = driver.submit(workload.build(parallelism))
+    env.run(until=job.done)
+    end = env.now
+    for vm in vms:
+        meter.bill_vm(vm.name, vm.itype, 0.0, end)
+    return ProfilePoint(parallelism, job.duration, meter.total(), "vm")
+
+
+def profile_workload(
+    workload: Workload,
+    executor_kind: str,
+    parallelism_sweep: Sequence[int] = DEFAULT_PARALLELISM_SWEEP,
+    seed: int = 0,
+) -> List[ProfilePoint]:
+    """Sweep the degree of parallelism for one executor kind.
+
+    Returns points in sweep order; feed ``{p.parallelism: p.duration_s}``
+    to :class:`repro.core.cost_manager.CostManager`.
+    """
+    if executor_kind not in ("lambda", "vm"):
+        raise ValueError(f"executor_kind must be 'lambda' or 'vm', "
+                         f"got {executor_kind!r}")
+    runner = _profile_lambda if executor_kind == "lambda" else _profile_vm
+    return [runner(workload, p, seed) for p in parallelism_sweep]
+
+
+def optimal_parallelism(points: Sequence[ProfilePoint]) -> ProfilePoint:
+    """The performance-optimal point (minimum duration) of a curve."""
+    if not points:
+        raise ValueError("no profile points")
+    return min(points, key=lambda p: p.duration_s)

@@ -1,0 +1,89 @@
+"""Plain-text table/figure renderers used by the benchmark harness.
+
+The benches reproduce figures as aligned text: a grouped-bar figure
+becomes rows of labelled horizontal bars; a line figure becomes a series
+table. Keeping this in one place makes every bench's output uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(entries: Sequence[tuple], title: Optional[str] = None,
+                     width: int = 46, unit: str = "s") -> str:
+    """Render labelled horizontal bars: entries are (label, value) or
+    (label, value, annotation). NaN values render as 'FAILED' (the Q5 on
+    Qubole case)."""
+    lines = []
+    if title:
+        lines.append(title)
+    finite = [v for _l, v, *_a in entries if not math.isnan(v)]
+    top = max(finite) if finite else 1.0
+    label_width = max(len(e[0]) for e in entries) if entries else 0
+    for entry in entries:
+        label, value = entry[0], entry[1]
+        annotation = entry[2] if len(entry) > 2 else ""
+        if math.isnan(value):
+            lines.append(f"{label.rjust(label_width)} | FAILED  {annotation}".rstrip())
+            continue
+        bar = "#" * max(1, int(round(width * value / top))) if top > 0 else ""
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value:.1f}{unit} {annotation}".rstrip())
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, xs: Sequence[Any],
+                  series: Dict[str, Sequence[float]],
+                  title: Optional[str] = None,
+                  value_format: str = "{:.2f}") -> str:
+    """Render one or more y-series against a shared x axis (line figures)."""
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length {len(ys)} != x length {len(xs)}")
+    headers = [x_label, *series.keys()]
+    rows: List[List[Any]] = []
+    for i, x in enumerate(xs):
+        row: List[Any] = [x]
+        for ys in series.values():
+            row.append(value_format.format(ys[i]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def relative_to(baseline: float, value: float) -> str:
+    """'1.45x'-style annotation against a baseline."""
+    if baseline <= 0 or math.isnan(value):
+        return ""
+    return f"({value / baseline:.2f}x)"

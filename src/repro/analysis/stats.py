@@ -1,0 +1,71 @@
+"""Small statistics helpers for experiment reporting.
+
+Figure 8 reports "confidence error bars ... one sample standard
+deviation from 15 independent trials"; these helpers compute exactly
+that plus bootstrap confidence intervals for the benches that want a
+distribution-free interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean, spread, and a confidence interval for one sample."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+
+    def format(self, unit: str = "s") -> str:
+        return (f"{self.mean:.1f}{unit} +/- {self.stdev:.1f} "
+                f"[{self.ci_low:.1f}, {self.ci_high:.1f}]")
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95,
+              bootstrap_rounds: int = 2000, seed: int = 0) -> SampleSummary:
+    """Mean, sample stdev, and a bootstrap percentile CI of the mean."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size < 2:
+        raise ValueError("need at least two samples")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    resampled = rng.choice(data, size=(bootstrap_rounds, data.size),
+                           replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resampled, [alpha, 1.0 - alpha])
+    return SampleSummary(
+        n=int(data.size),
+        mean=float(data.mean()),
+        stdev=float(data.std(ddof=1)),
+        ci_low=float(low),
+        ci_high=float(high),
+    )
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Sample stdev over mean — the stability metric the seed-sweep
+    tests assert on."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size < 2:
+        raise ValueError("need at least two samples")
+    mean = data.mean()
+    if mean == 0:
+        raise ValueError("mean is zero; CV undefined")
+    return float(data.std(ddof=1) / mean)
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """(value - baseline) / baseline, guarded."""
+    if baseline == 0 or math.isnan(baseline):
+        raise ValueError("baseline must be nonzero and finite")
+    return (value - baseline) / baseline

@@ -1,0 +1,124 @@
+"""Executor activity timelines (Figure 7).
+
+Figure 7 compares PageRank execution timelines across three scenarios,
+marking when each executor starts being used (thin red bars) and when the
+segue commences (blue bar). This module reconstructs exactly that from a
+scenario's :class:`~repro.simulation.tracing.TraceRecorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.simulation.tracing import TraceRecorder
+
+
+@dataclass
+class TaskSpan:
+    """One task execution on one executor."""
+
+    task: str
+    start: float
+    end: float
+    state: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutorSpan:
+    """One executor's lifetime and its task activity."""
+
+    executor_id: str
+    kind: str  # "vm" | "lambda"
+    registered_at: float
+    decommissioned_at: Optional[float] = None
+    tasks: List[TaskSpan] = field(default_factory=list)
+
+    @property
+    def first_task_start(self) -> Optional[float]:
+        return self.tasks[0].start if self.tasks else None
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(t.duration for t in self.tasks)
+
+
+@dataclass
+class Timeline:
+    """The full Figure 7-style reconstruction for one run."""
+
+    executors: List[ExecutorSpan]
+    segue_time: Optional[float]
+    stage_boundaries: List[float]
+
+    def executors_of_kind(self, kind: str) -> List[ExecutorSpan]:
+        return [e for e in self.executors if e.kind == kind]
+
+    @property
+    def end_time(self) -> float:
+        ends = [t.end for e in self.executors for t in e.tasks]
+        return max(ends) if ends else 0.0
+
+    def render(self, width: int = 72) -> str:
+        """ASCII rendering: one row per executor, '#' where busy.
+
+        The '|' marks stage completions; 'S' on the axis marks the segue.
+        """
+        end = max(self.end_time, 1e-9)
+        scale = width / end
+        lines = []
+        header = f"{'executor':>14s} |" + "-" * width + "|"
+        lines.append(header)
+        for span in sorted(self.executors,
+                           key=lambda e: (e.kind, e.registered_at)):
+            row = [" "] * width
+            for task in span.tasks:
+                lo = min(width - 1, int(task.start * scale))
+                hi = min(width, max(lo + 1, int(task.end * scale)))
+                for i in range(lo, hi):
+                    row[i] = "#"
+            reg = min(width - 1, int(span.registered_at * scale))
+            if row[reg] == " ":
+                row[reg] = "+"
+            lines.append(f"{span.executor_id:>14s} |{''.join(row)}|")
+        axis = [" "] * width
+        for boundary in self.stage_boundaries:
+            axis[min(width - 1, int(boundary * scale))] = "|"
+        if self.segue_time is not None:
+            axis[min(width - 1, int(self.segue_time * scale))] = "S"
+        lines.append(f"{'stages':>14s} |{''.join(axis)}|")
+        lines.append(f"{'':>14s}  0{'':{width - 10}}{end:8.1f}s")
+        return "\n".join(lines)
+
+
+def build_timeline(trace: TraceRecorder) -> Timeline:
+    """Reconstruct per-executor activity from a run's trace."""
+    spans = {}
+    for rec in trace.select(category="executor"):
+        executor_id = rec.get("executor")
+        if rec.name == "registered":
+            spans[executor_id] = ExecutorSpan(
+                executor_id=executor_id,
+                kind=rec.get("kind", "vm"),
+                registered_at=rec.time)
+        elif rec.name in ("draining", "dead") and executor_id in spans:
+            if spans[executor_id].decommissioned_at is None:
+                spans[executor_id].decommissioned_at = rec.time
+        elif rec.name == "task_end" and executor_id in spans:
+            duration = rec.get("duration", 0.0)
+            spans[executor_id].tasks.append(TaskSpan(
+                task=rec.get("task", "?"),
+                start=rec.time - duration,
+                end=rec.time,
+                state=rec.get("state", "finished")))
+
+    segue_records = trace.select(category="executor", name="draining")
+    segue_time = segue_records[0].time if segue_records else None
+    boundaries = [rec.time for rec in trace.select(category="dag",
+                                                   name="stage_complete")]
+    return Timeline(executors=list(spans.values()), segue_time=segue_time,
+                    stage_boundaries=boundaries)

@@ -1,0 +1,5 @@
+"""Baseline systems and the related-work comparison matrix (Table 1)."""
+
+from repro.baselines.comparison import COMPARISON_MATRIX, SystemProfile, render_table1
+
+__all__ = ["COMPARISON_MATRIX", "SystemProfile", "render_table1"]

@@ -1,0 +1,72 @@
+"""Table 1: SplitServe vs the state of the art.
+
+A structured encoding of the paper's related-work matrix. The two
+right-hand columns record whether each system's shuffling compares
+favourably to vanilla Spark on public-cloud VMs in execution time and in
+cost; "n/a" entries are systems for which the comparison does not apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.reporting import format_table
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """One row of Table 1."""
+
+    name: str
+    uses_vms: bool
+    uses_cfs: bool
+    execution_time_favourable: Optional[bool]  # None = n/a
+    cost_favourable: Optional[bool]  # None = n/a
+
+    def row(self):
+        def tri(value: Optional[bool]) -> str:
+            if value is None:
+                return "n/a"
+            return "Yes" if value else "No"
+
+        return [self.name,
+                "Yes" if self.uses_vms else "No",
+                "Yes" if self.uses_cfs else "No",
+                tri(self.execution_time_favourable),
+                tri(self.cost_favourable)]
+
+
+#: Table 1, verbatim from the paper.
+COMPARISON_MATRIX: Dict[str, SystemProfile] = {
+    p.name: p
+    for p in [
+        SystemProfile("TR-Spark", True, False, False, None),
+        SystemProfile("Apache Flink", True, False, True, True),
+        SystemProfile("Burscale", True, False, True, True),
+        SystemProfile("Qubole", False, True, False, False),
+        SystemProfile("Flint", False, True, False, False),
+        SystemProfile("ExCamera", False, True, None, None),
+        SystemProfile("numpywren", False, True, False, False),
+        SystemProfile("PyWren", False, True, False, False),
+        SystemProfile("Locus (PyWren+Redis)", False, True, True, False),
+        SystemProfile("Cirrus", False, True, True, False),
+        SystemProfile("gg", False, True, True, False),
+        SystemProfile("FEAT, MArk", True, True, None, None),
+        SystemProfile("SplitServe", True, True, True, True),
+    ]
+}
+
+
+def render_table1() -> str:
+    """The paper's Table 1 as aligned text."""
+    headers = ["System", "Uses VMs?", "Uses CFs?", "Execution time", "Cost"]
+    rows = [profile.row() for profile in COMPARISON_MATRIX.values()]
+    return format_table(headers, rows,
+                        title="Table 1: SplitServe vs state-of-the-art "
+                              "platforms exploiting VMs and CFs")
+
+
+def hybrid_systems():
+    """Systems using both VMs and CFs — SplitServe's distinguishing club."""
+    return [p for p in COMPARISON_MATRIX.values() if p.uses_vms and p.uses_cfs]

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — available workloads and scenarios;
+- ``run`` — one (workload, scenario) execution, optionally with the
+  Figure 7-style executor timeline;
+- ``profile`` — a §5.1 offline-profiling sweep (the Figure 4 curves);
+- ``stream`` — the §4.1 day-of-jobs simulation under a chosen policy.
+
+The full table/figure reproduction lives in the benchmark harness
+(``pytest benchmarks/ --benchmark-only``); the CLI is for interactive
+exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.profiling import profile_workload
+from repro.analysis.reporting import format_series, format_table, relative_to
+from repro.analysis.timeline import build_timeline
+from repro.core.autoscaler import ProvisioningPolicy
+from repro.core.scenarios import SCENARIO_NAMES, run_scenario
+from repro.core.stream import JobStreamSimulator
+from repro.workloads import (
+    KMeansWorkload,
+    PageRankWorkload,
+    SortWorkload,
+    SparkPiWorkload,
+    TPCDSWorkload,
+)
+from repro.workloads.base import Workload
+from repro.workloads.tpcds import TPCDS_QUERIES
+from repro.workloads.traces import DiurnalTrace
+
+#: name -> zero-argument workload factory.
+WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    "pagerank": PageRankWorkload,
+    "pagerank-small": PageRankWorkload.small,
+    "pagerank-medium": PageRankWorkload.medium,
+    "pagerank-large": PageRankWorkload.large,
+    "kmeans": KMeansWorkload,
+    "sparkpi": SparkPiWorkload,
+    "sort": SortWorkload,
+    **{f"tpcds-{q}": (lambda q=q: TPCDSWorkload(q)) for q in TPCDS_QUERIES},
+}
+
+
+def make_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise SystemExit(f"unknown workload {name!r}; known: {known}")
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in sorted(WORKLOADS):
+        print(f"  {name}")
+    print("\nscenarios (paper §5.1):")
+    for name in SCENARIO_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    scenarios = ([args.scenario] if args.scenario != "all"
+                 else SCENARIO_NAMES)
+    base: Optional[float] = None
+    rows = []
+    for name in scenarios:
+        result = run_scenario(workload, name, seed=args.seed,
+                              keep_trace=args.timeline)
+        if name == "spark_R_vm":
+            base = result.duration_s
+        if result.failed:
+            rows.append([result.label(workload.spec), "FAILED", "-", "-"])
+            continue
+        rows.append([result.label(workload.spec),
+                     f"{result.duration_s:.1f}s",
+                     relative_to(base, result.duration_s) if base else "",
+                     f"${result.cost:.4f}"])
+        if args.timeline and result.trace is not None:
+            print(f"\n--- timeline: {result.label(workload.spec)} ---")
+            print(build_timeline(result.trace).render())
+    print()
+    print(format_table(["scenario", "time", "vs baseline", "cost"], rows,
+                       title=f"{workload.name} (seed {args.seed})"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    sweep = [int(x) for x in args.parallelism.split(",")]
+    points = profile_workload(workload, args.kind, parallelism_sweep=sweep,
+                              seed=args.seed)
+    print(format_series(
+        "executors", [p.parallelism for p in points],
+        {"time (s)": [p.duration_s for p in points],
+         "cost ($)": [p.cost for p in points]},
+        title=f"{workload.name}, all-{args.kind} profiling",
+        value_format="{:.3f}"))
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    demand = DiurnalTrace(base_cores=args.base_cores,
+                          peak_cores=args.peak_cores,
+                          sigma_fraction=0.2,
+                          seed=args.seed).generate(hours=args.hours + 1)
+    sim = JobStreamSimulator(demand, ProvisioningPolicy(k=args.k),
+                             bridge=args.bridge, seed=args.seed)
+    report = sim.run(args.hours * 3600.0)
+    print(format_table(
+        ["metric", "value"],
+        [["policy", report.policy_label],
+         ["bridge", report.bridge],
+         ["jobs", len(report.jobs)],
+         ["SLO attainment", f"{report.slo_attainment:.1%}"],
+         ["mean duration", f"{report.mean_duration:.1f}s"],
+         ["Lambda-bridged jobs", report.lambda_bridged_jobs],
+         ["VM cost", f"${report.vm_cost:.2f}"],
+         ["Lambda cost", f"${report.lambda_cost:.3f}"],
+         ["total cost", f"${report.total_cost:.2f}"]],
+        title=f"{args.hours:g}h job stream"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SplitServe reproduction (Middleware '20)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and scenarios")
+
+    run_p = sub.add_parser("run", help="run one scenario")
+    run_p.add_argument("--workload", default="pagerank")
+    run_p.add_argument("--scenario", default="all",
+                       choices=["all", *SCENARIO_NAMES])
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--timeline", action="store_true",
+                       help="print the Figure 7-style executor timeline")
+
+    prof_p = sub.add_parser("profile", help="Figure 4-style sweep")
+    prof_p.add_argument("--workload", default="pagerank-large")
+    prof_p.add_argument("--kind", choices=["lambda", "vm"],
+                        default="lambda")
+    prof_p.add_argument("--parallelism", default="1,2,4,8,16,32,64,128",
+                        help="comma-separated executor counts")
+    prof_p.add_argument("--seed", type=int, default=0)
+
+    stream_p = sub.add_parser("stream", help="day-of-jobs simulation")
+    stream_p.add_argument("--hours", type=float, default=1.0)
+    stream_p.add_argument("--k", type=float, default=0.0,
+                          help="provision at m(t)+k*sigma(t)")
+    stream_p.add_argument("--bridge", choices=["lambda", "none"],
+                          default="lambda")
+    stream_p.add_argument("--base-cores", type=float, default=20.0)
+    stream_p.add_argument("--peak-cores", type=float, default=80.0)
+    stream_p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "profile": cmd_profile,
+                "stream": cmd_stream}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

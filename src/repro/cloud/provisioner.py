@@ -1,0 +1,160 @@
+"""The cloud-provider facade: VM fleet, Lambda warm pool, billing hooks.
+
+:class:`CloudProvider` is what the SplitServe launching facility talks to.
+It owns:
+
+- the VM fleet (request / terminate, with realistic provisioning delays);
+- the Lambda warm pool — containers of a given memory size that finished
+  recently are reusable for ~90 minutes, so subsequent invocations start
+  warm (the paper's experiments run against a warmed pool; cold-start
+  behaviour is reproducible by draining the pool);
+- the :class:`~repro.cloud.pricing.BillingMeter` for marginal-cost
+  accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.cloud.constants import LAMBDA_WARM_KEEPALIVE_S
+from repro.cloud.instance_types import InstanceType, instance_type
+from repro.cloud.lambda_fn import LambdaConfig, LambdaInstance
+from repro.cloud.pricing import BillingMeter
+from repro.cloud.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+    from repro.simulation.tracing import TraceRecorder
+
+
+class CloudProvider:
+    """Simulated public-cloud control plane."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        rng: "RandomStreams",
+        trace: Optional["TraceRecorder"] = None,
+        meter: Optional[BillingMeter] = None,
+        warm_pool_size: int = 10_000,
+    ) -> None:
+        self.env = env
+        self.rng = rng
+        self.trace = trace
+        self.meter = meter if meter is not None else BillingMeter()
+        self.vms: List[VirtualMachine] = []
+        self.lambdas: List[LambdaInstance] = []
+        #: memory_mb -> list of sim-times at which a container went idle;
+        #: each entry is one reusable warm container.
+        self._warm_pool: Dict[int, List[float]] = {}
+        self._initial_warm = warm_pool_size
+        self._vm_ids = itertools.count()
+        self._lambda_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # VMs
+    # ------------------------------------------------------------------
+
+    def request_vm(
+        self,
+        itype: "InstanceType | str",
+        name: Optional[str] = None,
+        already_running: bool = False,
+        boot_delay_s: Optional[float] = None,
+    ) -> VirtualMachine:
+        """Ask for a new instance. ``already_running=True`` models capacity
+        that was provisioned before the scenario began (the 'r cores
+        available' starting condition)."""
+        if isinstance(itype, str):
+            itype = instance_type(itype)
+        if name is None:
+            name = f"vm-{next(self._vm_ids)}"
+        vm = VirtualMachine(
+            self.env, name, itype, self.rng, trace=self.trace,
+            boot_delay_s=boot_delay_s, already_running=already_running)
+        self.vms.append(vm)
+        return vm
+
+    def terminate_vm(self, vm: VirtualMachine) -> None:
+        vm.terminate()
+
+    @property
+    def running_vms(self) -> List[VirtualMachine]:
+        return [vm for vm in self.vms if vm.is_running]
+
+    # ------------------------------------------------------------------
+    # Lambdas
+    # ------------------------------------------------------------------
+
+    def invoke_lambda(
+        self,
+        config: Optional[LambdaConfig] = None,
+        name: Optional[str] = None,
+        force_cold: bool = False,
+    ) -> LambdaInstance:
+        """Invoke one function; warm-start if the pool has a live container
+        of the same memory size."""
+        if config is None:
+            config = LambdaConfig()
+        if name is None:
+            name = f"lambda-{next(self._lambda_ids)}"
+        warm = (not force_cold) and self._take_warm(config.memory_mb)
+        instance = LambdaInstance(
+            self.env, name, config, self.rng, warm=warm, trace=self.trace)
+        self.lambdas.append(instance)
+        return instance
+
+    def release_lambda(self, instance: LambdaInstance) -> None:
+        """The function returned; its container rejoins the warm pool."""
+        instance.finish()
+        pool = self._warm_pool.setdefault(instance.config.memory_mb, [])
+        pool.append(self.env.now)
+
+    def _take_warm(self, memory_mb: int) -> bool:
+        """Pop one live warm container of this size, or consume one slot
+        of the pre-warmed initial pool."""
+        pool = self._warm_pool.setdefault(memory_mb, [])
+        cutoff = self.env.now - LAMBDA_WARM_KEEPALIVE_S
+        # Expire stale containers (kept sorted by construction).
+        while pool and pool[0] < cutoff:
+            pool.pop(0)
+        if pool:
+            pool.pop()
+            return True
+        if self._initial_warm > 0:
+            self._initial_warm -= 1
+            return True
+        return False
+
+    @property
+    def warm_pool_available(self) -> int:
+        """Containers currently reusable as warm starts (any size) plus
+        the untouched pre-warmed allotment."""
+        cutoff = self.env.now - LAMBDA_WARM_KEEPALIVE_S
+        live = sum(sum(1 for t in pool if t >= cutoff)
+                   for pool in self._warm_pool.values())
+        return live + self._initial_warm
+
+    # ------------------------------------------------------------------
+    # Billing helpers
+    # ------------------------------------------------------------------
+
+    def bill_lambda_usage(self, instance: LambdaInstance) -> float:
+        """Bill one finished (or still-running) function's full duration."""
+        end = (instance.finish_time if instance.finish_time is not None
+               else self.env.now)
+        return self.meter.bill_lambda(
+            instance.name, instance.config.memory_mb, instance.invoke_time, end)
+
+    def bill_vm_usage(self, vm: VirtualMachine, cores_fraction: float = 1.0,
+                      start: Optional[float] = None,
+                      end: Optional[float] = None) -> float:
+        """Bill a VM from when it started running (or ``start``) to
+        termination/now (or ``end``)."""
+        if start is None:
+            start = vm.running_time if vm.running_time is not None else self.env.now
+        if end is None:
+            end = vm.terminate_time if vm.terminate_time is not None else self.env.now
+        return self.meter.bill_vm(vm.name, vm.itype, start, end, cores_fraction)

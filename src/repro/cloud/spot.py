@@ -1,0 +1,77 @@
+"""Spot (transient) instances — the TR-Spark context of §2.
+
+TR-Spark runs "as a secondary background task on transient resources",
+curbing the damage of fleeting executors with checkpointing. The same
+failure mode — a VM revoked mid-job with everything on it — is the worst
+case for vanilla Spark's executor-local shuffle (full lineage rollback)
+and a non-event for SplitServe's external HDFS shuffle, which is what
+``tests/cloud/test_spot.py`` demonstrates.
+
+The model: a spot VM is a normal instance at a steep discount whose
+termination time is drawn from an exponential revocation process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cloud.instance_types import InstanceType, instance_type
+from repro.cloud.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+    from repro.simulation.tracing import TraceRecorder
+
+#: Typical 2020 m4 spot discount vs on-demand.
+SPOT_DISCOUNT = 0.70
+#: Mean time to revocation under moderate market pressure, seconds.
+DEFAULT_MEAN_REVOCATION_S = 1800.0
+
+
+class SpotVM(VirtualMachine):
+    """An instance the provider may reclaim at any moment.
+
+    ``revoked`` is True once the provider (rather than the tenant)
+    terminated it. Billing uses the discounted spot price.
+    """
+
+    def __init__(self, env: "Environment", name: str,
+                 itype: "InstanceType | str", rng: "RandomStreams",
+                 mean_revocation_s: float = DEFAULT_MEAN_REVOCATION_S,
+                 revocation_at_s: Optional[float] = None,
+                 trace: Optional["TraceRecorder"] = None,
+                 boot_delay_s: Optional[float] = None,
+                 already_running: bool = False) -> None:
+        if isinstance(itype, str):
+            itype = instance_type(itype)
+        if mean_revocation_s <= 0:
+            raise ValueError("mean_revocation_s must be positive")
+        discounted = InstanceType(
+            name=f"{itype.name}-spot",
+            vcpus=itype.vcpus,
+            memory_bytes=itype.memory_bytes,
+            ebs_bandwidth_bytes_per_s=itype.ebs_bandwidth_bytes_per_s,
+            network_bandwidth_bytes_per_s=itype.network_bandwidth_bytes_per_s,
+            price_per_hour=itype.price_per_hour * (1.0 - SPOT_DISCOUNT))
+        super().__init__(env, name, discounted, rng, trace=trace,
+                         boot_delay_s=boot_delay_s,
+                         already_running=already_running)
+        self.mean_revocation_s = mean_revocation_s
+        self.revoked = False
+        #: Fixed revocation moment for deterministic experiments; None
+        #: draws from the exponential market process.
+        self.revocation_at_s = revocation_at_s
+        env.process(self._revocation_clock(rng))
+
+    def _revocation_clock(self, rng: "RandomStreams"):
+        if self.revocation_at_s is not None:
+            delay = max(0.0, self.revocation_at_s - self.env.now)
+        else:
+            delay = rng.exponential("spot.revocation",
+                                    self.mean_revocation_s)
+        yield self.env.timeout(delay)
+        if self.terminate_time is None:
+            self.revoked = True
+            self._record("revoked", after=delay)
+            self.terminate()

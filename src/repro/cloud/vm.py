@@ -1,0 +1,166 @@
+"""Simulated IaaS virtual machines (EC2 m4-family instances).
+
+A VM goes ``REQUESTED -> PROVISIONING -> RUNNING -> TERMINATED``. The
+provisioning delay is the paper's headline IaaS weakness: ~2 minutes
+before a freshly requested instance can host executors (§3). A running VM
+exposes per-instance fair-share links for its dedicated EBS channel and
+its network interface, and a simple core-accounting API used by the
+cluster state.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.cloud.constants import VM_STARTUP_CV, VM_STARTUP_MEAN_S
+from repro.cloud.instance_types import InstanceType
+from repro.cloud.network import FairShareLink
+from repro.simulation.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+    from repro.simulation.tracing import TraceRecorder
+
+
+class VMState(enum.Enum):
+    REQUESTED = "requested"
+    PROVISIONING = "provisioning"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+class VirtualMachine:
+    """One simulated instance.
+
+    ``ready`` is an event that fires when the VM reaches ``RUNNING``.
+    Use :meth:`allocate_cores` / :meth:`release_cores` for scheduling
+    accounting; the VM itself does not run tasks (executors do).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        itype: InstanceType,
+        rng: "RandomStreams",
+        trace: Optional["TraceRecorder"] = None,
+        boot_delay_s: Optional[float] = None,
+        already_running: bool = False,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.itype = itype
+        self._rng = rng
+        self._trace = trace
+        self.state = VMState.REQUESTED
+        self.request_time = env.now
+        self.running_time: Optional[float] = None
+        self.terminate_time: Optional[float] = None
+        self._allocated_cores = 0
+        self.ready: Event = Event(env)
+        #: Fires when the VM is terminated (spot reclaim, scale-down, or
+        #: an explicit release) — executors on it are lost at that point.
+        self.stopped: Event = Event(env)
+
+        self.ebs_link = FairShareLink(
+            env, itype.ebs_bandwidth_bytes_per_s, name=f"{name}/ebs")
+        self.net_link = FairShareLink(
+            env, itype.network_bandwidth_bytes_per_s, name=f"{name}/net")
+
+        if already_running:
+            # Pre-provisioned capacity (the 'r cores available' scenarios).
+            self.state = VMState.RUNNING
+            self.running_time = env.now
+            self.ready.succeed(self)
+            self._record("running", pre_provisioned=True)
+        else:
+            delay = boot_delay_s
+            if delay is None:
+                delay = rng.lognormal_around(
+                    "vm.boot", VM_STARTUP_MEAN_S, VM_STARTUP_CV)
+            env.process(self._boot(delay))
+            self._record("requested", boot_delay=delay)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _boot(self, delay: float):
+        self.state = VMState.PROVISIONING
+        yield self.env.timeout(delay)
+        if self.state is VMState.TERMINATED:
+            return  # terminated while provisioning
+        self.state = VMState.RUNNING
+        self.running_time = self.env.now
+        self.ready.succeed(self)
+        self._record("running")
+
+    def terminate(self) -> None:
+        """Release the instance back to the provider."""
+        if self.state is VMState.TERMINATED:
+            return
+        previous = self.state
+        self.state = VMState.TERMINATED
+        self.terminate_time = self.env.now
+        self.stopped.succeed(self)
+        self._record("terminated", from_state=previous.value)
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is VMState.RUNNING
+
+    @property
+    def uptime(self) -> float:
+        """Seconds the VM has been (or was) running."""
+        if self.running_time is None:
+            return 0.0
+        end = self.terminate_time if self.terminate_time is not None else self.env.now
+        return max(0.0, end - self.running_time)
+
+    # ------------------------------------------------------------------
+    # Core accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.itype.vcpus
+
+    @property
+    def free_cores(self) -> int:
+        return self.itype.vcpus - self._allocated_cores
+
+    @property
+    def allocated_cores(self) -> int:
+        return self._allocated_cores
+
+    def allocate_cores(self, n: int) -> None:
+        """Claim ``n`` cores for executors; raises if unavailable."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if not self.is_running:
+            raise RuntimeError(f"{self.name} is not running (state={self.state})")
+        if n > self.free_cores:
+            raise RuntimeError(
+                f"{self.name}: requested {n} cores but only {self.free_cores} free")
+        self._allocated_cores += n
+
+    def release_cores(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if n > self._allocated_cores:
+            raise RuntimeError(
+                f"{self.name}: releasing {n} cores but only "
+                f"{self._allocated_cores} allocated")
+        self._allocated_cores -= n
+
+    # ------------------------------------------------------------------
+
+    def _record(self, event: str, **fields) -> None:
+        if self._trace is not None:
+            self._trace.record(self.env.now, "vm", event, vm=self.name,
+                               itype=self.itype.name, **fields)
+
+    def __repr__(self) -> str:
+        return f"<VM {self.name} {self.itype.name} {self.state.value}>"

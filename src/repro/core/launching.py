@@ -1,0 +1,119 @@
+"""The launching facility (§4.2).
+
+"The launching facility arranges for the requested number of cores for a
+new job from the currently free cores and, if needed, by launching new
+Lambdas." — free VM cores are claimed first; the shortfall Δ = R − r is
+bridged with warm-started Lambdas, each hosting one executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.cloud.lambda_fn import LambdaConfig
+from repro.simulation.events import Event
+from repro.spark.executor import Executor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.provisioner import CloudProvider
+    from repro.core.state import ClusterState
+    from repro.simulation.kernel import Environment
+    from repro.spark.application import SparkDriver
+
+
+@dataclass
+class LaunchOutcome:
+    """What the facility managed to assemble for one request."""
+
+    requested_cores: int
+    vm_executors: List[Executor] = field(default_factory=list)
+    lambda_executors: List[Executor] = field(default_factory=list)
+    #: Fires once every requested executor has registered.
+    all_registered: Event = None
+
+    @property
+    def vm_cores(self) -> int:
+        return len(self.vm_executors)
+
+    @property
+    def lambda_cores(self) -> int:
+        return len(self.lambda_executors)
+
+
+class LaunchingFacility:
+    """Serves per-job core requests from VM cores + Lambdas."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        provider: "CloudProvider",
+        driver: "SparkDriver",
+        state: "ClusterState",
+        lambda_memory_mb: int = 1536,
+    ) -> None:
+        self.env = env
+        self.provider = provider
+        self.driver = driver
+        self.state = state
+        self.lambda_memory_mb = lambda_memory_mb
+
+    def acquire(self, cores: int, max_vm_cores: int = None) -> LaunchOutcome:
+        """Assemble ``cores`` executors: free VM cores first, Lambdas for
+        the rest. ``max_vm_cores`` caps the VM share (scenario control:
+        the all-Lambda scenarios pass 0).
+
+        VM executors register immediately; Lambda executors register as
+        their (typically warm) containers come up. ``outcome.all_registered``
+        fires when the full complement is in place.
+        """
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        outcome = LaunchOutcome(requested_cores=cores)
+        outcome.all_registered = Event(self.env)
+
+        budget = cores if max_vm_cores is None else min(cores, max_vm_cores)
+        for vm in self.state.vms_with_free_cores():
+            while budget > 0 and vm.free_cores > 0:
+                executor = self.driver.add_vm_executor(vm)
+                self.state.record_executor(executor)
+                outcome.vm_executors.append(executor)
+                budget -= 1
+            if budget == 0:
+                break
+
+        shortfall = cores - len(outcome.vm_executors)
+        if shortfall == 0:
+            outcome.all_registered.succeed(outcome)
+            return outcome
+
+        pending = [shortfall]  # mutable counter shared by the waiters
+
+        def register_when_ready(instance):
+            yield instance.ready
+            executor = self.driver.add_lambda_executor(instance)
+            self.state.record_executor(executor)
+            outcome.lambda_executors.append(executor)
+            pending[0] -= 1
+            if pending[0] == 0:
+                outcome.all_registered.succeed(outcome)
+
+        for _ in range(shortfall):
+            instance = self.provider.invoke_lambda(
+                LambdaConfig(memory_mb=self.lambda_memory_mb))
+            self.env.process(register_when_ready(instance))
+        return outcome
+
+    def release_lambda_executor(self, executor: Executor) -> None:
+        """Return a drained Lambda executor's container to the provider
+        and bill its usage (marginal-cost accounting)."""
+        instance = executor.lambda_instance
+        self.provider.release_lambda(instance)
+        self.provider.bill_lambda_usage(instance)
+        self.state.record_release(executor)
+
+    def release_vm_executor(self, executor: Executor) -> None:
+        """Free the VM core an executor held (the VM itself stays up —
+        inter-job policy decides its fate)."""
+        executor.vm.release_cores(1)
+        self.state.record_release(executor)

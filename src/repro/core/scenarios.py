@@ -1,0 +1,418 @@
+"""The eight evaluation scenarios of §5.1, as one driver.
+
+Every scenario runs a workload's job (always *sized* for R cores) under a
+different resource condition and records execution time plus the marginal
+dollar cost of the resources involved:
+
+========================  =====================================================
+``spark_r_vm``            vanilla Spark, r < R cores, no autoscaling
+``spark_R_vm``            vanilla Spark, R cores (the baseline)
+``spark_autoscale``       vanilla Spark, r cores; R − r VM cores procured after
+                          a detection threshold, usable after the VM delay
+``qubole_R_la``           Qubole Spark-on-Lambda: R Lambdas, S3 shuffle
+``ss_R_vm``               SplitServe, R VM cores, HDFS shuffle
+``ss_R_la``               SplitServe, R Lambdas, HDFS shuffle
+``ss_hybrid``             SplitServe, r VM cores + Δ Lambdas, no segue
+``ss_hybrid_segue``       same, plus segue to VM cores once they are ready
+========================  =====================================================
+
+Marginal-cost accounting follows §5.1 ("we only report the cost incurred
+towards the job in question"): pre-provisioned cluster cores are billed
+at their per-core share for the job's duration; VMs procured *for* the
+job are billed whole from readiness; Lambdas per GB-second used; storage
+requests per the service's price sheet. The master (and the HDFS node
+colocated with it) is long-running shared infrastructure, identical
+across scenarios, and is not billed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.instance_types import fewest_instances_for_cores, instance_type
+from repro.cloud.pricing import BillingMeter
+from repro.cloud.provisioner import CloudProvider
+from repro.core.splitserve import SplitServe
+from repro.simulation import Environment, RandomStreams, TraceRecorder
+from repro.spark.application import JobResult, SparkDriver
+from repro.spark.config import SparkConf
+from repro.spark.dag_scheduler import JobFailedError
+from repro.spark.shuffle import LocalShuffleBackend, QuboleS3ShuffleBackend
+from repro.storage import HDFS, S3
+from repro.workloads.base import Workload
+
+SCENARIO_NAMES = [
+    "spark_r_vm",
+    "spark_R_vm",
+    "spark_autoscale",
+    "qubole_R_la",
+    "ss_R_vm",
+    "ss_R_la",
+    "ss_hybrid",
+    "ss_hybrid_segue",
+]
+
+#: Human-readable labels matching the paper's figures (R and r filled in
+#: per workload when rendering).
+SCENARIO_LABELS = {
+    "spark_r_vm": "Spark {r} VM",
+    "spark_R_vm": "Spark {R} VM",
+    "spark_autoscale": "Spark {r}/{R} autoscale",
+    "qubole_R_la": "Qubole {R} La",
+    "ss_R_vm": "SS {R} VM",
+    "ss_R_la": "SS {R} La",
+    "ss_hybrid": "SS {r} VM / {d} La",
+    "ss_hybrid_segue": "SS {r} VM / {d} La Segue",
+}
+
+#: Effective single-prefix S3 request rate under Qubole's shuffle flood.
+#: The nominal per-bucket ceilings (3.5k PUT/s / 5.5k GET/s) collapse
+#: under sustained 503-and-retry storms on one key prefix, which is how
+#: Qubole's shuffle drove S3 in 2019; see EXPERIMENTS.md.
+QUBOLE_S3_EFFECTIVE_RATE = 160.0
+#: S3 read-after-overwrite consistency lag Qubole's reducers poll out.
+QUBOLE_CONSISTENCY_MEAN_S = 6.0
+#: Per-connection S3 throughput for Qubole's small pair objects (no
+#: multipart parallelism on ~MB-sized shuffle blocks).
+QUBOLE_S3_STREAM_BYTES_PER_S = 10.0 * 1024 * 1024
+#: Delay before the autoscaler decides to procure VMs.
+AUTOSCALE_DETECT_S = 1.0
+
+
+@dataclass
+class ScenarioResult:
+    """One (workload, scenario) execution."""
+
+    scenario: str
+    workload: str
+    duration_s: float
+    cost: float
+    failed: bool = False
+    failure_reason: Optional[str] = None
+    cost_breakdown: Dict[str, float] = field(default_factory=dict)
+    job_result: Optional[JobResult] = None
+    trace: Optional[TraceRecorder] = None
+
+    def label(self, spec) -> str:
+        return SCENARIO_LABELS[self.scenario].format(
+            R=spec.required_cores, r=spec.available_cores,
+            d=spec.shortfall_cores)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (trace and job internals omitted;
+        export the trace separately via TraceRecorder.save_jsonl)."""
+        out = {
+            "scenario": self.scenario,
+            "workload": self.workload,
+            "duration_s": self.duration_s,
+            "cost": self.cost,
+            "failed": self.failed,
+            "failure_reason": self.failure_reason,
+            "cost_breakdown": dict(self.cost_breakdown),
+        }
+        if self.job_result is not None:
+            out["tasks"] = self.job_result.num_tasks
+            out["tasks_by_kind"] = dict(self.job_result.tasks_by_kind)
+            out["failed_attempts"] = self.job_result.failed_attempts
+        return out
+
+
+class _Runtime:
+    """Shared plumbing for one scenario execution."""
+
+    def __init__(self, seed: int, trace_enabled: bool) -> None:
+        self.env = Environment()
+        self.rng = RandomStreams(seed)
+        self.trace = TraceRecorder(enabled=trace_enabled)
+        self.meter = BillingMeter()
+        self.provider = CloudProvider(self.env, self.rng, trace=self.trace,
+                                      meter=self.meter)
+
+    def provision_worker_cores(self, cores: int, itype_name: str) -> List:
+        """Pre-provisioned (already running) capacity holding ``cores``."""
+        vms = []
+        remaining = cores
+        itype = instance_type(itype_name)
+        while remaining > 0:
+            vm = self.provider.request_vm(itype, already_running=True)
+            vms.append(vm)
+            remaining -= itype.vcpus
+        return vms
+
+    def bill_shared_cores(self, vm, cores_used: int, start: float,
+                          end: float) -> None:
+        """Bill a job's share of a pre-provisioned instance."""
+        if cores_used <= 0:
+            return
+        fraction = min(1.0, cores_used / vm.itype.vcpus)
+        self.meter.bill_vm(vm.name, vm.itype, start, end, fraction)
+
+    def bill_dedicated_vm(self, vm, end: float) -> None:
+        """Bill a VM procured for this job, from readiness to job end."""
+        if vm.running_time is None:
+            return  # never became ready before the job finished
+        self.meter.bill_vm(vm.name, vm.itype, vm.running_time, end)
+
+
+def _add_executors_on_vms(driver: SparkDriver, vms, cores: int) -> List:
+    executors = []
+    for vm in vms:
+        while cores > 0 and vm.free_cores > 0:
+            executors.append(driver.add_vm_executor(vm))
+            cores -= 1
+        if cores == 0:
+            break
+    if cores > 0:
+        raise RuntimeError(f"not enough VM capacity: {cores} cores short")
+    return executors
+
+
+def _finish(runtime: _Runtime, job, scenario: str, workload: Workload,
+            keep_trace: bool) -> ScenarioResult:
+    failed = job.failed
+    return ScenarioResult(
+        scenario=scenario,
+        workload=workload.name,
+        duration_s=job.duration if job.duration is not None else float("nan"),
+        cost=runtime.meter.total(),
+        failed=failed,
+        failure_reason=job.failure_reason,
+        cost_breakdown=runtime.meter.breakdown(),
+        job_result=None if failed else JobResult.from_job(job),
+        trace=runtime.trace if keep_trace else None,
+    )
+
+
+def _run_until_done(runtime: _Runtime, job) -> None:
+    try:
+        runtime.env.run(until=job.done)
+    except JobFailedError:
+        pass  # recorded on the job itself
+
+
+# ---------------------------------------------------------------------------
+# Vanilla Spark scenarios
+# ---------------------------------------------------------------------------
+
+def _vanilla(workload: Workload, runtime: _Runtime, cores: int,
+             autoscale: bool, scenario: str, keep_trace: bool,
+             conf: SparkConf) -> ScenarioResult:
+    spec = workload.spec
+    driver = SparkDriver(runtime.env, conf, runtime.rng,
+                         LocalShuffleBackend(), trace=runtime.trace)
+    vms = runtime.provision_worker_cores(cores, spec.worker_itype)
+    _add_executors_on_vms(driver, vms, cores)
+
+    new_vms = []
+    if autoscale:
+        delta = spec.shortfall_cores
+
+        def scale_out(env):
+            yield env.timeout(AUTOSCALE_DETECT_S)
+            remaining = delta
+            for itype in fewest_instances_for_cores(delta):
+                vm = runtime.provider.request_vm(
+                    itype, boot_delay_s=runtime.rng.lognormal_around(
+                        "autoscale.boot", spec.vm_ready_delay_s, 0.1))
+                new_vms.append(vm)
+                take = min(remaining, itype.vcpus)
+                remaining -= take
+
+                def attach(env, vm=vm, take=take):
+                    yield vm.ready
+                    _add_executors_on_vms(driver, [vm], take)
+
+                env.process(attach(env))
+
+        runtime.env.process(scale_out(runtime.env))
+
+    job = driver.submit(workload.build(spec.required_cores))
+    _run_until_done(runtime, job)
+    end = runtime.env.now
+    for vm in vms:
+        runtime.bill_shared_cores(vm, min(cores, vm.itype.vcpus), 0.0, end)
+    for vm in new_vms:
+        runtime.bill_dedicated_vm(vm, end)
+    return _finish(runtime, job, scenario, workload, keep_trace)
+
+
+# ---------------------------------------------------------------------------
+# Qubole Spark-on-Lambda
+# ---------------------------------------------------------------------------
+
+def _qubole(workload: Workload, runtime: _Runtime, scenario: str,
+            keep_trace: bool, conf: SparkConf) -> ScenarioResult:
+    spec = workload.spec
+    if not spec.qubole_supported:
+        # §5.2, footnote 11: "their prototype encounters fatal errors
+        # while running this query".
+        return ScenarioResult(
+            scenario=scenario, workload=workload.name,
+            duration_s=float("nan"), cost=0.0, failed=True,
+            failure_reason="Qubole prototype fatal error (paper, fn. 11)")
+    s3 = S3(runtime.env, runtime.rng, runtime.meter,
+            put_rate_limit=QUBOLE_S3_EFFECTIVE_RATE,
+            get_rate_limit=QUBOLE_S3_EFFECTIVE_RATE,
+            stream_bytes_per_s=QUBOLE_S3_STREAM_BYTES_PER_S)
+    backend = QuboleS3ShuffleBackend(
+        s3, consistency_mean_s=QUBOLE_CONSISTENCY_MEAN_S)
+    driver = SparkDriver(runtime.env, conf, runtime.rng, backend,
+                         trace=runtime.trace)
+
+    def read_from_s3(executor, nbytes):
+        yield s3.batch_read(1, nbytes, via_links=executor.net_links())
+
+    driver.task_scheduler.input_reader = read_from_s3
+
+    lambdas = []
+    job_holder = []
+
+    def attach(env, fn):
+        yield fn.ready
+        driver.add_lambda_executor(fn)
+        # Qubole's provisioner replaces containers the provider reaps at
+        # the 15-minute cap, so long jobs keep their parallelism (at the
+        # price of fresh invocations and lost in-flight tasks).
+        yield fn.expired
+        if job_holder and job_holder[0].finish_time is None:
+            replacement = runtime.provider.invoke_lambda()
+            lambdas.append(replacement)
+            env.process(attach(env, replacement))
+
+    for fn in [runtime.provider.invoke_lambda()
+               for _ in range(spec.required_cores)]:
+        lambdas.append(fn)
+        runtime.env.process(attach(runtime.env, fn))
+
+    job = driver.submit(workload.build(spec.required_cores))
+    job_holder.append(job)
+    _run_until_done(runtime, job)
+    for fn in lambdas:
+        runtime.provider.release_lambda(fn)
+        runtime.provider.bill_lambda_usage(fn)
+    return _finish(runtime, job, scenario, workload, keep_trace)
+
+
+# ---------------------------------------------------------------------------
+# SplitServe scenarios
+# ---------------------------------------------------------------------------
+
+def _splitserve(workload: Workload, runtime: _Runtime, vm_cores: int,
+                segue: bool, scenario: str, keep_trace: bool,
+                conf: SparkConf,
+                segue_at_s: Optional[float]) -> ScenarioResult:
+    spec = workload.spec
+    master = runtime.provider.request_vm(spec.master_itype, name="master",
+                                         already_running=True)
+    # The master VM hosts the driver + HDFS; its cores are not executor
+    # capacity. Claim them so the launching facility never places
+    # executors there.
+    master.allocate_cores(master.itype.vcpus)
+    ss = SplitServe(runtime.env, runtime.provider, runtime.rng, conf=conf,
+                    trace=runtime.trace, master_vm=master)
+
+    def read_from_hdfs(executor, nbytes):
+        yield ss.shuffle_storage.batch_read(1, nbytes,
+                                            via_links=executor.net_links())
+
+    ss.driver.task_scheduler.input_reader = read_from_hdfs
+    worker_vms = []
+    if vm_cores > 0:
+        worker_vms = runtime.provision_worker_cores(vm_cores,
+                                                    spec.worker_itype)
+
+    run = ss.submit_job(workload.build(spec.required_cores),
+                        required_cores=spec.required_cores,
+                        max_vm_cores=vm_cores,
+                        expected_duration_s=spec.slo_seconds,
+                        segue=False)
+
+    segue_vms = []
+    if segue and spec.shortfall_cores > 0:
+        delay = segue_at_s
+        if delay is None:
+            delay = spec.segue_available_s
+        if delay is None:
+            delay = spec.vm_ready_delay_s
+        delta = spec.shortfall_cores
+
+        def run_segue(env):
+            remaining = delta
+            for itype in fewest_instances_for_cores(delta):
+                vm = runtime.provider.request_vm(itype, boot_delay_s=delay)
+                segue_vms.append(vm)
+                take = min(remaining, itype.vcpus)
+                remaining -= take
+
+                def attach(env, vm=vm, take=take):
+                    yield vm.ready
+                    ss.segueing.segue_to_vm(vm, take)
+
+                env.process(attach(env))
+            return
+            yield  # pragma: no cover
+
+        runtime.env.process(run_segue(runtime.env))
+
+    _run_until_done(runtime, run.job)
+    ss.finish_run(run)
+    end = runtime.env.now
+    cores_left = vm_cores
+    for vm in worker_vms:
+        used = min(cores_left, vm.itype.vcpus)
+        runtime.bill_shared_cores(vm, used, 0.0, end)
+        cores_left -= used
+    for vm in segue_vms:
+        runtime.bill_dedicated_vm(vm, end)
+    return _finish(runtime, run.job, scenario, workload, keep_trace)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def run_scenario(workload: Workload, scenario: str, seed: int = 0,
+                 keep_trace: bool = False,
+                 conf: Optional[SparkConf] = None,
+                 segue_at_s: Optional[float] = None) -> ScenarioResult:
+    """Execute one scenario for one workload and return its result."""
+    if scenario not in SCENARIO_NAMES:
+        raise ValueError(f"unknown scenario {scenario!r}; "
+                         f"known: {SCENARIO_NAMES}")
+    runtime = _Runtime(seed, trace_enabled=keep_trace)
+    conf = conf if conf is not None else SparkConf()
+    spec = workload.spec
+    if scenario == "spark_r_vm":
+        return _vanilla(workload, runtime, spec.available_cores, False,
+                        scenario, keep_trace, conf)
+    if scenario == "spark_R_vm":
+        return _vanilla(workload, runtime, spec.required_cores, False,
+                        scenario, keep_trace, conf)
+    if scenario == "spark_autoscale":
+        return _vanilla(workload, runtime, spec.available_cores, True,
+                        scenario, keep_trace, conf)
+    if scenario == "qubole_R_la":
+        return _qubole(workload, runtime, scenario, keep_trace, conf)
+    if scenario == "ss_R_vm":
+        return _splitserve(workload, runtime, spec.required_cores, False,
+                           scenario, keep_trace, conf, segue_at_s)
+    if scenario == "ss_R_la":
+        return _splitserve(workload, runtime, 0, False, scenario,
+                           keep_trace, conf, segue_at_s)
+    if scenario == "ss_hybrid":
+        return _splitserve(workload, runtime, spec.available_cores, False,
+                           scenario, keep_trace, conf, segue_at_s)
+    if scenario == "ss_hybrid_segue":
+        return _splitserve(workload, runtime, spec.available_cores, True,
+                           scenario, keep_trace, conf, segue_at_s)
+    raise AssertionError("unreachable")
+
+
+def run_all_scenarios(workload: Workload, seed: int = 0,
+                      scenarios: Optional[List[str]] = None,
+                      **kwargs) -> Dict[str, ScenarioResult]:
+    """Run every (or the given) scenario for one workload."""
+    names = scenarios if scenarios is not None else SCENARIO_NAMES
+    return {name: run_scenario(workload, name, seed=seed, **kwargs)
+            for name in names}

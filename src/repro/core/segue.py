@@ -1,0 +1,139 @@
+"""The segueing facility (§4.2–4.3).
+
+Two responsibilities:
+
+1. **Background VM procurement** — "launches VMs in the background
+   matching the cores procured through any Lambdas that the launching
+   facility starts. These VMs are only launched if the job's expected
+   execution time (the SLO) exceeds the nominal VM start-up delay."
+2. **Graceful hand-off** — when replacement cores become available
+   (a new VM booted, or cores freed on an existing VM), stop directing
+   tasks to the Lambda-based executors and let them drain; killing them
+   would mark tasks Failed and trigger Spark's execution rollback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.cloud.constants import VM_STARTUP_MEAN_S
+from repro.cloud.instance_types import fewest_instances_for_cores
+from repro.simulation.events import Event
+from repro.spark.executor import Executor, HostKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.provisioner import CloudProvider
+    from repro.cloud.vm import VirtualMachine
+    from repro.core.launching import LaunchingFacility
+    from repro.simulation.kernel import Environment
+    from repro.spark.application import SparkDriver
+
+
+class SegueingFacility:
+    """Moves ongoing work from Lambdas to VMs without rollback."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        provider: "CloudProvider",
+        driver: "SparkDriver",
+        launching: "LaunchingFacility",
+        nominal_vm_startup_s: float = VM_STARTUP_MEAN_S,
+    ) -> None:
+        self.env = env
+        self.provider = provider
+        self.driver = driver
+        self.launching = launching
+        self.nominal_vm_startup_s = nominal_vm_startup_s
+        self.requested_vms: List["VirtualMachine"] = []
+        #: Fires each time a segue (drain + replace) round completes.
+        self.segue_complete: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Decision + background procurement
+    # ------------------------------------------------------------------
+
+    def should_launch_vms(self, expected_duration_s: float) -> bool:
+        """§4.2: procuring VMs is futile for jobs shorter than the VM
+        startup delay."""
+        return expected_duration_s > self.nominal_vm_startup_s
+
+    def launch_background_vms(self, cores: int) -> List["VirtualMachine"]:
+        """Request the fewest instances covering ``cores`` and arrange a
+        segue onto each as it becomes ready."""
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        vms = []
+        remaining = cores
+        for itype in fewest_instances_for_cores(cores):
+            vm = self.provider.request_vm(itype)
+            take = min(remaining, itype.vcpus)
+            remaining -= take
+            vms.append(vm)
+            self.env.process(self._segue_when_ready(vm, take))
+        self.requested_vms.extend(vms)
+        return vms
+
+    def _segue_when_ready(self, vm: "VirtualMachine", cores: int):
+        yield vm.ready
+        self.segue_to_vm(vm, cores)
+
+    # ------------------------------------------------------------------
+    # The hand-off itself
+    # ------------------------------------------------------------------
+
+    def segue_to_vm(self, vm: "VirtualMachine", cores: int) -> List[Executor]:
+        """Replace up to ``cores`` Lambda-based executors with executors
+        on ``vm``, draining the Lambdas gracefully.
+
+        Returns the replacement executors. Also used when cores free up
+        on an *existing* VM (the Figure 7 timeline's blue-bar case).
+        """
+        lambdas = self._drainable_lambda_executors()
+        count = min(cores, vm.free_cores)
+        replacements = []
+        for _ in range(count):
+            executor = self.driver.add_vm_executor(vm)
+            self.launching.state.record_executor(executor)
+            replacements.append(executor)
+        # Drain one Lambda per replacement core (oldest first: they are
+        # closest to their cost/GC cliff).
+        for lambda_exec in lambdas[:len(replacements)]:
+            self.drain_lambda(lambda_exec)
+        return replacements
+
+    def drain_lambda(self, executor: Executor) -> None:
+        """Gracefully decommission one Lambda executor: the scheduler
+        stops offering it tasks; once idle it deregisters and its
+        container is released and billed."""
+        if executor.kind is not HostKind.LAMBDA:
+            raise ValueError(f"{executor.executor_id} is not Lambda-based")
+        scheduler = self.driver.task_scheduler
+        scheduler.decommission_executor(executor, graceful=True)
+        # If decommission completed synchronously (executor was idle),
+        # the listener fired; either way ensure the container is released
+        # exactly once when the executor is gone.
+        if executor.executor_id not in scheduler.executors:
+            self._release_if_needed(executor)
+        else:
+            self.env.process(self._watch_drain(executor))
+
+    def _watch_drain(self, executor: Executor):
+        # Poll cheaply until the draining executor leaves the registry
+        # (its current task finished).
+        scheduler = self.driver.task_scheduler
+        while executor.executor_id in scheduler.executors:
+            yield self.env.timeout(0.5)
+        self._release_if_needed(executor)
+
+    def _release_if_needed(self, executor: Executor) -> None:
+        instance = executor.lambda_instance
+        if instance is not None and instance.finish_time is None:
+            self.launching.release_lambda_executor(executor)
+
+    def _drainable_lambda_executors(self) -> List[Executor]:
+        scheduler = self.driver.task_scheduler
+        lambdas = [ex for ex in scheduler.executors.values()
+                   if ex.kind is HostKind.LAMBDA
+                   and ex.state.value == "registered"]
+        return sorted(lambdas, key=lambda ex: ex.registered_time)

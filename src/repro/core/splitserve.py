@@ -1,0 +1,139 @@
+"""The SplitServe facade: one object wiring all three facilities.
+
+Mirrors §4.2's example flow: a job arrives needing R cores; the launching
+facility claims the r free VM cores and invokes Δ = R − r Lambdas; if the
+job's SLO exceeds the VM startup delay the segueing facility launches
+replacement VMs in the background and drains the Lambdas onto them as
+they become ready; shuffle flows through HDFS reachable by both executor
+kinds (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.launching import LaunchingFacility, LaunchOutcome
+from repro.core.segue import SegueingFacility
+from repro.core.state import ClusterState
+from repro.spark.application import JobResult, SparkDriver
+from repro.spark.config import SparkConf
+from repro.spark.shuffle import ExternalShuffleBackend
+from repro.storage import HDFS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.provisioner import CloudProvider
+    from repro.cloud.vm import VirtualMachine
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+    from repro.simulation.tracing import TraceRecorder
+    from repro.spark.dag_scheduler import Job
+    from repro.spark.rdd import RDD
+    from repro.storage.base import StorageService
+
+
+@dataclass
+class SplitServeRun:
+    """Handle for one in-flight SplitServe job."""
+
+    job: "Job"
+    launch: LaunchOutcome
+    background_vms: List["VirtualMachine"]
+
+
+class SplitServe:
+    """SplitServe = enhanced master (driver) + the three facilities."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        provider: "CloudProvider",
+        rng: "RandomStreams",
+        conf: Optional[SparkConf] = None,
+        trace: Optional["TraceRecorder"] = None,
+        shuffle_storage: Optional["StorageService"] = None,
+        master_vm: Optional["VirtualMachine"] = None,
+        lambda_memory_mb: int = 1536,
+    ) -> None:
+        self.env = env
+        self.provider = provider
+        self.rng = rng
+        self.conf = conf if conf is not None else SparkConf()
+        self.trace = trace
+
+        if master_vm is None:
+            # The master must itself be a VM (paper, footnote 3). The
+            # default mirrors the paper's setup: an m4.xlarge colocating
+            # master and the single HDFS node.
+            master_vm = provider.request_vm("m4.xlarge", name="master",
+                                            already_running=True)
+        self.master_vm = master_vm
+
+        if shuffle_storage is None:
+            shuffle_storage = HDFS(env, [master_vm], rng, provider.meter)
+        self.shuffle_storage = shuffle_storage
+
+        backend = ExternalShuffleBackend(shuffle_storage,
+                                         per_pair_objects=False)
+        self.driver = SparkDriver(env, self.conf, rng, backend, trace=trace)
+        self.state = ClusterState(provider)
+        self.launching = LaunchingFacility(
+            env, provider, self.driver, self.state,
+            lambda_memory_mb=lambda_memory_mb)
+        self.segueing = SegueingFacility(env, provider, self.driver,
+                                         self.launching)
+        # Whenever the scheduler drains a Lambda executor — via the
+        # spark.lambda.executor.timeout knob or a segue — return its
+        # container to the provider and bill the usage.
+        self.driver.dag_scheduler.executor_drained_callback = (
+            self._on_executor_drained)
+
+    def _on_executor_drained(self, executor) -> None:
+        instance = getattr(executor, "lambda_instance", None)
+        if instance is not None and instance.finish_time is None:
+            self.launching.release_lambda_executor(executor)
+
+    # ------------------------------------------------------------------
+
+    def submit_job(
+        self,
+        final_rdd: "RDD",
+        required_cores: int,
+        expected_duration_s: Optional[float] = None,
+        max_vm_cores: Optional[int] = None,
+        segue: bool = False,
+    ) -> SplitServeRun:
+        """Launch executors per §4.2 and submit the job.
+
+        ``expected_duration_s`` is the SLO the inter-job manager conveys;
+        with ``segue=True`` and an SLO above the nominal VM startup
+        delay, background VMs are procured to absorb the Lambda share.
+        """
+        launch = self.launching.acquire(required_cores,
+                                        max_vm_cores=max_vm_cores)
+        background: List["VirtualMachine"] = []
+        lambda_cores = required_cores - launch.vm_cores
+        if (segue and lambda_cores > 0 and expected_duration_s is not None
+                and self.segueing.should_launch_vms(expected_duration_s)):
+            background = self.segueing.launch_background_vms(lambda_cores)
+        job = self.driver.submit(final_rdd)
+        return SplitServeRun(job=job, launch=launch, background_vms=background)
+
+    def run_job(self, final_rdd: "RDD", required_cores: int,
+                **kwargs) -> JobResult:
+        """Submit, run to completion, release and bill Lambda executors."""
+        run = self.submit_job(final_rdd, required_cores, **kwargs)
+        self.env.run(until=run.job.done)
+        self.finish_run(run)
+        return JobResult.from_job(run.job)
+
+    def finish_run(self, run: SplitServeRun) -> None:
+        """Post-job cleanup: release surviving Lambda containers (billing
+        them) and free claimed VM cores."""
+        for executor in run.launch.lambda_executors:
+            if (executor.lambda_instance is not None
+                    and executor.lambda_instance.finish_time is None):
+                self.launching.release_lambda_executor(executor)
+        for executor in run.launch.vm_executors:
+            if executor.vm.is_running and executor.vm.allocated_cores > 0:
+                self.launching.release_vm_executor(executor)

@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+A compact, dependency-free process-based DES kernel in the style of SimPy.
+Every higher layer of the reproduction (cloud substrate, storage services,
+the Spark-like engine, SplitServe itself) runs on this kernel.
+
+Public surface:
+
+- :class:`~repro.simulation.kernel.Environment` — simulation clock and
+  event loop.
+- :class:`~repro.simulation.events.Event`, :class:`Timeout`,
+  :class:`Process`, :class:`Condition` (``AllOf`` / ``AnyOf``),
+  :class:`Interrupt` — the event vocabulary.
+- :class:`~repro.simulation.resources.Resource`, :class:`Container`,
+  :class:`Store` — shared-resource primitives.
+- :class:`~repro.simulation.rng.RandomStreams` — reproducible named RNG
+  streams.
+- :class:`~repro.simulation.tracing.TraceRecorder` — structured event
+  trace used by the analysis layer.
+"""
+
+from repro.simulation.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.simulation.kernel import Environment, SimulationError
+from repro.simulation.resources import Container, Resource, Store
+from repro.simulation.rng import RandomStreams
+from repro.simulation.tracing import TraceRecord, TraceRecorder
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "TraceRecorder",
+]

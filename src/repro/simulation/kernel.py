@@ -1,0 +1,161 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.simulation.events import NORMAL, Event, Process, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level errors (e.g. an empty schedule in run())."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised internally when no more events remain."""
+
+
+#: Queue entries: (time, priority, sequence, event). The sequence number
+#: makes ordering total and FIFO-stable for simultaneous events.
+_QueueItem = Tuple[float, int, int, Event]
+
+
+class Environment:
+    """Execution environment for a simulation.
+
+    The environment owns the simulation clock (:attr:`now`) and the event
+    queue. Time is a float in *seconds* by convention throughout this
+    repository.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[_QueueItem] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> Event:
+        """Condition that fires when all ``events`` have fired."""
+        from repro.simulation.events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events) -> Event:
+        """Condition that fires when any of ``events`` has fired."""
+        from repro.simulation.events import AnyOf
+
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the run loop
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert ``event`` into the queue ``delay`` seconds from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raise :class:`EmptySchedule` if none."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+
+        # Mark processed *before* running callbacks (as SimPy does) so
+        # that callbacks observe a consistent "this event is done" state.
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it instead of silently
+            # dropping it (errors should never pass silently).
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulation time), or an :class:`Event` (run until
+        it fires, returning its value or raising its exception).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stop = Timeout(self, at - self._now)
+            if stop.callbacks is None:
+                # Already processed before run() was even called.
+                if stop._ok:
+                    return stop._value
+                raise stop._value
+            stop.callbacks.append(_StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as exc:
+            event = exc.event
+            if isinstance(until, Event):
+                if event._ok:
+                    return event._value
+                raise event._value
+            # Numeric 'until': rewind the clock to exactly the stop time
+            # (step() already set it, but keep the contract explicit).
+            self._now = max(self._now, float(until)) if until is not None else self._now
+            return None
+        except EmptySchedule:
+            if stop is not None and not stop.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the 'until' "
+                    "condition fired") from None
+            return None
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow exception used by :meth:`Environment.run`."""
+
+    def __init__(self, event: Event) -> None:
+        super().__init__()
+        self.event = event
+
+    @staticmethod
+    def callback(event: Event) -> None:
+        raise _StopSimulation(event)

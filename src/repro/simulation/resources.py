@@ -1,0 +1,249 @@
+"""Shared-resource primitives: Resource, Container, Store.
+
+These follow the request/grant pattern: ``request()`` (or ``put``/``get``)
+returns an :class:`~repro.simulation.events.Event` the caller yields on.
+Grants are FIFO. A waiter that gives up (e.g. after an
+:class:`~repro.simulation.events.Interrupt`) must call ``cancel()`` on its
+pending request so the slot is not granted to a ghost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
+
+from repro.simulation.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Environment
+
+
+class _Waiter(Event):
+    """Base class for queued requests; adds cancellation."""
+
+    def __init__(self, env: "Environment") -> None:
+        super().__init__(env)
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw this request if it has not been granted yet."""
+        if not self.triggered:
+            self.cancelled = True
+
+
+class ResourceRequest(_Waiter):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with ``capacity`` identical slots.
+
+    Typical use inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._queue: Deque[ResourceRequest] = deque()
+        self._users: List[ResourceRequest] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return sum(1 for req in self._queue if not req.cancelled)
+
+    def request(self) -> ResourceRequest:
+        """Queue a claim for one slot; the returned event fires on grant."""
+        req = ResourceRequest(self)
+        self._queue.append(req)
+        self._dispatch()
+        return req
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return a previously granted slot."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise RuntimeError("release of a request that does not hold a slot") from None
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            req = self._queue[0]
+            if req.cancelled:
+                self._queue.popleft()
+                continue
+            if req.triggered:  # pragma: no cover - defensive
+                self._queue.popleft()
+                continue
+            self._queue.popleft()
+            self._users.append(req)
+            req.succeed()
+
+
+class ContainerEvent(_Waiter):
+    """A pending put or get of some ``amount`` on a :class:`Container`."""
+
+    def __init__(self, env: "Environment", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(env)
+        self.amount = amount
+
+
+class Container:
+    """A homogeneous bulk store of a continuous quantity (e.g. bytes).
+
+    ``put`` blocks while the container would overflow; ``get`` blocks
+    while it holds less than requested.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._puts: Deque[ContainerEvent] = deque()
+        self._gets: Deque[ContainerEvent] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerEvent:
+        event = ContainerEvent(self.env, amount)
+        if amount > self._capacity:
+            raise ValueError(f"put of {amount} exceeds capacity {self._capacity}")
+        self._puts.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> ContainerEvent:
+        event = ContainerEvent(self.env, amount)
+        self._gets.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._puts:
+                put = self._puts[0]
+                if put.cancelled:
+                    self._puts.popleft()
+                    continue
+                if self._level + put.amount > self._capacity:
+                    break
+                self._puts.popleft()
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            while self._gets:
+                get = self._gets[0]
+                if get.cancelled:
+                    self._gets.popleft()
+                    continue
+                if get.amount > self._level:
+                    break
+                self._gets.popleft()
+                self._level -= get.amount
+                get.succeed()
+                progressed = True
+
+
+class StoreEvent(_Waiter):
+    """A pending put or get on a :class:`Store`."""
+
+    def __init__(self, env: "Environment", item: Any = None) -> None:
+        super().__init__(env)
+        self.item = item
+
+
+class Store:
+    """A FIFO store of discrete Python objects (message-queue style)."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._puts: Deque[StoreEvent] = deque()
+        self._gets: Deque[StoreEvent] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of the currently stored items (FIFO order)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> StoreEvent:
+        """Queue ``item``; the event fires once there is room."""
+        event = StoreEvent(self.env, item)
+        self._puts.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreEvent:
+        """Request the oldest item; the event's value is the item."""
+        event = StoreEvent(self.env)
+        self._gets.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._puts and len(self._items) < self._capacity:
+                put = self._puts.popleft()
+                if put.cancelled:
+                    continue
+                self._items.append(put.item)
+                put.succeed()
+                progressed = True
+            while self._gets and self._items:
+                get = self._gets.popleft()
+                if get.cancelled:
+                    continue
+                get.succeed(self._items.popleft())
+                progressed = True

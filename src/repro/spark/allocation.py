@@ -1,0 +1,126 @@
+"""Dynamic executor allocation (Spark's ``ExecutorAllocationManager``).
+
+Watches the task backlog and asks an :class:`ExecutorProvider` for more
+executors with Spark's exponential ramp-up (1, 2, 4, ... targets), and
+releases executors idle past ``spark.dynamicAllocation.executorIdleTimeout``.
+
+The vanilla-Spark autoscaling baseline ("Spark r/R autoscale", §5.1) uses
+this with a provider that procures *new VMs* — paying their ~2 minute
+provisioning delay. SplitServe's launching facility replaces the provider
+with one that bridges the gap using Lambdas instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Environment
+    from repro.spark.executor import Executor
+    from repro.spark.task_scheduler import TaskScheduler
+
+
+class ExecutorProvider:
+    """What the allocation manager calls to change cluster size."""
+
+    def request_executors(self, count: int) -> None:
+        """Ask for ``count`` additional executors (asynchronous)."""
+        raise NotImplementedError
+
+    def release_executor(self, executor: "Executor") -> None:
+        """Return one idle executor's resources."""
+        raise NotImplementedError
+
+
+class ExecutorAllocationManager:
+    """Backlog-driven scale-up, idleness-driven scale-down."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        scheduler: "TaskScheduler",
+        provider: ExecutorProvider,
+        min_executors: int = 0,
+        max_executors: int = 10_000,
+        poll_interval_s: float = 0.5,
+    ) -> None:
+        conf = scheduler.conf
+        self.env = env
+        self.scheduler = scheduler
+        self.provider = provider
+        self.min_executors = min_executors
+        self.max_executors = max_executors
+        self.poll_interval_s = poll_interval_s
+        self.backlog_timeout_s = float(
+            conf.get("spark.dynamicAllocation.schedulerBacklogTimeout"))
+        self.idle_timeout_s = float(
+            conf.get("spark.dynamicAllocation.executorIdleTimeout"))
+        self._backlog_since: Optional[float] = None
+        self._requested_outstanding = 0
+        self._ramp = 1
+        self._idle_since = {}
+        self._stopped = False
+        env.process(self._loop())
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def executor_registered(self) -> None:
+        """Provider hook: one previously requested executor has arrived."""
+        if self._requested_outstanding > 0:
+            self._requested_outstanding -= 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def _current_count(self) -> int:
+        return len(self.scheduler.executors)
+
+    def _target_shortfall(self) -> int:
+        """Executors needed to run every pending + running task at once,
+        which is Spark's maxNumExecutorsNeeded with 1 task per executor."""
+        needed = (self.scheduler.pending_task_count
+                  + self.scheduler.running_task_count)
+        needed = min(needed, self.max_executors)
+        return max(0, needed - self._current_count - self._requested_outstanding)
+
+    def _loop(self):
+        while not self._stopped:
+            yield self.env.timeout(self.poll_interval_s)
+            if self._stopped:
+                return
+            self._maybe_scale_up()
+            self._maybe_scale_down()
+
+    def _maybe_scale_up(self) -> None:
+        if self.scheduler.pending_task_count == 0:
+            self._backlog_since = None
+            self._ramp = 1
+            return
+        if self._backlog_since is None:
+            self._backlog_since = self.env.now
+            return
+        if self.env.now - self._backlog_since < self.backlog_timeout_s:
+            return
+        shortfall = self._target_shortfall()
+        if shortfall <= 0:
+            return
+        grant = min(shortfall, self._ramp)
+        self._ramp *= 2  # Spark doubles the request each round
+        self._requested_outstanding += grant
+        self.provider.request_executors(grant)
+        self._backlog_since = self.env.now  # re-arm for the next round
+
+    def _maybe_scale_down(self) -> None:
+        now = self.env.now
+        live = list(self.scheduler.executors.values())
+        for ex in live:
+            if ex.is_free:
+                since = self._idle_since.setdefault(ex.executor_id, now)
+                if (now - since >= self.idle_timeout_s
+                        and self._current_count > self.min_executors):
+                    self._idle_since.pop(ex.executor_id, None)
+                    self.scheduler.decommission_executor(ex, graceful=True)
+                    self.provider.release_executor(ex)
+            else:
+                self._idle_since.pop(ex.executor_id, None)

@@ -1,0 +1,400 @@
+"""Executors: the distributed agents that run tasks.
+
+An executor lives on a host — cores of a VM, or one Lambda container —
+and runs one task at a time (the paper assigns one core per executor
+throughout, §5.1). The executor model captures the asymmetries the paper
+exploits and suffers from:
+
+- **CPU speed**: Lambda executors get ``cpu_share`` of a vCPU
+  (memory-indexed); VM executors get a full core.
+- **Memory/GC**: service times are inflated by
+  :func:`repro.spark.memory.gc_slowdown` using the executor's heap and
+  uptime — the mechanism behind the Lambda timeout knob.
+- **I/O paths**: shuffle traffic crosses the host's fair-share links
+  (VM: EBS + NIC; Lambda: its memory-proportional NIC).
+- **Cache**: computed partitions of ``.cache()``-ed RDDs register here,
+  which feeds locality preferences (and the paper's observation that VM
+  autoscaling helps little once "a large fraction of the tasks have
+  already been scheduled on the existing executors").
+- **Decommissioning**: graceful drain (stop accepting tasks, finish the
+  current one) vs hard kill (current task fails; with a local shuffle
+  backend, its map outputs are lost → rollback).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.simulation.events import Interrupt
+from repro.spark.memory import gc_slowdown
+from repro.spark.shuffle import FetchFailedError, MapStatus
+from repro.spark.task import TaskAttempt, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.lambda_fn import LambdaInstance
+    from repro.cloud.network import FairShareLink
+    from repro.cloud.vm import VirtualMachine
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+    from repro.simulation.tracing import TraceRecorder
+    from repro.spark.config import SparkConf
+    from repro.spark.task_scheduler import TaskScheduler
+
+
+class HostKind(enum.Enum):
+    VM = "vm"
+    LAMBDA = "lambda"
+
+
+class ExecutorState(enum.Enum):
+    REGISTERED = "registered"
+    DRAINING = "draining"  # graceful decommission: no new tasks
+    DEAD = "dead"
+
+
+class ExecutorKilledError(RuntimeError):
+    """The executor was killed while running a task."""
+
+
+#: Interrupt cause marking a speculation loser's cancellation - not a
+#: fault of the executor, so it never counts toward blacklisting.
+SPECULATION_CANCEL = "speculation: other copy won"
+
+
+class Executor:
+    """An executor on a VM or a Lambda.
+
+    The paper assigns one core per executor throughout (§5.1, footnote 7)
+    and that is the default here, but ``cores`` generalizes to the
+    multi-core executors footnote 7 anticipates: an executor runs up to
+    ``cores`` tasks concurrently, sharing its heap.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        executor_id: str,
+        kind: HostKind,
+        conf: "SparkConf",
+        rng: "RandomStreams",
+        vm: Optional["VirtualMachine"] = None,
+        lambda_instance: Optional["LambdaInstance"] = None,
+        memory_bytes: Optional[float] = None,
+        trace: Optional["TraceRecorder"] = None,
+        task_setup_s: float = 0.0,
+        cores: int = 1,
+    ) -> None:
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        if kind is HostKind.VM and vm is None:
+            raise ValueError("VM executor needs a vm")
+        if kind is HostKind.LAMBDA and lambda_instance is None:
+            raise ValueError("Lambda executor needs a lambda_instance")
+        self.env = env
+        self.executor_id = executor_id
+        self.kind = kind
+        self.conf = conf
+        self.rng = rng
+        self.vm = vm
+        self.lambda_instance = lambda_instance
+        self._trace = trace
+        self.state = ExecutorState.REGISTERED
+        self.registered_time = env.now
+
+        if kind is HostKind.VM:
+            self.cpu_speed = 1.0
+            self.memory_bytes = float(
+                memory_bytes if memory_bytes is not None
+                else conf.get("spark.executor.memory.vm"))
+        else:
+            self.cpu_speed = lambda_instance.config.cpu_share
+            self.memory_bytes = float(
+                memory_bytes if memory_bytes is not None
+                else lambda_instance.config.memory_bytes)
+
+        #: Fixed setup cost before every task. Zero for resident Spark
+        #: executors; Qubole's Spark-on-Lambda pays a per-task executor
+        #: bootstrap because its functions relinquish after each task.
+        self.task_setup_s = float(task_setup_s)
+        self.cores = int(cores)
+        self._cache: Dict[Tuple[int, int], float] = {}
+        #: In-flight attempts -> their simulation processes.
+        self._tasks: Dict[TaskAttempt, object] = {}
+        self.tasks_finished = 0
+        self.tasks_failed = 0
+        self._record("registered")
+
+    # ------------------------------------------------------------------
+    # Host properties
+    # ------------------------------------------------------------------
+
+    @property
+    def host_alive(self) -> bool:
+        if self.state is ExecutorState.DEAD:
+            return False
+        if self.kind is HostKind.VM:
+            return self.vm.is_running
+        return self.lambda_instance.is_running
+
+    @property
+    def host_name(self) -> str:
+        return self.vm.name if self.kind is HostKind.VM else self.lambda_instance.name
+
+    def disk_links(self) -> List["FairShareLink"]:
+        """Links local writes/reads cross (Lambda /tmp is memory-fast)."""
+        if self.kind is HostKind.VM:
+            return [self.vm.ebs_link]
+        return []
+
+    def net_links(self) -> List["FairShareLink"]:
+        """Links remote transfers cross on this executor's side."""
+        if self.kind is HostKind.VM:
+            return [self.vm.net_link]
+        return [self.lambda_instance.net_link]
+
+    @property
+    def uptime(self) -> float:
+        return self.env.now - self.registered_time
+
+    @property
+    def time_on_lambda(self) -> float:
+        """Seconds since the backing Lambda started running (0 for VMs).
+
+        This is the quantity compared against
+        ``spark.lambda.executor.timeout`` (§4.3: the scheduler "checks how
+        long they have been running for by comparing the current time
+        against the timestamp recorded at executor registration").
+        """
+        if self.kind is not HostKind.LAMBDA:
+            return 0.0
+        return self.uptime
+
+    @property
+    def running_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def current(self) -> Optional[TaskAttempt]:
+        """The running attempt, when at most one is in flight (the
+        single-core common case); an arbitrary one otherwise."""
+        return next(iter(self._tasks), None)
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._tasks
+
+    @property
+    def is_free(self) -> bool:
+        """Accepting tasks: registered, alive, with a free core."""
+        return (self.state is ExecutorState.REGISTERED
+                and len(self._tasks) < self.cores
+                and self.host_alive)
+
+    def same_host(self, other: "Executor") -> bool:
+        """True when both executors share a VM (intra-host data paths)."""
+        return (self.kind is HostKind.VM and other.kind is HostKind.VM
+                and self.vm is other.vm)
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+
+    #: Fraction of the usable heap reserved for persisted partitions
+    #: (Spark's spark.memory.storageFraction spirit).
+    STORAGE_FRACTION = 0.5
+
+    @property
+    def storage_limit_bytes(self) -> float:
+        from repro.spark.memory import usable_heap_bytes
+
+        return usable_heap_bytes(self.memory_bytes) * self.STORAGE_FRACTION
+
+    def has_cached(self, rdd_id: int, partition: int) -> bool:
+        return (rdd_id, partition) in self._cache
+
+    def touch_cached(self, rdd_id: int, partition: int) -> None:
+        """LRU touch: mark the partition most-recently-used."""
+        key = (rdd_id, partition)
+        value = self._cache.pop(key, None)
+        if value is not None:
+            self._cache[key] = value
+
+    def add_cached(self, rdd_id: int, partition: int, nbytes: float = 0.0) -> None:
+        """Persist a partition, evicting LRU entries past the storage
+        limit. A partition larger than the whole limit is not cached at
+        all (it would only thrash) — the next use recomputes it, exactly
+        Spark's behaviour when the storage region cannot hold a block."""
+        if nbytes > self.storage_limit_bytes:
+            return
+        self._cache[(rdd_id, partition)] = nbytes
+        while self.cached_bytes > self.storage_limit_bytes and len(self._cache) > 1:
+            oldest = next(iter(self._cache))
+            if oldest == (rdd_id, partition):
+                break
+            self._cache.pop(oldest)
+            self._record("cache_evict", rdd=oldest[0], partition=oldest[1])
+
+    @property
+    def cached_partitions(self) -> int:
+        return len(self._cache)
+
+    @property
+    def cached_bytes(self) -> float:
+        """Heap consumed by persisted partitions. An executor hoarding
+        many cached partitions (few executors, many partitions) pays GC
+        pressure on every task — the mechanism behind the paper's 10x
+        K-means degradation on an under-provisioned cluster."""
+        return sum(self._cache.values())
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+
+    def launch_task(self, attempt: TaskAttempt, scheduler: "TaskScheduler",
+                    on_finish: Callable[["Executor", TaskAttempt], None]) -> None:
+        """Begin running ``attempt``; ``on_finish`` is called either way."""
+        if not self.is_free:
+            raise RuntimeError(f"{self.executor_id} is not free")
+        attempt.state = TaskState.RUNNING
+        attempt.metrics.launch_time = self.env.now
+        self._record("task_start", task=attempt.spec.describe(),
+                     attempt=attempt.attempt)
+        self._tasks[attempt] = self.env.process(
+            self._execute(attempt, scheduler, on_finish))
+
+    def _execute(self, attempt: TaskAttempt, scheduler: "TaskScheduler",
+                 on_finish: Callable[["Executor", TaskAttempt], None]):
+        spec = attempt.spec
+        metrics = attempt.metrics
+        try:
+            if self.task_setup_s > 0:
+                yield self.env.timeout(self.rng.uniform_jitter(
+                    "task.setup", self.task_setup_s, 0.2))
+
+            # ---- Fetch phase: pull shuffle inputs. ----
+            fetch_start = self.env.now
+            for shuffle_id, nbytes in spec.shuffle_reads:
+                tracker = scheduler.map_output_tracker
+                missing = tracker.first_missing_partition(shuffle_id)
+                if missing is not None:
+                    # A map output vanished after the stage was submitted
+                    # (its executor died): classic FetchFailed.
+                    raise FetchFailedError(shuffle_id, missing,
+                                           "map output missing")
+                statuses = tracker.statuses(shuffle_id)
+                yield from scheduler.shuffle_backend.fetch(
+                    self, shuffle_id, spec.partition, nbytes,
+                    spec.stage_task_count, statuses, scheduler.executors)
+            metrics.fetch_seconds = self.env.now - fetch_start
+
+            # ---- Compute phase: run the pipeline after any cache hit. ----
+            steps = list(spec.pipeline)
+            skip_until = -1
+            for i, step in enumerate(steps):
+                if step.cache and self.has_cached(step.rdd_id, spec.partition):
+                    skip_until = i
+                    self.touch_cached(step.rdd_id, spec.partition)
+            live_steps = steps[skip_until + 1:]
+            metrics.cache_hit = skip_until >= 0
+            input_bytes = sum(step.input_bytes for step in live_steps)
+            if input_bytes > 0:
+                input_start = self.env.now
+                yield from scheduler.read_input(self, input_bytes)
+                metrics.input_seconds = self.env.now - input_start
+            base = sum(step.compute_seconds for step in live_steps)
+            base /= self.cpu_speed
+            concurrent_ws = sum(a.spec.working_set_bytes
+                                for a in self._tasks)
+            slowdown = gc_slowdown(
+                concurrent_ws + self.cached_bytes,
+                self.memory_bytes, self.uptime)
+            demand = base * slowdown
+            if self.vm is not None and hasattr(self.vm, "consume_cpu"):
+                # Burstable host: credits convert demand into wall time.
+                demand = self.vm.consume_cpu(demand)
+            jitter = self.conf.get("spark.sim.task.jitter")
+            service = self.rng.uniform_jitter("task.jitter", demand,
+                                              jitter) if base > 0 else 0.0
+            compute_start = self.env.now
+            if service > 0:
+                yield self.env.timeout(service)
+            metrics.compute_seconds = self.env.now - compute_start
+            metrics.gc_overhead_seconds = max(0.0, base * (slowdown - 1.0))
+            for step in live_steps:
+                if step.cache:
+                    self.add_cached(step.rdd_id, spec.partition,
+                                    step.working_set_bytes)
+
+            # ---- Write phase: persist the map output. ----
+            if spec.shuffle_write is not None:
+                shuffle_id, nbytes = spec.shuffle_write
+                write_start = self.env.now
+                yield from scheduler.shuffle_backend.write(
+                    self, shuffle_id, spec.partition, nbytes,
+                    spec.shuffle_write_reducers)
+                metrics.write_seconds = self.env.now - write_start
+                scheduler.map_output_tracker.register(MapStatus(
+                    shuffle_id, spec.partition, self.executor_id, nbytes))
+
+            attempt.state = TaskState.FINISHED
+            self.tasks_finished += 1
+        except Interrupt as intr:
+            attempt.state = TaskState.KILLED
+            attempt.failure = ExecutorKilledError(str(intr.cause))
+            if str(intr.cause) != SPECULATION_CANCEL:
+                self.tasks_failed += 1
+        except FetchFailedError as exc:
+            attempt.state = TaskState.FAILED
+            attempt.failure = exc
+            self.tasks_failed += 1
+        # Deliberately not a finally: block — if the simulation is torn
+        # down mid-task, the generator's GeneratorExit must not fire
+        # scheduler callbacks.
+        metrics.finish_time = self.env.now
+        self._tasks.pop(attempt, None)
+        self._record("task_end", task=spec.describe(),
+                     state=attempt.state.value,
+                     duration=metrics.duration)
+        on_finish(self, attempt)
+
+    # ------------------------------------------------------------------
+    # Decommissioning
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Graceful decommission: stop accepting tasks, finish the current
+        one (SplitServe's segue path — §4.3: "simply stops directing
+        additional tasks ... and get gracefully decommissioned")."""
+        if self.state is ExecutorState.REGISTERED:
+            self.state = ExecutorState.DRAINING
+            self._record("draining")
+
+    def kill_task(self, attempt: TaskAttempt,
+                  reason: str = "task killed") -> None:
+        """Abort one running attempt without killing the executor (used
+        to cancel the losing copy of a speculated task)."""
+        process = self._tasks.get(attempt)
+        if process is not None and process.is_alive:
+            process.interrupt(cause=reason)
+
+    def kill(self, reason: str = "killed") -> None:
+        """Hard kill: the current task dies; local shuffle output on the
+        executor is gone (the rollback-triggering path)."""
+        if self.state is ExecutorState.DEAD:
+            return
+        self.state = ExecutorState.DEAD
+        for process in list(self._tasks.values()):
+            if process.is_alive:
+                process.interrupt(cause=reason)
+        self._record("dead", reason=reason)
+
+    def _record(self, event: str, **fields) -> None:
+        if self._trace is not None:
+            self._trace.record(self.env.now, "executor", event,
+                               executor=self.executor_id, kind=self.kind.value,
+                               host=self.host_name, **fields)
+
+    def __repr__(self) -> str:
+        return (f"<Executor {self.executor_id} {self.kind.value} "
+                f"{self.state.value}>")

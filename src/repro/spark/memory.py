@@ -1,0 +1,74 @@
+"""The JVM memory/GC pressure model.
+
+§4.2 of the paper: *"the smaller memory on Lambdas results in more
+frequent invocations of the JVM garbage collector (GC), which in turn
+hurts the overall workload performance"* — and GC overhead *grows with
+time* on small heaps ("garbage collection may begin posing significant
+overheads after only a few minutes of execution", §3). Those two effects
+are what make segueing off Lambdas worthwhile for long jobs, so the model
+captures both:
+
+- **pressure slowdown**: when a task's working set exceeds the usable
+  heap, spilling + GC multiplies service time by
+  ``1 + coeff * (pressure - 1)^exp``;
+- **aging slowdown**: on heaps below the comfortable threshold, each
+  minute of continuous executor uptime adds a small multiplicative
+  overhead (fragmentation, promotion churn), capped so the model stays
+  sane for pathological inputs.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.constants import (
+    EXECUTOR_USABLE_MEMORY_FRACTION,
+    GC_AGING_PER_MINUTE,
+    GC_PRESSURE_COEFF,
+    GC_PRESSURE_EXPONENT,
+)
+
+#: Heaps at or above this are "comfortable": no aging penalty. Lambda
+#: executors (<= 3 GB) are always below it; typical VM executors above.
+COMFORTABLE_HEAP_BYTES = 4 * 1024 ** 3
+
+#: Upper bound on the combined slowdown factor.
+MAX_SLOWDOWN = 10.0
+
+
+def usable_heap_bytes(executor_memory_bytes: float) -> float:
+    """Heap actually available to task working sets."""
+    if executor_memory_bytes <= 0:
+        raise ValueError(
+            f"executor memory must be positive, got {executor_memory_bytes}")
+    return executor_memory_bytes * EXECUTOR_USABLE_MEMORY_FRACTION
+
+
+def pressure_slowdown(working_set_bytes: float, executor_memory_bytes: float) -> float:
+    """Multiplier from memory pressure alone (1.0 when the set fits)."""
+    if working_set_bytes < 0:
+        raise ValueError(f"working set must be non-negative, got {working_set_bytes}")
+    heap = usable_heap_bytes(executor_memory_bytes)
+    pressure = working_set_bytes / heap
+    if pressure <= 1.0:
+        return 1.0
+    return min(MAX_SLOWDOWN,
+               1.0 + GC_PRESSURE_COEFF * (pressure - 1.0) ** GC_PRESSURE_EXPONENT)
+
+
+def aging_slowdown(executor_memory_bytes: float, uptime_seconds: float) -> float:
+    """Multiplier from sustained execution on a tight heap."""
+    if uptime_seconds < 0:
+        raise ValueError(f"uptime must be non-negative, got {uptime_seconds}")
+    if executor_memory_bytes >= COMFORTABLE_HEAP_BYTES:
+        return 1.0
+    # Scale the penalty by how tight the heap is relative to comfortable.
+    tightness = 1.0 - executor_memory_bytes / COMFORTABLE_HEAP_BYTES
+    minutes = uptime_seconds / 60.0
+    return min(MAX_SLOWDOWN, 1.0 + GC_AGING_PER_MINUTE * tightness * minutes)
+
+
+def gc_slowdown(working_set_bytes: float, executor_memory_bytes: float,
+                uptime_seconds: float) -> float:
+    """Combined service-time multiplier for one task."""
+    return min(MAX_SLOWDOWN,
+               pressure_slowdown(working_set_bytes, executor_memory_bytes)
+               * aging_slowdown(executor_memory_bytes, uptime_seconds))

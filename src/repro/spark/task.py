@@ -1,0 +1,121 @@
+"""Tasks: the unit of work executors run.
+
+A :class:`TaskSpec` is the immutable description of one partition's work
+within a stage (its compute pipeline, shuffle input/output volumes); a
+:class:`TaskAttempt` is one execution of it on a concrete executor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """One RDD's contribution to a task's in-stage pipeline.
+
+    Steps are ordered upstream-to-downstream. If ``cache`` is set and the
+    executor holds the cached partition, this step and everything before
+    it is skipped (that is what a cache hit means).
+    """
+
+    rdd_id: int
+    rdd_name: str
+    compute_seconds: float
+    working_set_bytes: float
+    cache: bool
+    #: Bytes read from the cluster input store when this step executes
+    #: (re-paid on every cache miss — re-ingest is I/O too).
+    input_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Immutable description of one task."""
+
+    stage_id: int
+    partition: int
+    pipeline: Tuple[PipelineStep, ...]
+    #: Incoming shuffles: (shuffle_id, bytes this reduce partition fetches).
+    shuffle_reads: Tuple[Tuple[int, float], ...] = ()
+    #: Outgoing shuffle: (shuffle_id, bytes this map task writes), or None.
+    shuffle_write: Optional[Tuple[int, float]] = None
+    #: Number of reduce partitions of the outgoing shuffle (for external
+    #: backends that store one object per (map, reduce) pair).
+    shuffle_write_reducers: int = 0
+    #: Task count of the owning stage (= reducer count for the incoming
+    #: shuffles); used by consistency/throttling models.
+    stage_task_count: int = 1
+    #: Heterogeneity-aware sizing (§7): the executor kind this task's
+    #: size was chosen for ("vm" | "lambda"), or None for uniform tasks.
+    sized_for: "str | None" = None
+
+    @property
+    def total_compute_seconds(self) -> float:
+        """Reference-core compute with no cache hits."""
+        return sum(step.compute_seconds for step in self.pipeline)
+
+    @property
+    def working_set_bytes(self) -> float:
+        """Peak per-task working set (max across pipeline steps)."""
+        if not self.pipeline:
+            return 0.0
+        return max(step.working_set_bytes for step in self.pipeline)
+
+    @property
+    def total_shuffle_read_bytes(self) -> float:
+        return sum(nbytes for _sid, nbytes in self.shuffle_reads)
+
+    @property
+    def is_shuffle_map(self) -> bool:
+        return self.shuffle_write is not None
+
+    def describe(self) -> str:
+        return f"stage{self.stage_id}/p{self.partition}"
+
+
+@dataclass
+class TaskMetrics:
+    """Timing breakdown of one attempt, for analysis and timelines."""
+
+    launch_time: float = 0.0
+    finish_time: float = 0.0
+    fetch_seconds: float = 0.0
+    input_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    gc_overhead_seconds: float = 0.0
+    write_seconds: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finish_time - self.launch_time)
+
+
+@dataclass(eq=False)  # identity semantics: attempts are tracked by object
+class TaskAttempt:
+    """One execution of a :class:`TaskSpec` on an executor."""
+
+    spec: TaskSpec
+    attempt: int
+    executor_id: str
+    state: TaskState = TaskState.PENDING
+    metrics: TaskMetrics = field(default_factory=TaskMetrics)
+    failure: Optional[BaseException] = None
+
+    @property
+    def task_key(self) -> Tuple[int, int]:
+        return (self.spec.stage_id, self.spec.partition)
+
+    def describe(self) -> str:
+        return f"{self.spec.describe()}#a{self.attempt}@{self.executor_id}"

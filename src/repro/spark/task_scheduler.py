@@ -1,0 +1,539 @@
+"""Task scheduling: TaskSets, delay scheduling, retries, decommission.
+
+Mirrors Spark's ``TaskSchedulerImpl`` + ``TaskSetManager``:
+
+- FIFO across task sets, cache-locality preference within one (delay
+  scheduling with ``spark.locality.wait``);
+- per-task retry accounting up to ``spark.task.maxFailures``;
+- fetch failures zombify the task set and are escalated to the DAG
+  scheduler (stage resubmission, not task retry);
+- SplitServe's scheduler hook (§4.3): before offering a task to a
+  Lambda-based executor, check how long it has been running; past
+  ``spark.lambda.executor.timeout`` the executor is drained instead —
+  it finishes its current work and is gracefully decommissioned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.spark.executor import Executor, ExecutorState, HostKind
+from repro.spark.shuffle import (
+    FetchFailedError,
+    MapOutputTracker,
+    ShuffleBackend,
+)
+from repro.spark.task import TaskAttempt, TaskSpec, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+    from repro.simulation.tracing import TraceRecorder
+    from repro.spark.config import SparkConf
+
+
+class SchedulerListener:
+    """Callbacks the DAG scheduler (and SplitServe) hook into."""
+
+    def on_task_finished(self, attempt: TaskAttempt) -> None:
+        """A task attempt completed successfully."""
+
+    def on_task_failed(self, attempt: TaskAttempt) -> None:
+        """A task attempt failed or was killed (before any retry)."""
+
+    def on_taskset_complete(self, taskset: "TaskSet") -> None:
+        """Every partition of the task set has finished."""
+
+    def on_taskset_failed(self, taskset: "TaskSet", reason: str) -> None:
+        """A task exhausted its retries; the stage (and job) is dead."""
+
+    def on_fetch_failed(self, taskset: "TaskSet", attempt: TaskAttempt,
+                        error: FetchFailedError) -> None:
+        """A reducer lost a shuffle input; stage-level recovery needed."""
+
+    def on_executor_drained(self, executor: Executor) -> None:
+        """A draining executor has gone idle and can be released."""
+
+    def on_executor_lost(self, executor: Executor, reason: str) -> None:
+        """An executor died (host gone or hard-killed)."""
+
+
+class TaskSet:
+    """All tasks of one stage attempt, with retry bookkeeping."""
+
+    def __init__(self, stage_id: int, attempt: int, specs: List[TaskSpec],
+                 name: str = "") -> None:
+        if not specs:
+            raise ValueError("a TaskSet needs at least one task")
+        self.stage_id = stage_id
+        self.attempt = attempt
+        self.name = name or f"stage-{stage_id}.{attempt}"
+        self.specs: Dict[int, TaskSpec] = {s.partition: s for s in specs}
+        self.pending: List[int] = sorted(self.specs)
+        self.running: Dict[int, TaskAttempt] = {}
+        self.finished: Set[int] = set()
+        self.failure_counts: Dict[int, int] = {}
+        self.attempt_counter: Dict[int, int] = {}
+        #: A zombie set stops launching tasks (fetch failure or abort) but
+        #: lets in-flight tasks finish, exactly like Spark's TaskSetManager.
+        self.zombie = False
+        self.submit_time: Optional[float] = None
+        self.last_launch_time: Optional[float] = None
+        #: Fast path: task sets with no cached pipeline steps have no
+        #: locality preferences, so task selection is O(1).
+        self.has_cache_preferences = any(
+            step.cache for spec in specs for step in spec.pipeline)
+        #: Heterogeneity-aware sizing (§7): some tasks are sized for a
+        #: specific executor kind.
+        self.has_kind_preferences = any(
+            spec.sized_for is not None for spec in specs)
+        #: Speculation bookkeeping: completed attempt durations, and the
+        #: second copies currently in flight per partition.
+        self.finished_durations: List[float] = []
+        self.speculative: Dict[int, TaskAttempt] = {}
+
+    def median_duration(self) -> Optional[float]:
+        if not self.finished_durations:
+            return None
+        ordered = sorted(self.finished_durations)
+        return ordered[len(ordered) // 2]
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self.finished) == len(self.specs)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending) and not self.zombie
+
+    def requeue(self, partition: int) -> None:
+        if partition not in self.pending:
+            self.pending.append(partition)
+
+    def next_attempt_number(self, partition: int) -> int:
+        n = self.attempt_counter.get(partition, 0)
+        self.attempt_counter[partition] = n + 1
+        return n
+
+    def describe(self) -> str:
+        return (f"{self.name}: {len(self.finished)}/{len(self.specs)} done, "
+                f"{len(self.running)} running, {len(self.pending)} pending")
+
+
+class TaskScheduler:
+    """Assigns tasks to free executors; owns the executor registry."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        conf: "SparkConf",
+        rng: "RandomStreams",
+        shuffle_backend: ShuffleBackend,
+        trace: Optional["TraceRecorder"] = None,
+        listener: Optional[SchedulerListener] = None,
+    ) -> None:
+        self.env = env
+        self.conf = conf
+        self.rng = rng
+        self.shuffle_backend = shuffle_backend
+        self.trace = trace
+        self.listener = listener if listener is not None else SchedulerListener()
+        self.executors: Dict[str, Executor] = {}
+        self.map_output_tracker = MapOutputTracker()
+        self.tasksets: List[TaskSet] = []
+        self._locality_wait = float(conf.get("spark.locality.wait"))
+        self._max_failures = int(conf.get("spark.task.maxFailures"))
+        self._dispatch_scheduled = False
+        self._speculation = bool(conf.get("spark.speculation"))
+        self._speculation_quantile = float(
+            conf.get("spark.speculation.quantile"))
+        self._speculation_multiplier = float(
+            conf.get("spark.speculation.multiplier"))
+        self._speculation_interval = float(
+            conf.get("spark.speculation.interval"))
+        self._speculation_active = False
+        self._blacklist_enabled = bool(conf.get("spark.blacklist.enabled"))
+        self._blacklist_threshold = int(
+            conf.get("spark.blacklist.maxFailedTasksPerExecutor"))
+        #: Executor ids barred from receiving tasks (too many failures).
+        self.blacklisted: Set[str] = set()
+        #: How source RDD partitions reach executors: a callable
+        #: ``(executor, nbytes) -> generator`` the scenario wires to its
+        #: input store (worker-local HDFS for vanilla clusters, the
+        #: shared HDFS node for SplitServe, S3 for Qubole). None models
+        #: fully data-local input via the executor's own disk.
+        self.input_reader = None
+
+    def read_input(self, executor: Executor, nbytes: float):
+        """Generator: deliver ``nbytes`` of source input to ``executor``."""
+        if nbytes <= 0:
+            return
+        if self.input_reader is not None:
+            yield from self.input_reader(executor, nbytes)
+            return
+        links = executor.disk_links() or executor.net_links()
+        for link in links:
+            yield link.transfer(nbytes)
+
+    # ------------------------------------------------------------------
+    # Executor registry
+    # ------------------------------------------------------------------
+
+    def register_executor(self, executor: Executor) -> None:
+        if executor.executor_id in self.executors:
+            raise ValueError(f"duplicate executor id {executor.executor_id}")
+        self.executors[executor.executor_id] = executor
+        self._record("executor_registered", executor=executor.executor_id,
+                     kind=executor.kind.value)
+        self._dispatch()
+
+    def decommission_executor(self, executor: Executor, graceful: bool = True,
+                              reason: str = "decommission") -> None:
+        """Graceful: drain. Hard: kill (tasks fail, local outputs lost)."""
+        if graceful:
+            executor.drain()
+            if executor.is_idle:
+                self._finalize_drained(executor)
+        else:
+            self._lose_executor(executor, reason)
+
+    def _lose_executor(self, executor: Executor, reason: str) -> None:
+        executor.kill(reason)  # interrupts the running task, if any
+        self.executors.pop(executor.executor_id, None)
+        if not self.shuffle_backend.outputs_survive_executor_loss:
+            lost = self.map_output_tracker.remove_outputs_on_executor(
+                executor.executor_id)
+            if lost:
+                self._record("map_outputs_lost",
+                             executor=executor.executor_id, count=len(lost))
+        self.shuffle_backend.on_executor_lost(executor.executor_id)
+        self.listener.on_executor_lost(executor, reason)
+        self._dispatch()
+
+    def _finalize_drained(self, executor: Executor) -> None:
+        self.executors.pop(executor.executor_id, None)
+        self.listener.on_executor_drained(executor)
+
+    @property
+    def registered_executors(self) -> List[Executor]:
+        return list(self.executors.values())
+
+    def executor_counts(self) -> Dict[str, int]:
+        """Live executors by host kind, e.g. {'vm': 2, 'lambda': 3}."""
+        counts: Dict[str, int] = {}
+        for ex in self.executors.values():
+            counts[ex.kind.value] = counts.get(ex.kind.value, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Task set lifecycle
+    # ------------------------------------------------------------------
+
+    def submit_taskset(self, taskset: TaskSet) -> None:
+        taskset.submit_time = self.env.now
+        self.tasksets.append(taskset)
+        self._record("taskset_submitted", taskset=taskset.name,
+                     tasks=len(taskset.specs))
+        if self._speculation and not self._speculation_active:
+            self._speculation_active = True
+            self.env.process(self._speculation_loop(
+                self._speculation_interval))
+        self._dispatch()
+
+    @property
+    def pending_task_count(self) -> int:
+        return sum(len(ts.pending) for ts in self.tasksets if not ts.zombie)
+
+    @property
+    def running_task_count(self) -> int:
+        return sum(len(ts.running) for ts in self.tasksets)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _preferred_executors(self, spec: TaskSpec) -> Set[str]:
+        """Executors holding a cached partition this task could reuse."""
+        preferred: Set[str] = set()
+        for step in spec.pipeline:
+            if not step.cache:
+                continue
+            for ex in self.executors.values():
+                if ex.has_cached(step.rdd_id, spec.partition):
+                    preferred.add(ex.executor_id)
+        return preferred
+
+    def _check_lambda_timeout(self, executor: Executor) -> bool:
+        """SplitServe hook: True if the executor should be drained instead
+        of receiving tasks (its Lambda has run past the timeout knob)."""
+        timeout = self.conf.get("spark.lambda.executor.timeout")
+        if timeout is None or executor.kind is not HostKind.LAMBDA:
+            return False
+        return executor.time_on_lambda >= float(timeout)
+
+    def _free_executors(self) -> List[Executor]:
+        free = []
+        for ex in list(self.executors.values()):
+            if not ex.is_free:
+                continue
+            if ex.executor_id in self.blacklisted:
+                continue
+            if self._check_lambda_timeout(ex):
+                ex.drain()
+                self._finalize_drained(ex)
+                continue
+            free.append(ex)
+        # Deterministic order: registration order is dict order.
+        return free
+
+    def _select_task(self, taskset: TaskSet, executor: Executor,
+                     locality_relaxed: bool) -> Optional[int]:
+        """Pick a pending partition for ``executor`` under delay
+        scheduling. Returns the partition or None."""
+        if taskset.has_kind_preferences:
+            return self._select_sized_task(taskset, executor,
+                                           locality_relaxed)
+        if not taskset.has_cache_preferences:
+            return taskset.pending[0] if taskset.pending else None
+        no_pref_choice: Optional[int] = None
+        any_choice: Optional[int] = None
+        for partition in taskset.pending:
+            spec = taskset.specs[partition]
+            preferred = self._preferred_executors(spec)
+            if executor.executor_id in preferred:
+                return partition
+            if not preferred and no_pref_choice is None:
+                no_pref_choice = partition
+            if any_choice is None:
+                any_choice = partition
+        if no_pref_choice is not None:
+            return no_pref_choice
+        if locality_relaxed:
+            return any_choice
+        return None
+
+    def _select_sized_task(self, taskset: TaskSet, executor: Executor,
+                           locality_relaxed: bool) -> Optional[int]:
+        """Heterogeneity-aware pick (§7): prefer a task sized for this
+        executor's kind; after the locality wait, take anything."""
+        kind = executor.kind.value
+        fallback: Optional[int] = None
+        for partition in taskset.pending:
+            sized_for = taskset.specs[partition].sized_for
+            if sized_for in (None, kind):
+                return partition
+            if fallback is None:
+                fallback = partition
+        return fallback if locality_relaxed else None
+
+    def _dispatch(self) -> None:
+        """Match free executors to pending tasks; defer for locality."""
+        launched = True
+        wake_in: Optional[float] = None
+        while launched:
+            launched = False
+            free = self._free_executors()
+            if not free:
+                break
+            for taskset in self.tasksets:
+                if not taskset.has_pending:
+                    continue
+                reference = (taskset.last_launch_time
+                             if taskset.last_launch_time is not None
+                             else taskset.submit_time)
+                remaining = self._locality_wait - (self.env.now - reference)
+                relaxed = remaining <= 0
+                for ex in list(free):
+                    if not taskset.has_pending:
+                        break
+                    partition = self._select_task(taskset, ex, relaxed)
+                    if partition is None:
+                        if taskset.pending:
+                            delay = max(0.001, remaining)
+                            wake_in = delay if wake_in is None else min(wake_in, delay)
+                        continue
+                    free.remove(ex)
+                    self._launch(taskset, partition, ex)
+                    launched = True
+        if wake_in is not None:
+            self._schedule_redispatch(wake_in)
+
+    def _schedule_redispatch(self, delay: float) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+
+        def wake(_event):
+            self._dispatch_scheduled = False
+            self._dispatch()
+
+        self.env.timeout(delay).callbacks.append(wake)
+
+    def _launch(self, taskset: TaskSet, partition: int, executor: Executor) -> None:
+        taskset.pending.remove(partition)
+        spec = taskset.specs[partition]
+        attempt = TaskAttempt(spec, taskset.next_attempt_number(partition),
+                              executor.executor_id)
+        taskset.running[partition] = attempt
+        taskset.last_launch_time = self.env.now
+        executor.launch_task(attempt, self, self._on_task_finish)
+
+    # ------------------------------------------------------------------
+    # Speculative execution (Spark's straggler mitigation)
+    # ------------------------------------------------------------------
+
+    def _speculation_loop(self, interval: float):
+        # Lazily started with the first task set; exits when the last
+        # one completes so an idle scheduler holds no pending events.
+        while self.tasksets:
+            yield self.env.timeout(interval)
+            if self._launch_speculative_copies():
+                self._dispatch()
+        self._speculation_active = False
+
+    def _speculatable_partitions(self, taskset: TaskSet):
+        """Partitions whose sole running attempt has outlived the
+        multiplier x median of finished durations (and enough of the
+        stage is done to trust the median)."""
+        done_fraction = len(taskset.finished) / len(taskset.specs)
+        if done_fraction < self._speculation_quantile:
+            return []
+        median = taskset.median_duration()
+        if median is None:
+            return []
+        threshold = self._speculation_multiplier * median
+        out = []
+        for partition, attempt in taskset.running.items():
+            if partition in taskset.speculative:
+                continue
+            age = self.env.now - attempt.metrics.launch_time
+            if age > threshold:
+                out.append(partition)
+        return out
+
+    def _launch_speculative_copies(self) -> bool:
+        launched = False
+        for taskset in list(self.tasksets):
+            if taskset.zombie:
+                continue
+            candidates = self._speculatable_partitions(taskset)
+            if not candidates:
+                continue
+            free = self._free_executors()
+            for partition in candidates:
+                original = taskset.running.get(partition)
+                if original is None:
+                    continue
+                host = next((ex for ex in free
+                             if ex.executor_id != original.executor_id), None)
+                if host is None:
+                    break
+                free.remove(host)
+                spec = taskset.specs[partition]
+                copy = TaskAttempt(spec, taskset.next_attempt_number(partition),
+                                   host.executor_id)
+                taskset.speculative[partition] = copy
+                self._record("speculative_launch", task=spec.describe(),
+                             executor=host.executor_id)
+                host.launch_task(copy, self, self._on_task_finish)
+                launched = True
+        return launched
+
+    def _cancel_losing_copy(self, taskset: TaskSet, partition: int,
+                            winner: TaskAttempt) -> None:
+        """The other in-flight copy of ``partition`` (if any) is aborted
+        on its executor."""
+        for loser in (taskset.running.get(partition),
+                      taskset.speculative.get(partition)):
+            if loser is None or loser is winner:
+                continue
+            executor = self.executors.get(loser.executor_id)
+            if executor is not None:
+                from repro.spark.executor import SPECULATION_CANCEL
+
+                executor.kill_task(loser, SPECULATION_CANCEL)
+        taskset.running.pop(partition, None)
+        taskset.speculative.pop(partition, None)
+
+    # ------------------------------------------------------------------
+    # Completion handling
+    # ------------------------------------------------------------------
+
+    def _taskset_for(self, attempt: TaskAttempt) -> Optional[TaskSet]:
+        partition = attempt.spec.partition
+        for taskset in self.tasksets:
+            if taskset.stage_id != attempt.spec.stage_id:
+                continue
+            if (taskset.running.get(partition) is attempt
+                    or taskset.speculative.get(partition) is attempt):
+                return taskset
+        return None
+
+    def _on_task_finish(self, executor: Executor, attempt: TaskAttempt) -> None:
+        taskset = self._taskset_for(attempt)
+        if taskset is not None:
+            partition = attempt.spec.partition
+            if taskset.running.get(partition) is attempt:
+                taskset.running.pop(partition, None)
+            elif taskset.speculative.get(partition) is attempt:
+                taskset.speculative.pop(partition, None)
+            self._handle_outcome(taskset, attempt)
+        if executor.state is ExecutorState.DRAINING and executor.is_idle:
+            self._finalize_drained(executor)
+        self._dispatch()
+
+    def _handle_outcome(self, taskset: TaskSet, attempt: TaskAttempt) -> None:
+        partition = attempt.spec.partition
+        if attempt.state is TaskState.FINISHED:
+            if partition in taskset.finished:
+                return  # the other speculated copy already won
+            taskset.finished.add(partition)
+            taskset.finished_durations.append(attempt.metrics.duration)
+            self._cancel_losing_copy(taskset, partition, attempt)
+            self.listener.on_task_finished(attempt)
+            if taskset.is_complete:
+                self.tasksets.remove(taskset)
+                self.listener.on_taskset_complete(taskset)
+            return
+        if partition in taskset.finished:
+            return  # a cancelled speculation loser; not a real failure
+        self.listener.on_task_failed(attempt)
+        if isinstance(attempt.failure, FetchFailedError):
+            # Stage-level problem: zombify and let the DAG scheduler
+            # resubmit (lost map outputs must be recomputed first).
+            taskset.zombie = True
+            self.listener.on_fetch_failed(taskset, attempt, attempt.failure)
+            return
+        # Plain failure/kill: retry up to the limit.
+        if self._blacklist_enabled:
+            executor = self.executors.get(attempt.executor_id)
+            if (executor is not None
+                    and executor.tasks_failed >= self._blacklist_threshold
+                    and attempt.executor_id not in self.blacklisted):
+                self.blacklisted.add(attempt.executor_id)
+                self._record("executor_blacklisted",
+                             executor=attempt.executor_id,
+                             failures=executor.tasks_failed)
+        count = taskset.failure_counts.get(partition, 0) + 1
+        taskset.failure_counts[partition] = count
+        if count >= self._max_failures:
+            taskset.zombie = True
+            self.tasksets.remove(taskset)
+            self.listener.on_taskset_failed(
+                taskset,
+                f"task {attempt.describe()} failed {count} times: "
+                f"{attempt.failure}")
+            return
+        if not taskset.zombie:
+            taskset.requeue(partition)
+
+    # ------------------------------------------------------------------
+
+    def remove_taskset(self, taskset: TaskSet) -> None:
+        """Withdraw a (typically zombie) task set from scheduling."""
+        if taskset in self.tasksets:
+            self.tasksets.remove(taskset)
+
+    def _record(self, event: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(self.env.now, "scheduler", event, **fields)

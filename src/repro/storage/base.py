@@ -1,0 +1,265 @@
+"""The common storage-service protocol and shared bookkeeping.
+
+Every service stores *keyed byte blobs* (shuffle blocks, in practice) and
+exposes event-returning ``write``/``read`` whose completion time models
+the service's latency, bandwidth contention, and throttling. Callers pass
+``via_links`` — the fair-share links on the *caller's* side of the path
+(a Lambda's NIC, a VM's network interface) — so that client-side
+bottlenecks compose with service-side ones.
+
+Services implement three hooks:
+
+- :meth:`_admit` — request-rate admission control (S3 throttling);
+- :meth:`_op_latency` — per-request software/network latency;
+- :meth:`_bulk_transfer` — the payload's path through the service's own
+  bandwidth constraints.
+
+On top of the hooks the base class offers single-object ``write``/
+``read``/``read_partial`` and aggregate ``batch_write``/``batch_read``.
+The batch forms model N requests + one fused payload stream; the shuffle
+layer uses them so a 200-partition Spark SQL stage costs hundreds of
+*requests* (correctly billed and throttled) without hundreds of simulated
+transfers.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Sequence
+
+from repro.simulation.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.network import FairShareLink
+    from repro.cloud.pricing import BillingMeter
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+
+
+class StorageKeyError(KeyError):
+    """Raised when reading or deleting a key that does not exist."""
+
+
+@dataclass
+class StorageStats:
+    """Aggregate I/O counters for one service."""
+
+    bytes_written: float = 0.0
+    bytes_read: float = 0.0
+    write_requests: int = 0
+    read_requests: int = 0
+    #: Cumulative seconds requests spent queued behind throttling.
+    throttle_wait_s: float = 0.0
+
+
+class StorageService(abc.ABC):
+    """Base class: key registry, stats, billing, and the event plumbing."""
+
+    #: Requests issued concurrently within one batch operation.
+    DEFAULT_PARALLELISM = 5
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        rng: "RandomStreams",
+        meter: "BillingMeter" = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.rng = rng
+        self.meter = meter
+        self.stats = StorageStats()
+        self._objects: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Service hooks
+    # ------------------------------------------------------------------
+
+    def _admit(self, count: int, write: bool) -> float:
+        """Seconds of throttle delay before ``count`` requests may start
+        (0 = no admission control)."""
+        return 0.0
+
+    def _op_latency(self, write: bool) -> float:
+        """Latency of one request (drawn fresh per request)."""
+        return 0.0
+
+    @abc.abstractmethod
+    def _bulk_transfer(self, nbytes: float,
+                       via_links: Sequence["FairShareLink"], write: bool,
+                       context=None):
+        """Generator: move the payload through the service-side and
+        caller-side constraints."""
+
+    def _bill_write(self, nbytes: float, count: int = 1) -> float:
+        """Dollar cost of ``count`` write requests (0 unless charged)."""
+        return 0.0
+
+    def _bill_read(self, nbytes: float, count: int = 1) -> float:
+        return 0.0
+
+    def _op_context(self, key: str, write: bool):
+        """Service-specific per-operation context (e.g. HDFS replica
+        placement), resolved at request time and passed to
+        :meth:`_bulk_transfer`."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Public API: single objects
+    # ------------------------------------------------------------------
+
+    def write(self, key: str, nbytes: float,
+              via_links: Sequence["FairShareLink"] = ()) -> Event:
+        """Store ``nbytes`` under ``key``; event fires when durable."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        done = Event(self.env)
+        self.env.process(
+            self._run_io(1, float(nbytes), list(via_links), True, done,
+                         key=key, context=self._op_context(key, True)))
+        return done
+
+    def read(self, key: str,
+             via_links: Sequence["FairShareLink"] = ()) -> Event:
+        """Fetch the blob under ``key``; the event's value is its size."""
+        nbytes = self.size_of(key)
+        done = Event(self.env)
+        self.env.process(
+            self._run_io(1, nbytes, list(via_links), False, done,
+                         context=self._op_context(key, False)))
+        return done
+
+    def read_partial(self, key: str, nbytes: float,
+                     via_links: Sequence["FairShareLink"] = ()) -> Event:
+        """Ranged read: fetch ``nbytes`` out of the blob under ``key``.
+
+        Both S3 (ranged GET) and HDFS (positioned read) support this; the
+        shuffle layer uses it so a reducer pulls only its slice of a
+        consolidated map-output file. Billed like a normal read.
+        """
+        stored = self.size_of(key)
+        if nbytes < 0 or nbytes > stored + 1e-6:
+            raise ValueError(
+                f"range of {nbytes} bytes outside object {key!r} ({stored} bytes)")
+        done = Event(self.env)
+        self.env.process(
+            self._run_io(1, float(nbytes), list(via_links), False, done,
+                         context=self._op_context(key, False)))
+        return done
+
+    # ------------------------------------------------------------------
+    # Public API: request batches (fused payload, counted requests)
+    # ------------------------------------------------------------------
+
+    def batch_write(self, count: int, total_bytes: float,
+                    via_links: Sequence["FairShareLink"] = (),
+                    parallelism: int = None, key_prefix: str = None) -> Event:
+        """Issue ``count`` write requests carrying ``total_bytes`` overall.
+
+        Pays admission for all requests, per-request latency in waves of
+        ``parallelism``, and one fused payload stream. When ``key_prefix``
+        is given, a single registry entry ``<prefix>`` of ``total_bytes``
+        records the data for later batch reads.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if total_bytes < 0:
+            raise ValueError(f"total_bytes must be non-negative, got {total_bytes}")
+        done = Event(self.env)
+        self.env.process(self._run_io(count, float(total_bytes),
+                                      list(via_links), True, done,
+                                      key=key_prefix,
+                                      parallelism=parallelism))
+        return done
+
+    def batch_read(self, count: int, total_bytes: float,
+                   via_links: Sequence["FairShareLink"] = (),
+                   parallelism: int = None) -> Event:
+        """Issue ``count`` read requests fetching ``total_bytes`` overall."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if total_bytes < 0:
+            raise ValueError(f"total_bytes must be non-negative, got {total_bytes}")
+        done = Event(self.env)
+        self.env.process(self._run_io(count, float(total_bytes),
+                                      list(via_links), False, done,
+                                      parallelism=parallelism))
+        return done
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+
+    def exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def size_of(self, key: str) -> float:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise StorageKeyError(f"{self.name}: no object {key!r}") from None
+
+    def delete(self, key: str) -> None:
+        try:
+            del self._objects[key]
+        except KeyError:
+            raise StorageKeyError(f"{self.name}: no object {key!r}") from None
+
+    def keys(self):
+        """Iterate over stored keys (snapshot)."""
+        return list(self._objects)
+
+    @property
+    def total_stored_bytes(self) -> float:
+        return sum(self._objects.values())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run_io(self, count: int, nbytes: float, via_links, write: bool,
+                done: Event, key: str = None, parallelism: int = None,
+                context=None):
+        if parallelism is None:
+            parallelism = self.DEFAULT_PARALLELISM
+        try:
+            throttle = self._admit(count, write)
+            if throttle > 0:
+                self.stats.throttle_wait_s += throttle
+                yield self.env.timeout(throttle)
+            waves = math.ceil(count / max(1, parallelism))
+            for _ in range(waves):
+                latency = self._op_latency(write)
+                if latency > 0:
+                    yield self.env.timeout(latency)
+            if nbytes > 0:
+                yield from self._bulk_transfer(nbytes, via_links, write,
+                                               context=context)
+        except BaseException as exc:  # pragma: no cover - defensive
+            done.fail(exc)
+            return
+        if write:
+            if key is not None:
+                self._objects[key] = nbytes
+            self.stats.bytes_written += nbytes
+            self.stats.write_requests += count
+            cost = self._bill_write(nbytes, count)
+        else:
+            self.stats.bytes_read += nbytes
+            self.stats.read_requests += count
+            cost = self._bill_read(nbytes, count)
+        if cost and self.meter is not None:
+            self.meter.bill_storage(self.name, cost)
+        done.succeed(nbytes)
+
+    def _transfer_all(self, links, nbytes: float):
+        """Yield until ``nbytes`` has crossed every link in ``links``."""
+        events = [link.transfer(nbytes) for link in links]
+        for event in events:
+            yield event
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,48 @@
+"""Local-disk storage: vanilla Spark's dynamic-allocation shuffle target.
+
+Writes and reads stream through the hosting VM's dedicated EBS channel
+(a fair-share link), with a tiny fixed software overhead. There is no
+dollar cost — the disk comes with the instance.
+
+This is the option Lambda-based executors *cannot* use across executors:
+a Lambda's local 512 MB /tmp is private and dies with the container,
+which is precisely why SplitServe needs an external shuffle layer (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.storage.base import StorageService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.network import FairShareLink
+    from repro.cloud.pricing import BillingMeter
+    from repro.cloud.vm import VirtualMachine
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+
+#: Fixed filesystem/software overhead per operation, seconds.
+_FS_OVERHEAD_S = 0.001
+
+
+class LocalDisk(StorageService):
+    """The disk of one VM, bandwidth-limited by its EBS channel."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        vm: "VirtualMachine",
+        rng: "RandomStreams",
+        meter: "BillingMeter" = None,
+    ) -> None:
+        super().__init__(env, f"disk:{vm.name}", rng, meter)
+        self.vm = vm
+
+    def _op_latency(self, write: bool) -> float:
+        return _FS_OVERHEAD_S
+
+    def _bulk_transfer(self, nbytes: float,
+                       via_links: Sequence["FairShareLink"], write: bool,
+                       context=None):
+        yield from self._transfer_all([self.vm.ebs_link, *via_links], nbytes)

@@ -1,0 +1,80 @@
+"""Diurnal demand traces for the Figure 2 illustration.
+
+Figure 2 sketches "average predicted workload needs (in terms of number
+of executors, one per core) with 95 % confidence bands over a typical
+workday": a double-peaked business-hours curve, with the true demand
+w(t) wandering around the prediction — occasionally above m(t)+2σ(t)
+(the t₁ shortfall SplitServe bridges with Lambdas) and occasionally
+below m(t)−2σ(t) (the t₂ idle capacity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.autoscaler import DemandPoint
+
+
+@dataclass
+class DiurnalTrace:
+    """A synthetic but realistically shaped 24 h demand trace.
+
+    The mean follows a double-peak workday (morning and afternoon peaks,
+    lunch dip, quiet night); σ(t) is proportional to the mean; the actual
+    demand adds AR(1)-correlated noise so excursions persist for a few
+    samples, as real workloads' do.
+    """
+
+    base_cores: float = 20.0
+    peak_cores: float = 120.0
+    sigma_fraction: float = 0.12
+    sample_minutes: float = 5.0
+    noise_sigma_multiplier: float = 1.25
+    ar_coefficient: float = 0.7
+    seed: int = 42
+
+    def mean_at(self, hour: float) -> float:
+        """m(t): the predicted demand at ``hour`` in [0, 24)."""
+        morning = math.exp(-((hour - 10.5) ** 2) / (2 * 2.2 ** 2))
+        afternoon = math.exp(-((hour - 15.5) ** 2) / (2 * 2.0 ** 2))
+        lunch_dip = 0.25 * math.exp(-((hour - 12.75) ** 2) / (2 * 0.7 ** 2))
+        shape = max(0.0, morning + 0.9 * afternoon - lunch_dip)
+        return self.base_cores + (self.peak_cores - self.base_cores) * min(1.0, shape)
+
+    def sigma_at(self, hour: float) -> float:
+        return self.sigma_fraction * self.mean_at(hour)
+
+    def generate(self, hours: float = 24.0) -> List[DemandPoint]:
+        """Sample the trace; deterministic for a fixed seed."""
+        if hours <= 0:
+            raise ValueError("hours must be positive")
+        rng = np.random.default_rng(self.seed)
+        points: List[DemandPoint] = []
+        samples = int(hours * 60 / self.sample_minutes)
+        noise = 0.0
+        for i in range(samples):
+            t_s = i * self.sample_minutes * 60.0
+            hour = (t_s / 3600.0) % 24.0
+            mean = self.mean_at(hour)
+            sigma = self.sigma_at(hour)
+            innovation = rng.normal(0.0, sigma * self.noise_sigma_multiplier
+                                    * math.sqrt(1 - self.ar_coefficient ** 2))
+            noise = self.ar_coefficient * noise + innovation
+            actual = max(0.0, mean + noise)
+            points.append(DemandPoint(time_s=t_s, mean=mean, sigma=sigma,
+                                      actual=actual))
+        return points
+
+    def shortfall_sample_exists(self, points: List[DemandPoint],
+                                k: float = 2.0) -> bool:
+        """True if some sample exceeds m(t) + k sigma(t) — Figure 2's t1."""
+        return any(p.actual > p.mean + k * p.sigma for p in points)
+
+    def idle_sample_exists(self, points: List[DemandPoint],
+                           k: float = 2.0) -> bool:
+        """True if some sample is below m(t) - k sigma(t) — Figure 2's t2."""
+        return any(p.actual < p.mean - k * p.sigma for p in points)

@@ -1,0 +1,185 @@
+"""Tests for profiling, timelines, reporting, and the Table 1 matrix."""
+
+import math
+
+import pytest
+
+from repro.analysis.profiling import (
+    ProfilePoint,
+    optimal_parallelism,
+    profile_workload,
+)
+from repro.analysis.reporting import (
+    format_bar_chart,
+    format_series,
+    format_table,
+    relative_to,
+)
+from repro.analysis.timeline import build_timeline
+from repro.baselines.comparison import (
+    COMPARISON_MATRIX,
+    hybrid_systems,
+    render_table1,
+)
+from repro.core.scenarios import run_scenario
+from repro.workloads import PageRankWorkload, SparkPiWorkload
+
+
+# ---------------------------------------------------------------------------
+# Profiling (Figure 4 machinery)
+# ---------------------------------------------------------------------------
+
+def test_profile_kind_validation():
+    with pytest.raises(ValueError):
+        profile_workload(PageRankWorkload.small(), "container")
+
+
+def test_profile_lambda_sweep_is_u_shaped():
+    """Figure 4(a): 'a classic U-shaped curve' — time falls with
+    parallelism, then communication overheads bend it back up."""
+    points = profile_workload(PageRankWorkload.large(), "lambda",
+                              parallelism_sweep=(1, 4, 16, 128))
+    durations = [p.duration_s for p in points]
+    assert durations[1] < durations[0]  # parallelism helps at first
+    assert durations[3] > min(durations)  # and hurts at the extreme
+
+
+def test_profile_vm_faster_than_lambda_at_same_parallelism():
+    """Figure 4(b): 'the overall execution time is much lower when
+    running on VMs'."""
+    w = PageRankWorkload.large()
+    la = profile_workload(w, "lambda", parallelism_sweep=(8,))[0]
+    vm = profile_workload(w, "vm", parallelism_sweep=(8,))[0]
+    assert vm.duration_s < la.duration_s
+
+
+def test_profile_costs_positive():
+    points = profile_workload(PageRankWorkload.small(), "lambda",
+                              parallelism_sweep=(2, 8))
+    assert all(p.cost > 0 for p in points)
+
+
+def test_optimal_parallelism():
+    points = [ProfilePoint(1, 100.0, 1.0, "vm"),
+              ProfilePoint(4, 30.0, 1.0, "vm"),
+              ProfilePoint(16, 45.0, 1.0, "vm")]
+    assert optimal_parallelism(points).parallelism == 4
+    with pytest.raises(ValueError):
+        optimal_parallelism([])
+
+
+# ---------------------------------------------------------------------------
+# Timeline (Figure 7 machinery)
+# ---------------------------------------------------------------------------
+
+def test_timeline_reconstructs_executors_and_stages():
+    result = run_scenario(PageRankWorkload(), "ss_hybrid", keep_trace=True)
+    timeline = build_timeline(result.trace)
+    assert len(timeline.executors_of_kind("vm")) == 3
+    assert len(timeline.executors_of_kind("lambda")) == 13
+    # 6 PageRank stages completed.
+    assert len(timeline.stage_boundaries) == 6
+    assert timeline.end_time == pytest.approx(result.duration_s, rel=0.05)
+
+
+def test_timeline_segue_marker():
+    result = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
+                          keep_trace=True)
+    timeline = build_timeline(result.trace)
+    assert timeline.segue_time is not None
+    # Figure 7: segue commences once cores free up at ~45s.
+    assert 40 < timeline.segue_time < 70
+
+
+def test_timeline_no_segue_marker_without_segue():
+    result = run_scenario(SparkPiWorkload(), "ss_R_vm", keep_trace=True)
+    timeline = build_timeline(result.trace)
+    assert timeline.segue_time is None
+
+
+def test_timeline_render_ascii():
+    result = run_scenario(SparkPiWorkload(), "ss_R_la", keep_trace=True)
+    text = build_timeline(result.trace).render(width=40)
+    assert "#" in text
+    assert "stages" in text
+
+
+def test_executor_span_busy_seconds():
+    result = run_scenario(SparkPiWorkload(), "spark_R_vm", keep_trace=True)
+    timeline = build_timeline(result.trace)
+    busy = sum(e.busy_seconds for e in timeline.executors)
+    assert busy > 0
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+def test_format_table_aligned():
+    text = format_table(["a", "long-header"], [["x", 1.5], ["yy", 2.0]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long-header" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_validation():
+    with pytest.raises(ValueError):
+        format_table([], [])
+    with pytest.raises(ValueError):
+        format_table(["a"], [["x", "too-many"]])
+
+
+def test_format_bar_chart_scales_and_marks_failures():
+    text = format_bar_chart([("base", 10.0), ("slow", 20.0),
+                             ("dead", float("nan"), "(fatal)")],
+                            unit="s")
+    lines = text.splitlines()
+    assert lines[1].count("#") > lines[0].count("#")
+    assert "FAILED" in lines[2]
+
+
+def test_format_series_validation():
+    with pytest.raises(ValueError):
+        format_series("x", [1, 2], {"y": [1.0]})
+
+
+def test_format_series_renders_rows():
+    text = format_series("cores", [1, 2], {"time": [10.0, 5.0]})
+    assert "cores" in text and "10.00" in text
+
+
+def test_relative_to():
+    assert relative_to(10.0, 25.0) == "(2.50x)"
+    assert relative_to(0.0, 25.0) == ""
+    assert relative_to(10.0, float("nan")) == ""
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+def test_table1_matches_paper_rows():
+    assert len(COMPARISON_MATRIX) == 13
+    splitserve = COMPARISON_MATRIX["SplitServe"]
+    assert splitserve.uses_vms and splitserve.uses_cfs
+    assert splitserve.execution_time_favourable
+    assert splitserve.cost_favourable
+
+
+def test_table1_qubole_row():
+    q = COMPARISON_MATRIX["Qubole"]
+    assert not q.uses_vms and q.uses_cfs
+    assert q.execution_time_favourable is False
+
+
+def test_table1_renders():
+    text = render_table1()
+    assert "SplitServe" in text
+    assert "n/a" in text  # ExCamera's columns
+
+
+def test_hybrid_club_is_small():
+    # Only the FEAT/MArk row and SplitServe itself use both VMs and CFs.
+    assert {p.name for p in hybrid_systems()} == {"FEAT, MArk", "SplitServe"}

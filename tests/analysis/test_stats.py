@@ -1,0 +1,67 @@
+"""Tests for the statistics helpers and cross-seed stability."""
+
+import pytest
+
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    relative_change,
+    summarize,
+)
+from repro.core.scenarios import run_scenario
+from repro.workloads import PageRankWorkload
+
+
+def test_summarize_basics():
+    s = summarize([10.0, 12.0, 11.0, 9.0, 13.0])
+    assert s.n == 5
+    assert s.mean == pytest.approx(11.0)
+    assert s.ci_low < s.mean < s.ci_high
+
+
+def test_summarize_ci_tightens_with_samples():
+    narrow = summarize([10.0 + 0.1 * (i % 3) for i in range(50)])
+    wide = summarize([10.0 + 3.0 * (i % 3) for i in range(50)])
+    assert (narrow.ci_high - narrow.ci_low) < (wide.ci_high - wide.ci_low)
+
+
+def test_summarize_validation():
+    with pytest.raises(ValueError):
+        summarize([1.0])
+    with pytest.raises(ValueError):
+        summarize([1.0, 2.0], confidence=1.5)
+
+
+def test_summary_format():
+    s = summarize([10.0, 12.0])
+    text = s.format()
+    assert "+/-" in text and "[" in text
+
+
+def test_cv_and_relative_change():
+    assert coefficient_of_variation([10.0, 10.0, 10.0, 10.1]) < 0.01
+    assert relative_change(100.0, 55.0) == pytest.approx(-0.45)
+    with pytest.raises(ValueError):
+        relative_change(0.0, 1.0)
+    with pytest.raises(ValueError):
+        coefficient_of_variation([5.0])
+
+
+def test_scenario_results_stable_across_seeds():
+    """The reproduced factors must not be a lucky seed: across 5 seeds,
+    the hybrid scenario's duration varies by only a few percent."""
+    durations = [run_scenario(PageRankWorkload(), "ss_hybrid",
+                              seed=seed).duration_s
+                 for seed in range(5)]
+    assert coefficient_of_variation(durations) < 0.05
+
+
+def test_relative_factor_stable_across_seeds():
+    ratios = []
+    for seed in range(4):
+        base = run_scenario(PageRankWorkload(), "spark_R_vm",
+                            seed=seed).duration_s
+        hybrid = run_scenario(PageRankWorkload(), "ss_hybrid",
+                              seed=seed).duration_s
+        ratios.append(hybrid / base)
+    assert coefficient_of_variation(ratios) < 0.05
+    assert all(1.05 < r < 1.45 for r in ratios)

@@ -1,0 +1,76 @@
+"""Edge-case tests for timeline reconstruction and rendering."""
+
+from repro.analysis.timeline import Timeline, build_timeline
+from repro.simulation import TraceRecorder
+
+
+def test_empty_trace_builds_empty_timeline():
+    timeline = build_timeline(TraceRecorder())
+    assert timeline.executors == []
+    assert timeline.segue_time is None
+    assert timeline.end_time == 0.0
+
+
+def test_render_handles_no_activity():
+    timeline = Timeline(executors=[], segue_time=None, stage_boundaries=[])
+    text = timeline.render(width=20)
+    assert "stages" in text
+
+
+def test_executor_without_tasks():
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="idle-0",
+                 kind="vm")
+    timeline = build_timeline(trace)
+    span = timeline.executors[0]
+    assert span.first_task_start is None
+    assert span.busy_seconds == 0.0
+
+
+def test_task_spans_reconstructed_from_durations():
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="e0", kind="vm")
+    trace.record(12.0, "executor", "task_end", executor="e0",
+                 task="stage0/p0", state="finished", duration=12.0)
+    trace.record(30.0, "executor", "task_end", executor="e0",
+                 task="stage0/p1", state="finished", duration=10.0)
+    timeline = build_timeline(trace)
+    span = timeline.executors[0]
+    assert span.tasks[0].start == 0.0
+    assert span.tasks[0].end == 12.0
+    assert span.tasks[1].start == 20.0
+    assert span.busy_seconds == 22.0
+    assert timeline.end_time == 30.0
+
+
+def test_decommission_recorded_once():
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="e0",
+                 kind="lambda")
+    trace.record(5.0, "executor", "draining", executor="e0")
+    trace.record(9.0, "executor", "dead", executor="e0")
+    timeline = build_timeline(trace)
+    assert timeline.executors[0].decommissioned_at == 5.0
+    assert timeline.segue_time == 5.0
+
+
+def test_kind_filter():
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="v", kind="vm")
+    trace.record(0.0, "executor", "registered", executor="l",
+                 kind="lambda")
+    timeline = build_timeline(trace)
+    assert len(timeline.executors_of_kind("vm")) == 1
+    assert len(timeline.executors_of_kind("lambda")) == 1
+    assert timeline.executors_of_kind("container") == []
+
+
+def test_render_marks_registration_of_idle_executor():
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="e0", kind="vm")
+    trace.record(50.0, "executor", "registered", executor="late",
+                 kind="vm")
+    trace.record(100.0, "executor", "task_end", executor="e0",
+                 task="t", state="finished", duration=100.0)
+    text = build_timeline(trace).render(width=40)
+    assert "+" in text  # the late executor's registration tick

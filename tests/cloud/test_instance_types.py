@@ -1,0 +1,61 @@
+"""Unit tests for the instance-type catalogue details."""
+
+import pytest
+
+from repro.cloud import INSTANCE_CATALOGUE, instance_type
+from repro.cloud.instance_types import fewest_instances_for_cores
+
+
+def test_catalogue_is_the_m4_family():
+    assert set(INSTANCE_CATALOGUE) == {
+        "m4.large", "m4.xlarge", "m4.2xlarge", "m4.4xlarge",
+        "m4.10xlarge", "m4.16xlarge"}
+
+
+def test_specs_scale_with_size():
+    """vCPUs, memory, and price all grow monotonically up the family."""
+    ladder = ["m4.large", "m4.xlarge", "m4.2xlarge", "m4.4xlarge",
+              "m4.10xlarge", "m4.16xlarge"]
+    types = [instance_type(name) for name in ladder]
+    for small, big in zip(types, types[1:]):
+        assert big.vcpus > small.vcpus
+        assert big.memory_bytes > small.memory_bytes
+        assert big.price_per_hour > small.price_per_hour
+        assert big.ebs_bandwidth_bytes_per_s >= small.ebs_bandwidth_bytes_per_s
+
+
+def test_memory_per_core_constant_across_family():
+    """The m4 family keeps 4 GiB per vCPU — load-bearing for the K-means
+    cache-thrash calibration (same per-executor heap at any r)."""
+    for itype in INSTANCE_CATALOGUE.values():
+        per_core = itype.memory_bytes / itype.vcpus
+        assert per_core == pytest.approx(4 * 1024 ** 3)
+
+
+def test_price_per_core_constant_across_family():
+    """On-demand m4 pricing is linear in vCPUs ($0.05/vCPU-hour)."""
+    for itype in INSTANCE_CATALOGUE.values():
+        assert itype.price_per_vcpu_hour == pytest.approx(0.05)
+
+
+def test_paper_ebs_bandwidths():
+    """The two numbers §5.2 quotes: 750 Mbps (m4.xlarge, the PageRank
+    HDFS node) and 2,000 Mbps (m4.4xlarge, the PageRank workers)."""
+    assert instance_type("m4.xlarge").ebs_bandwidth_bytes_per_s == 750e6 / 8
+    assert instance_type("m4.4xlarge").ebs_bandwidth_bytes_per_s == 2000e6 / 8
+
+
+def test_fewest_instances_totals_cover_cores():
+    for cores in (1, 2, 3, 7, 16, 33, 64, 65, 128, 200):
+        picked = fewest_instances_for_cores(cores)
+        assert sum(t.vcpus for t in picked) >= cores
+
+
+def test_fewest_instances_profiling_ladder():
+    """§5.1's ladder: one instance per profiled core count."""
+    for cores in (1, 2, 4, 8, 16, 32, 64):
+        assert len(fewest_instances_for_cores(cores)) == 1
+
+
+def test_str_is_name():
+    assert str(instance_type("m4.large")) == "m4.large"

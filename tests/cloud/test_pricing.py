@@ -1,0 +1,123 @@
+"""Tests for the billing models (Figure 1's two cost curves)."""
+
+import math
+
+import pytest
+
+from repro.cloud import BillingMeter, LambdaPricing, VMPricing, instance_type
+from repro.cloud.pricing import lambda_cost, lambda_vm_crossover_s, vm_vcpu_cost
+
+
+def test_vm_minimum_one_minute_charge():
+    pricing = VMPricing(price_per_hour=0.10)
+    per_second = 0.10 / 3600
+    assert pricing.cost(1) == pytest.approx(60 * per_second)
+    assert pricing.cost(59.5) == pytest.approx(60 * per_second)
+    assert pricing.cost(60) == pytest.approx(60 * per_second)
+
+
+def test_vm_zero_duration_costs_nothing():
+    assert VMPricing(0.10).cost(0) == 0.0
+
+
+def test_vm_per_second_increments_after_minute():
+    pricing = VMPricing(price_per_hour=3.60)  # $0.001/s for easy math
+    assert pricing.cost(61) == pytest.approx(0.061)
+    assert pricing.cost(60.4) == pytest.approx(0.061)  # rounded up
+    assert pricing.cost(120) == pytest.approx(0.120)
+
+
+def test_vm_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        VMPricing(0.10).cost(-1)
+
+
+def test_lambda_100ms_rounding():
+    pricing = LambdaPricing(memory_mb=1536)
+    gb = 1536 / 1024
+    rate = 0.0000166667 * gb
+    # 250 ms bills as 300 ms.
+    expected = rate * 0.3 + 0.20 / 1e6
+    assert pricing.cost(0.25) == pytest.approx(expected)
+
+
+def test_lambda_invocation_fee_scales():
+    pricing = LambdaPricing(memory_mb=1024)
+    one = pricing.cost(1.0, invocations=1)
+    ten = pricing.cost(1.0, invocations=10)
+    assert ten - one == pytest.approx(9 * 0.20 / 1e6)
+
+
+def test_lambda_cost_proportional_to_memory():
+    t = 10.0
+    small = lambda_cost(512, t)
+    large = lambda_cost(3008, t)
+    # Strip the identical invocation fee before comparing ratios.
+    fee = 0.20 / 1e6
+    assert (large - fee) / (small - fee) == pytest.approx(3008 / 512)
+
+
+def test_figure1_shape_lambda_cheaper_short_vm_cheaper_long():
+    """The core economics of the paper: Lambdas win short, VMs win long."""
+    m4_large = instance_type("m4.large")
+    # At 5 seconds the Lambda is far cheaper than the VM's 60s minimum.
+    assert lambda_cost(1536, 5) < vm_vcpu_cost(m4_large, 5)
+    # At 10 minutes the VM vCPU is cheaper.
+    assert lambda_cost(1536, 600) > vm_vcpu_cost(m4_large, 600)
+
+
+def test_figure1_crossover_inside_vm_minimum_plateau():
+    """For m4.large vs 1536MB Lambda, the crossover is ~33s (< 60s)."""
+    m4_large = instance_type("m4.large")
+    crossover = lambda_vm_crossover_s(m4_large, 1536)
+    assert 25 < crossover < 45
+    # Verify against the actual step functions around the crossover.
+    assert lambda_cost(1536, crossover * 0.8) < vm_vcpu_cost(m4_large, crossover * 0.8)
+    assert lambda_cost(1536, crossover * 1.2) > vm_vcpu_cost(m4_large, crossover * 1.2)
+
+
+def test_vm_curve_is_monotone_step_function():
+    m4_large = instance_type("m4.large")
+    costs = [vm_vcpu_cost(m4_large, t) for t in [1, 30, 59, 60, 61, 120, 300]]
+    assert costs == sorted(costs)
+    assert costs[0] == costs[3]  # flat across the 60s plateau
+
+
+def test_lambda_curve_monotone_and_fine_grained():
+    costs = [lambda_cost(1536, t) for t in [0.05, 0.1, 0.15, 0.2, 1.0, 10.0]]
+    assert costs == sorted(costs)
+    assert costs[1] < costs[2]  # increments visible at 100ms scale
+
+
+def test_billing_meter_total_and_breakdown():
+    meter = BillingMeter()
+    m4 = instance_type("m4.xlarge")
+    meter.bill_vm("vm-0", m4, start=0, end=120)
+    meter.bill_lambda("la-0", 1536, start=0, end=30)
+    meter.bill_storage("s3", 0.01)
+    breakdown = meter.breakdown()
+    assert set(breakdown) == {"vm", "lambda", "storage:s3"}
+    assert meter.total() == pytest.approx(sum(breakdown.values()))
+
+
+def test_billing_meter_core_fraction():
+    meter = BillingMeter()
+    m4 = instance_type("m4.xlarge")
+    full = meter.bill_vm("vm-a", m4, 0, 600, cores_fraction=1.0)
+    quarter = meter.bill_vm("vm-b", m4, 0, 600, cores_fraction=0.25)
+    assert quarter == pytest.approx(full / 4)
+
+
+def test_billing_meter_rejects_inverted_interval():
+    meter = BillingMeter()
+    with pytest.raises(ValueError):
+        meter.bill_vm("x", instance_type("m4.large"), 10, 5)
+
+
+def test_billing_intervals_query():
+    meter = BillingMeter()
+    m4 = instance_type("m4.large")
+    meter.bill_vm("vm-0", m4, 0, 60)
+    meter.bill_lambda("la-0", 1536, 5, 15)
+    assert meter.intervals("vm") == [("vm-0", 0, 60)]
+    assert meter.intervals("lambda") == [("la-0", 5, 15)]

@@ -1,0 +1,88 @@
+"""Tests for spot instances and the §2 transient-resource story."""
+
+import pytest
+
+from repro.cloud.spot import SPOT_DISCOUNT, SpotVM
+from repro.simulation import Environment, RandomStreams
+
+from tests.spark.helpers import MiniCluster, two_stage_rdd
+
+
+def test_spot_is_discounted():
+    env = Environment()
+    vm = SpotVM(env, "spot-0", "m4.4xlarge", RandomStreams(0),
+                already_running=True)
+    assert vm.itype.price_per_hour == pytest.approx(
+        0.80 * (1 - SPOT_DISCOUNT))
+    assert vm.itype.vcpus == 16
+
+
+def test_spot_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        SpotVM(env, "x", "m4.large", RandomStreams(0),
+               mean_revocation_s=0)
+
+
+def test_spot_eventually_revoked():
+    env = Environment()
+    vm = SpotVM(env, "spot-0", "m4.large", RandomStreams(3),
+                mean_revocation_s=60.0, already_running=True)
+    env.run(until=vm.stopped)
+    assert vm.revoked
+    assert not vm.is_running
+
+
+def test_tenant_termination_is_not_a_revocation():
+    env = Environment()
+    vm = SpotVM(env, "spot-0", "m4.large", RandomStreams(3),
+                mean_revocation_s=1e9, already_running=True)
+    vm.terminate()
+    env.run()
+    assert not vm.revoked
+
+
+def _run_with_spot_worker(backend, seed=2, revoke_at=20.0):
+    """A 2-stage job where half the cluster is a revocable spot VM that
+    the market reclaims mid-reduce (t=20s: maps done at ~10s)."""
+    cluster = MiniCluster(seed=seed, backend=backend)
+    stable = cluster.provider.request_vm("m4.xlarge", already_running=True)
+    cluster.driver.add_vm_executor(stable)
+    cluster.driver.add_vm_executor(stable)
+    spot = SpotVM(cluster.env, "spot-0", "m4.xlarge", cluster.rng,
+                  revocation_at_s=revoke_at,
+                  already_running=True)
+    cluster.provider.vms.append(spot)
+    cluster.driver.add_vm_executor(spot)
+    cluster.driver.add_vm_executor(spot)
+    rdd = two_stage_rdd(cluster.builder, maps=4, reduces=4,
+                        map_seconds=10.0, reduce_seconds=15.0,
+                        shuffle_bytes=8 * 1024 * 1024)
+    job = cluster.driver.submit(rdd)
+    cluster.env.run(until=job.done)
+    return cluster, job, spot
+
+
+def test_revocation_mid_job_recovers_on_survivors():
+    cluster, job, spot = _run_with_spot_worker("local")
+    assert spot.revoked
+    assert not job.failed
+    # Everything eventually ran on the stable VM's executors.
+    assert len(cluster.driver.task_scheduler.executors) == 2
+
+
+def test_external_shuffle_softens_revocation():
+    """The §4.3 point, transient-resource edition: with shuffle on HDFS a
+    revocation costs only in-flight tasks; with executor-local shuffle it
+    also costs recomputation of the lost map outputs."""
+    _cluster_l, job_local, spot_l = _run_with_spot_worker("local")
+    _cluster_h, job_hdfs, spot_h = _run_with_spot_worker("hdfs")
+    assert spot_l.revoked and spot_h.revoked  # same seed, same clock
+    assert not job_local.failed and not job_hdfs.failed
+    # Local shuffle re-ran map work; HDFS did not.
+    local_maps = sum(1 for a in job_local.task_attempts
+                     if a.spec.is_shuffle_map)
+    hdfs_maps = sum(1 for a in job_hdfs.task_attempts
+                    if a.spec.is_shuffle_map)
+    assert local_maps > hdfs_maps
+    assert job_hdfs.duration <= job_local.duration

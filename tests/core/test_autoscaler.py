@@ -1,0 +1,123 @@
+"""Tests for the inter-job autoscaler and diurnal traces (Figure 2)."""
+
+import pytest
+
+from repro.cloud import instance_type
+from repro.core.autoscaler import (
+    AutoscaleReport,
+    DemandPoint,
+    InterJobAutoscaler,
+    ProvisioningPolicy,
+)
+from repro.workloads.traces import DiurnalTrace
+
+
+def flat_trace(n=10, mean=10.0, sigma=1.0, actual=None):
+    actual = actual if actual is not None else mean
+    return [DemandPoint(time_s=i * 60.0, mean=mean, sigma=sigma,
+                        actual=actual) for i in range(n)]
+
+
+def test_policy_cores_at():
+    policy = ProvisioningPolicy(k=2.0)
+    point = DemandPoint(0.0, mean=10.0, sigma=2.0, actual=10.0)
+    assert policy.cores_at(point) == 14
+
+
+def test_policy_label():
+    assert ProvisioningPolicy(k=0).label == "m(t)"
+    assert "2" in ProvisioningPolicy(k=2.0).label
+    assert ProvisioningPolicy(k=1, name="custom").label == "custom"
+
+
+def test_replay_requires_two_samples():
+    scaler = InterJobAutoscaler()
+    with pytest.raises(ValueError):
+        scaler.replay(flat_trace(1), ProvisioningPolicy(k=2))
+
+
+def test_replay_no_shortfall_when_overprovisioned():
+    scaler = InterJobAutoscaler()
+    report = scaler.replay(flat_trace(actual=5.0), ProvisioningPolicy(k=2))
+    assert report.shortfall_events == 0
+    assert report.idle_core_hours > 0
+
+
+def test_replay_shortfall_when_demand_spikes():
+    trace = flat_trace(actual=20.0)  # demand double the prediction
+    scaler = InterJobAutoscaler()
+    report = scaler.replay(trace, ProvisioningPolicy(k=2))
+    assert report.shortfall_events == len(trace)
+    assert report.shortfall_core_hours > 0
+
+
+def test_conservative_policy_provisions_more():
+    trace = flat_trace()
+    scaler = InterJobAutoscaler()
+    lean = scaler.replay(trace, ProvisioningPolicy(k=0))
+    conservative = scaler.replay(trace, ProvisioningPolicy(k=2))
+    assert conservative.vm_core_hours > lean.vm_core_hours
+
+
+def test_lean_policy_plus_lambdas_can_be_cheaper():
+    """The paper's §4.1 argument: SplitServe lets the tenant provision at
+    m(t) and bridge excursions with Lambdas, beating m(t)+2sigma."""
+    trace = DiurnalTrace(seed=7).generate()
+    scaler = InterJobAutoscaler()
+    itype = instance_type("m4.4xlarge")
+    lean = scaler.replay(trace, ProvisioningPolicy(k=0))
+    conservative = scaler.replay(trace, ProvisioningPolicy(k=2))
+    assert lean.total_cost(itype) < conservative.total_cost(itype)
+    # But the lean policy relies on Lambda bridging actually happening.
+    assert lean.shortfall_events > conservative.shortfall_events
+
+
+def test_compare_policies_sorted_by_cost():
+    trace = DiurnalTrace(seed=3).generate()
+    scaler = InterJobAutoscaler()
+    itype = instance_type("m4.4xlarge")
+    reports = scaler.compare_policies(
+        trace, [ProvisioningPolicy(k=k) for k in (0, 1, 2, 3)], itype)
+    costs = [r.total_cost(itype) for r in reports]
+    assert costs == sorted(costs)
+
+
+# ---------------------------------------------------------------------------
+# DiurnalTrace
+# ---------------------------------------------------------------------------
+
+def test_trace_deterministic_for_seed():
+    a = DiurnalTrace(seed=1).generate()
+    b = DiurnalTrace(seed=1).generate()
+    assert [p.actual for p in a] == [p.actual for p in b]
+
+
+def test_trace_differs_across_seeds():
+    a = DiurnalTrace(seed=1).generate()
+    b = DiurnalTrace(seed=2).generate()
+    assert [p.actual for p in a] != [p.actual for p in b]
+
+
+def test_trace_peaks_during_business_hours():
+    trace = DiurnalTrace()
+    assert trace.mean_at(10.5) > trace.mean_at(3.0)
+    assert trace.mean_at(15.5) > trace.mean_at(22.0)
+
+
+def test_trace_has_figure2_excursions():
+    """Figure 2 needs both a t1 (shortfall) and a t2 (idle) moment."""
+    trace = DiurnalTrace(seed=42)
+    points = trace.generate()
+    assert trace.shortfall_sample_exists(points)
+    assert trace.idle_sample_exists(points)
+
+
+def test_trace_rejects_nonpositive_hours():
+    with pytest.raises(ValueError):
+        DiurnalTrace().generate(hours=0)
+
+
+def test_trace_sample_spacing():
+    points = DiurnalTrace(sample_minutes=5.0).generate(hours=1.0)
+    assert len(points) == 12
+    assert points[1].time_s - points[0].time_s == pytest.approx(300.0)

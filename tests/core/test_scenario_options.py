@@ -1,0 +1,75 @@
+"""Tests for scenario-driver options: conf passthrough, segue timing."""
+
+import pytest
+
+from repro.analysis.timeline import build_timeline
+from repro.core.scenarios import run_scenario
+from repro.spark import SparkConf
+from repro.workloads import PageRankWorkload, SparkPiWorkload
+
+
+def test_custom_conf_reaches_the_engine():
+    """Speculation enabled through the scenario conf produces
+    speculative launches on the skewed PageRank job."""
+    conf = SparkConf({"spark.speculation": True,
+                      "spark.speculation.quantile": 0.5,
+                      "spark.speculation.multiplier": 1.3,
+                      "spark.speculation.interval": 0.5})
+    result = run_scenario(PageRankWorkload(), "spark_R_vm", conf=conf,
+                          keep_trace=True)
+    assert not result.failed
+    assert result.trace.select(category="scheduler",
+                               name="speculative_launch")
+
+
+def test_speculation_tames_pagerank_hot_partition():
+    plain = run_scenario(PageRankWorkload(), "spark_R_vm")
+    conf = SparkConf({"spark.speculation": True,
+                      "spark.speculation.quantile": 0.5,
+                      "spark.speculation.multiplier": 1.3,
+                      "spark.speculation.interval": 0.5})
+    speculative = run_scenario(PageRankWorkload(), "spark_R_vm", conf=conf)
+    # Copies of the inherently hot partition are just as slow — the skew
+    # is data, not a slow host — so speculation must not *hurt* much and
+    # the job must stay correct.
+    assert not speculative.failed
+    assert speculative.duration_s < plain.duration_s * 1.1
+
+
+def test_segue_at_override_moves_the_segue():
+    early = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
+                         segue_at_s=20.0, keep_trace=True)
+    late = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
+                        segue_at_s=80.0, keep_trace=True)
+    t_early = build_timeline(early.trace).segue_time
+    t_late = build_timeline(late.trace).segue_time
+    assert 18.0 < t_early < 35.0
+    assert 78.0 < t_late < 95.0
+
+
+def test_earlier_segue_cuts_lambda_cost_further():
+    early = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
+                         segue_at_s=20.0)
+    late = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
+                        segue_at_s=80.0)
+    assert (early.cost_breakdown.get("lambda", 0)
+            < late.cost_breakdown.get("lambda", 0))
+
+
+def test_lambda_timeout_knob_via_scenario_conf():
+    """The §4.3 knob flows through: a short timeout drains Lambdas and
+    the trace shows their decommissioning mid-job."""
+    conf = SparkConf({"spark.lambda.executor.timeout": 30.0})
+    result = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
+                          conf=conf, segue_at_s=25.0, keep_trace=True)
+    assert not result.failed
+    drains = result.trace.select(category="executor", name="draining")
+    assert drains
+
+
+def test_sparkpi_segue_scenario_harmless_when_job_too_short():
+    """Segue VMs arriving after completion must not distort results —
+    the paper skipped segue for SparkPi for exactly this reason."""
+    plain = run_scenario(SparkPiWorkload(), "ss_hybrid")
+    segue = run_scenario(SparkPiWorkload(), "ss_hybrid_segue")
+    assert segue.duration_s == pytest.approx(plain.duration_s, rel=0.02)

@@ -1,0 +1,96 @@
+"""Tests for the §4.1 end-to-end job-stream simulator."""
+
+import pytest
+
+from repro.core.autoscaler import DemandPoint, ProvisioningPolicy
+from repro.core.stream import JobStreamSimulator, StreamReport
+from repro.workloads.traces import DiurnalTrace
+
+
+def small_demand(hours=0.5, base=16, peak=48, seed=5):
+    return DiurnalTrace(base_cores=base, peak_cores=peak,
+                        sigma_fraction=0.2, seed=seed).generate(hours=hours)
+
+
+def run_stream(bridge="lambda", k=0.0, seed=3, horizon=900.0, **kwargs):
+    sim = JobStreamSimulator(small_demand(), ProvisioningPolicy(k=k),
+                             bridge=bridge, seed=seed, **kwargs)
+    return sim.run(horizon)
+
+
+def test_validation():
+    demand = small_demand()
+    with pytest.raises(ValueError, match="bridge"):
+        JobStreamSimulator(demand, ProvisioningPolicy(k=0), bridge="magic")
+    with pytest.raises(ValueError):
+        JobStreamSimulator(demand[:1], ProvisioningPolicy(k=0))
+    with pytest.raises(ValueError):
+        JobStreamSimulator(demand, ProvisioningPolicy(k=0)).run(0)
+
+
+def test_jobs_arrive_and_complete():
+    report = run_stream()
+    assert len(report.jobs) > 5
+    assert len(report.completed) == len(report.jobs)
+    assert all(j.duration > 0 for j in report.completed)
+
+
+def test_lambda_bridge_keeps_slo_on_lean_policy():
+    report = run_stream(bridge="lambda", k=0.0)
+    assert report.slo_attainment > 0.95
+    # Some jobs genuinely needed Lambdas (the fleet lags demand).
+    assert report.lambda_bridged_jobs > 0
+    assert report.lambda_cost > 0
+
+
+def test_no_bridge_queues_jobs():
+    bridged = run_stream(bridge="lambda", k=0.0)
+    queued = run_stream(bridge="none", k=0.0)
+    # Without bridging, shortfall jobs wait for cores: slower on average.
+    assert queued.mean_duration > bridged.mean_duration
+    assert queued.lambda_cost == 0.0
+    assert queued.lambda_bridged_jobs == 0
+
+
+def test_conservative_policy_costs_more_vms():
+    lean = run_stream(k=0.0)
+    conservative = run_stream(k=2.0)
+    assert conservative.vm_cost > lean.vm_cost
+    # ...and needs fewer Lambda bridges.
+    assert conservative.lambda_bridged_jobs <= lean.lambda_bridged_jobs
+
+
+def test_lean_plus_lambda_beats_conservative_no_bridge():
+    """The paper's §4.1 pitch in one assertion: a lean fleet with Lambda
+    bridging matches SLOs at lower total cost than a conservative fleet
+    without it."""
+    lean_bridged = run_stream(bridge="lambda", k=0.0)
+    conservative_queued = run_stream(bridge="none", k=2.0)
+    assert lean_bridged.slo_attainment >= conservative_queued.slo_attainment
+    assert lean_bridged.total_cost < conservative_queued.total_cost
+
+
+def test_report_aggregates():
+    report = run_stream()
+    assert isinstance(report, StreamReport)
+    assert report.total_cost == pytest.approx(
+        report.vm_cost + report.lambda_cost)
+    assert 0 <= report.slo_attainment <= 1
+
+
+def test_deterministic_given_seed():
+    a = run_stream(seed=9)
+    b = run_stream(seed=9)
+    assert len(a.jobs) == len(b.jobs)
+    assert a.total_cost == pytest.approx(b.total_cost)
+    assert a.mean_duration == pytest.approx(b.mean_duration)
+
+
+def test_fleet_tracks_demand_upward():
+    demand = [DemandPoint(0.0, 8.0, 1.0, 8.0),
+              DemandPoint(300.0, 40.0, 4.0, 40.0),
+              DemandPoint(900.0, 40.0, 4.0, 40.0)]
+    sim = JobStreamSimulator(demand, ProvisioningPolicy(k=0), seed=1)
+    report = sim.run(900.0)
+    # The fleet grew past its initial sizing to chase the step.
+    assert sim.fleet_cores >= 36

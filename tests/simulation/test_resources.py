@@ -1,0 +1,262 @@
+"""Unit tests for Resource, Container, and Store primitives."""
+
+import pytest
+
+from repro.simulation import Container, Environment, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def user(env, res, name, hold):
+        req = res.request()
+        yield req
+        log.append((name, "start", env.now))
+        yield env.timeout(hold)
+        res.release(req)
+        log.append((name, "end", env.now))
+
+    for name, hold in [("a", 10), ("b", 10), ("c", 10)]:
+        env.process(user(env, res, name, hold))
+    env.run()
+    starts = {name: t for name, kind, t in log if kind == "start"}
+    assert starts["a"] == 0 and starts["b"] == 0
+    assert starts["c"] == 10  # had to wait for a slot
+
+
+def test_resource_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(1)
+        res.release(req)
+
+    for name in "abcd":
+        env.process(user(env, res, name))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_resource_count_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def waiter(env, res):
+        req = res.request()
+        yield req
+        res.release(req)
+
+    env.process(holder(env, res))
+    env.process(waiter(env, res))
+    env.run(until=5)
+    assert res.count == 1
+    assert res.queue_length == 1
+
+
+def test_resource_cancelled_request_skipped():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def quitter(env, res):
+        req = res.request()
+        yield env.timeout(2)  # give up before the grant
+        req.cancel()
+
+    def patient(env, res):
+        req = res.request()
+        yield req
+        order.append(("patient", env.now))
+        res.release(req)
+
+    env.process(holder(env, res))
+    env.process(quitter(env, res))
+    env.process(patient(env, res))
+    env.run()
+    assert order == [("patient", 10)]
+
+
+def test_resource_release_unheld_request_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    foreign = res.request()
+    res.release(foreign)  # held, fine
+    with pytest.raises(RuntimeError):
+        res.release(foreign)  # double release
+
+
+# ---------------------------------------------------------------------------
+# Container
+# ---------------------------------------------------------------------------
+
+def test_container_init_and_level():
+    env = Environment()
+    c = Container(env, capacity=100, init=30)
+    assert c.level == 30
+    assert c.capacity == 100
+
+
+def test_container_init_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+
+
+def test_container_get_blocks_until_put():
+    env = Environment()
+    c = Container(env)
+    log = []
+
+    def consumer(env, c):
+        yield c.get(5)
+        log.append(("got", env.now))
+
+    def producer(env, c):
+        yield env.timeout(3)
+        yield c.put(5)
+
+    env.process(consumer(env, c))
+    env.process(producer(env, c))
+    env.run()
+    assert log == [("got", 3)]
+    assert c.level == 0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    c = Container(env, capacity=10, init=10)
+    log = []
+
+    def producer(env, c):
+        yield c.put(5)
+        log.append(("put-done", env.now))
+
+    def consumer(env, c):
+        yield env.timeout(4)
+        yield c.get(8)
+
+    env.process(producer(env, c))
+    env.process(consumer(env, c))
+    env.run()
+    assert log == [("put-done", 4)]
+    assert c.level == 7
+
+
+def test_container_nonpositive_amount_rejected():
+    env = Environment()
+    c = Container(env)
+    with pytest.raises(ValueError):
+        c.put(0)
+    with pytest.raises(ValueError):
+        c.get(-1)
+
+
+def test_container_oversize_put_rejected():
+    env = Environment()
+    c = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        c.put(11)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_fifo_items():
+    env = Environment()
+    s = Store(env)
+    got = []
+
+    def producer(env, s):
+        for item in ["x", "y", "z"]:
+            yield s.put(item)
+            yield env.timeout(1)
+
+    def consumer(env, s):
+        for _ in range(3):
+            item = yield s.get()
+            got.append((item, env.now))
+
+    env.process(producer(env, s))
+    env.process(consumer(env, s))
+    env.run()
+    assert [item for item, _ in got] == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    s = Store(env)
+    got = []
+
+    def consumer(env, s):
+        item = yield s.get()
+        got.append((item, env.now))
+
+    def producer(env, s):
+        yield env.timeout(7)
+        yield s.put("late")
+
+    env.process(consumer(env, s))
+    env.process(producer(env, s))
+    env.run()
+    assert got == [("late", 7)]
+
+
+def test_store_put_blocks_at_capacity():
+    env = Environment()
+    s = Store(env, capacity=1)
+    log = []
+
+    def producer(env, s):
+        yield s.put(1)
+        yield s.put(2)
+        log.append(("second-put", env.now))
+
+    def consumer(env, s):
+        yield env.timeout(5)
+        yield s.get()
+
+    env.process(producer(env, s))
+    env.process(consumer(env, s))
+    env.run()
+    assert log == [("second-put", 5)]
+
+
+def test_store_items_snapshot():
+    env = Environment()
+    s = Store(env)
+    s.put("a")
+    s.put("b")
+    env.run()
+    assert s.items == ["a", "b"]

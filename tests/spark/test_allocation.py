@@ -1,0 +1,142 @@
+"""Tests for dynamic executor allocation (ExecutorAllocationManager)."""
+
+import pytest
+
+from repro.spark import SparkConf
+from repro.spark.allocation import ExecutorAllocationManager, ExecutorProvider
+
+from tests.spark.helpers import MiniCluster, single_stage_rdd
+
+
+class CountingProvider(ExecutorProvider):
+    """Provider that adds executors on a pre-provisioned VM after a
+    configurable readiness delay."""
+
+    def __init__(self, cluster, delay_s=0.5):
+        self.cluster = cluster
+        self.delay_s = delay_s
+        self.requested = 0
+        self.released = []
+        self.vm = cluster.provider.request_vm("m4.16xlarge",
+                                              already_running=True)
+        self.manager = None
+
+    def request_executors(self, count):
+        self.requested += count
+
+        def deliver(env, count=count):
+            yield env.timeout(self.delay_s)
+            for _ in range(count):
+                self.cluster.driver.add_vm_executor(self.vm)
+                if self.manager is not None:
+                    self.manager.executor_registered()
+
+        self.cluster.env.process(deliver(self.cluster.env))
+
+    def release_executor(self, executor):
+        self.released.append(executor)
+        if executor.vm is not None:
+            executor.vm.release_cores(1)
+
+
+def make_managed_cluster(conf=None, min_executors=0, max_executors=100):
+    cluster = MiniCluster(conf=conf)
+    provider = CountingProvider(cluster)
+    manager = ExecutorAllocationManager(
+        cluster.env, cluster.driver.task_scheduler, provider,
+        min_executors=min_executors, max_executors=max_executors,
+        poll_interval_s=0.2)
+    provider.manager = manager
+    return cluster, provider, manager
+
+
+def test_backlog_triggers_scale_up():
+    cluster, provider, manager = make_managed_cluster()
+    job = cluster.driver.submit(
+        single_stage_rdd(cluster.builder, tasks=8, seconds=5.0))
+    cluster.env.run(until=job.done)
+    manager.stop()
+    assert not job.failed
+    assert provider.requested >= 8  # grew to cover the backlog
+
+
+def test_exponential_ramp_up():
+    """Spark doubles its ask each round: 1, 2, 4, ..."""
+    cluster, provider, manager = make_managed_cluster()
+    # Slow delivery so several rounds elapse with a standing backlog.
+    provider.delay_s = 30.0
+    job = cluster.driver.submit(
+        single_stage_rdd(cluster.builder, tasks=16, seconds=5.0))
+    cluster.env.run(until=10.0)
+    manager.stop()
+    # After a few rounds the cumulative ask follows 1+2+4+... (capped by
+    # the shortfall); at least three rounds fit into 10s.
+    assert provider.requested >= 1 + 2 + 4
+
+
+def test_idle_executors_released_after_timeout():
+    conf = SparkConf({"spark.dynamicAllocation.executorIdleTimeout": 5.0})
+    cluster, provider, manager = make_managed_cluster(conf=conf)
+    job = cluster.driver.submit(
+        single_stage_rdd(cluster.builder, tasks=4, seconds=2.0))
+    cluster.env.run(until=job.done)
+    cluster.env.run(until=cluster.env.now + 20.0)
+    manager.stop()
+    assert provider.released  # idle executors went back
+
+
+def test_min_executors_floor_respected():
+    conf = SparkConf({"spark.dynamicAllocation.executorIdleTimeout": 2.0})
+    cluster, provider, manager = make_managed_cluster(conf=conf,
+                                                      min_executors=2)
+    job = cluster.driver.submit(
+        single_stage_rdd(cluster.builder, tasks=4, seconds=2.0))
+    cluster.env.run(until=job.done)
+    cluster.env.run(until=cluster.env.now + 30.0)
+    manager.stop()
+    assert len(cluster.driver.task_scheduler.executors) >= 2
+
+
+def test_max_executors_cap_respected():
+    cluster, provider, manager = make_managed_cluster(max_executors=3)
+    job = cluster.driver.submit(
+        single_stage_rdd(cluster.builder, tasks=20, seconds=2.0))
+    cluster.env.run(until=job.done)
+    manager.stop()
+    assert provider.requested <= 3
+    assert not job.failed
+
+
+def test_no_requests_without_backlog():
+    cluster, provider, manager = make_managed_cluster()
+    cluster.vm_executors(4)
+    job = cluster.driver.submit(
+        single_stage_rdd(cluster.builder, tasks=4, seconds=1.0))
+    cluster.env.run(until=job.done)
+    manager.stop()
+    # Four executors covered four tasks before the backlog timeout hit.
+    assert provider.requested == 0
+
+
+def test_vm_termination_kills_its_executors():
+    """A terminated instance takes its executors (and in-flight tasks)
+    with it; the scheduler recovers on the survivors."""
+    cluster = MiniCluster()
+    doomed = cluster.provider.request_vm("m4.xlarge", already_running=True)
+    for _ in range(2):
+        cluster.driver.add_vm_executor(doomed)
+    survivor_vm = cluster.provider.request_vm("m4.xlarge",
+                                              already_running=True)
+    cluster.driver.add_vm_executor(survivor_vm)
+    job = cluster.driver.submit(
+        single_stage_rdd(cluster.builder, tasks=6, seconds=10.0))
+
+    def reclaim(env):
+        yield env.timeout(5.0)
+        doomed.terminate()
+
+    cluster.env.process(reclaim(cluster.env))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    assert len(job.failed_attempts) >= 2  # the two in-flight tasks died
+    assert len(cluster.driver.task_scheduler.executors) == 1

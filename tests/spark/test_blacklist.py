@@ -1,0 +1,77 @@
+"""Tests for executor blacklisting."""
+
+import pytest
+
+from repro.spark import SparkConf
+
+from tests.spark.helpers import MiniCluster, single_stage_rdd
+
+
+def blacklist_conf(threshold=2):
+    return SparkConf({"spark.blacklist.enabled": True,
+                      "spark.blacklist.maxFailedTasksPerExecutor": threshold,
+                      "spark.task.maxFailures": 10})
+
+
+def test_flaky_executor_gets_blacklisted():
+    cluster = MiniCluster(conf=blacklist_conf())
+    flaky = cluster.vm_executors(1)[0]
+    healthy = cluster.vm_executors(1)[0]
+    rdd = single_stage_rdd(cluster.builder, tasks=6, seconds=10.0)
+    job = cluster.driver.submit(rdd)
+
+    def sabotage(env):
+        # Kill whatever the flaky executor runs, twice.
+        for _ in range(2):
+            yield env.timeout(3.0)
+            if flaky.current is not None:
+                flaky.kill_task(flaky.current, "flaky hardware")
+
+    cluster.env.process(sabotage(cluster.env))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    scheduler = cluster.driver.task_scheduler
+    assert flaky.executor_id in scheduler.blacklisted
+    assert healthy.executor_id not in scheduler.blacklisted
+    # After blacklisting, the flaky executor got no further launches:
+    # every finished task ran on the healthy one except any the flaky
+    # one completed before its second strike.
+    assert healthy.tasks_finished >= 5
+
+
+def test_blacklisting_disabled_by_default():
+    cluster = MiniCluster()
+    flaky = cluster.vm_executors(1)[0]
+    cluster.vm_executors(1)
+    rdd = single_stage_rdd(cluster.builder, tasks=4, seconds=5.0)
+    job = cluster.driver.submit(rdd)
+
+    def sabotage(env):
+        for _ in range(3):
+            yield env.timeout(2.0)
+            if flaky.current is not None:
+                flaky.kill_task(flaky.current, "flaky hardware")
+
+    cluster.env.process(sabotage(cluster.env))
+    cluster.env.run(until=job.done)
+    assert cluster.driver.task_scheduler.blacklisted == set()
+
+
+def test_speculation_losses_do_not_blacklist():
+    conf = SparkConf({"spark.blacklist.enabled": True,
+                      "spark.blacklist.maxFailedTasksPerExecutor": 1,
+                      "spark.speculation": True,
+                      "spark.speculation.quantile": 0.5,
+                      "spark.speculation.multiplier": 1.3,
+                      "spark.speculation.interval": 0.5,
+                      "spark.sim.task.jitter": 0.0})
+    cluster = MiniCluster(conf=conf, no_jitter=False)
+    cluster.vm_executors(4)
+    rdd = cluster.builder.source(
+        "skewed", partitions=8,
+        compute_seconds=lambda p: 40.0 if p == 0 else 5.0)
+    job = cluster.driver.submit(rdd)
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    # Losing a speculation race is not a fault: nothing is blacklisted.
+    assert cluster.driver.task_scheduler.blacklisted == set()

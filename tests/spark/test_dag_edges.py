@@ -1,0 +1,127 @@
+"""Edge-case tests for the DAG scheduler: retries, caps, resubmission."""
+
+import pytest
+
+from repro.cloud.constants import MB
+from repro.spark import SparkConf
+from repro.spark.dag_scheduler import JobFailedError
+
+from tests.spark.helpers import MiniCluster, single_stage_rdd, two_stage_rdd
+
+
+def test_cannot_submit_second_job_while_first_runs():
+    cluster = MiniCluster()
+    cluster.vm_executors(2)
+    cluster.driver.submit(single_stage_rdd(cluster.builder, tasks=2))
+    with pytest.raises(RuntimeError, match="already running"):
+        cluster.driver.submit(single_stage_rdd(cluster.builder, tasks=2))
+
+
+def test_sequential_jobs_on_one_driver():
+    cluster = MiniCluster()
+    cluster.vm_executors(2)
+    first = cluster.run_job(single_stage_rdd(cluster.builder, tasks=4,
+                                             seconds=1.0))
+    second = cluster.run_job(single_stage_rdd(cluster.builder, tasks=4,
+                                              seconds=1.0))
+    assert first.num_tasks == second.num_tasks == 4
+
+
+def test_stage_attempt_cap_fails_job():
+    """Repeatedly losing map outputs exhausts the stage-retry budget."""
+    conf = SparkConf({"spark.stage.maxConsecutiveAttempts": 2})
+    cluster = MiniCluster(conf=conf)
+    rdd = two_stage_rdd(cluster.builder, maps=1, reduces=1,
+                        map_seconds=2.0, reduce_seconds=30.0,
+                        shuffle_bytes=MB)
+    job = cluster.driver.submit(rdd)
+
+    def chaos(env):
+        # Keep replacing the executor and killing it mid-reduce: each
+        # kill loses the map output (local shuffle) -> stage resubmits.
+        for _ in range(6):
+            ex = cluster.vm_executors(1)[0]
+            yield env.timeout(5.0)
+            cluster.driver.task_scheduler.decommission_executor(
+                ex, graceful=False, reason="chaos")
+
+    cluster.env.process(chaos(cluster.env))
+    with pytest.raises(JobFailedError, match="exceeded"):
+        cluster.env.run(until=job.done)
+    assert job.failed
+    assert "attempts" in job.failure_reason
+
+
+def test_rollback_resubmits_only_missing_partitions():
+    """After a partial map-output loss, only the lost partitions rerun."""
+    cluster = MiniCluster()
+    executors = cluster.vm_executors(4)
+    rdd = two_stage_rdd(cluster.builder, maps=4, reduces=4,
+                        map_seconds=5.0, reduce_seconds=20.0,
+                        shuffle_bytes=4 * MB)
+    job = cluster.driver.submit(rdd)
+
+    def killer(env):
+        yield env.timeout(8.0)  # map done at ~5s, reduces running
+        cluster.driver.task_scheduler.decommission_executor(
+            executors[0], graceful=False, reason="partial loss")
+
+    cluster.env.process(killer(cluster.env))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    # Map tasks ran 4 times originally + only the lost executor's map
+    # partition(s) again — not all four.
+    map_runs = [a for a in job.task_attempts
+                if a.spec.is_shuffle_map]
+    assert 4 < len(map_runs) <= 6
+
+
+def test_job_failure_propagates_exception_through_done_event():
+    conf = SparkConf({"spark.task.maxFailures": 1})
+    cluster = MiniCluster(conf=conf)
+    executors = cluster.vm_executors(1)
+    job = cluster.driver.submit(
+        single_stage_rdd(cluster.builder, tasks=1, seconds=100.0))
+
+    def killer(env):
+        yield env.timeout(5.0)
+        cluster.driver.task_scheduler.decommission_executor(
+            executors[0], graceful=False, reason="one strike")
+
+    cluster.env.process(killer(cluster.env))
+    with pytest.raises(JobFailedError):
+        cluster.env.run(until=job.done)
+
+
+def test_waiting_stage_submits_after_all_parents():
+    """A join stage waits for both parents' shuffles."""
+    cluster = MiniCluster()
+    cluster.vm_executors(4)
+    b = cluster.builder
+    left = b.source("left", 2, compute_seconds=5.0)
+    right = b.source("right", 2, compute_seconds=20.0)
+    joined = b.join(left, right, "join", 2, MB, MB, compute_seconds=1.0)
+    job = cluster.driver.submit(joined)
+    cluster.env.run(until=job.done)
+    join_starts = [a.metrics.launch_time for a in job.task_attempts
+                   if a.spec.stage_id == 0]  # result stage was created first
+    # The result (join) tasks start only after the slow right side (~20s).
+    assert min(join_starts) >= 20.0
+
+
+def test_empty_pending_taskset_rejected():
+    from repro.spark.task_scheduler import TaskSet
+
+    with pytest.raises(ValueError):
+        TaskSet(0, 0, [])
+
+
+def test_stage_complete_trace_sequence():
+    cluster = MiniCluster()
+    cluster.vm_executors(2)
+    cluster.run_job(two_stage_rdd(cluster.builder, maps=2, reduces=2,
+                                  shuffle_bytes=MB))
+    events = [r.name for r in cluster.trace.select(category="dag")]
+    assert events[0] == "job_submitted"
+    assert events.count("stage_complete") == 2
+    assert events[-1] == "job_complete"

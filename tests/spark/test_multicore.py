@@ -1,0 +1,90 @@
+"""Tests for multi-core executors (footnote 7's generalization)."""
+
+import pytest
+
+from tests.spark.helpers import MiniCluster, single_stage_rdd
+
+
+def test_multicore_executor_runs_tasks_concurrently():
+    cluster = MiniCluster()
+    vm = cluster.provider.request_vm("m4.4xlarge", already_running=True)
+    cluster.driver.add_vm_executor(vm, cores=4)
+    rdd = single_stage_rdd(cluster.builder, tasks=8, seconds=10.0)
+    result = cluster.run_job(rdd)
+    # 8 tasks over 4 concurrent slots: two 10s waves.
+    assert result.duration == pytest.approx(20.0, rel=0.05)
+
+
+def test_multicore_equivalent_to_same_core_count_single():
+    multi = MiniCluster()
+    vm = multi.provider.request_vm("m4.4xlarge", already_running=True)
+    multi.driver.add_vm_executor(vm, cores=4)
+    t_multi = multi.run_job(
+        single_stage_rdd(multi.builder, tasks=16, seconds=5.0)).duration
+
+    singles = MiniCluster()
+    singles.vm_executors(4)
+    t_single = singles.run_job(
+        single_stage_rdd(singles.builder, tasks=16, seconds=5.0)).duration
+    assert t_multi == pytest.approx(t_single, rel=0.05)
+
+
+def test_multicore_claims_cores_on_vm():
+    cluster = MiniCluster()
+    vm = cluster.provider.request_vm("m4.4xlarge", already_running=True)
+    cluster.driver.add_vm_executor(vm, cores=3)
+    assert vm.free_cores == 13
+
+
+def test_multicore_memory_scales_with_cores():
+    cluster = MiniCluster()
+    vm = cluster.provider.request_vm("m4.4xlarge", already_running=True)
+    one = cluster.driver.add_vm_executor(vm, cores=1)
+    four = cluster.driver.add_vm_executor(vm, cores=4)
+    assert four.memory_bytes == pytest.approx(4 * one.memory_bytes)
+
+
+def test_multicore_concurrent_working_sets_share_heap():
+    """Concurrent tasks on one multi-core executor contend for its heap:
+    GC pressure reflects the *sum* of in-flight working sets, so the
+    equally-provisioned pooled and private configurations behave alike
+    (same aggregate pressure ratio)."""
+    GB = 1024 ** 3
+
+    def run(multicore):
+        cluster = MiniCluster()
+        vm = cluster.provider.request_vm("m4.4xlarge", already_running=True)
+        if multicore:
+            cluster.driver.add_vm_executor(vm, cores=2, memory_bytes=4 * GB)
+        else:
+            cluster.driver.add_vm_executor(vm, memory_bytes=2 * GB)
+            cluster.driver.add_vm_executor(vm, memory_bytes=2 * GB)
+        rdd = cluster.builder.source("hungry", partitions=2,
+                                     compute_seconds=10.0,
+                                     working_set_bytes=1.5 * GB)
+        return cluster.run_job(rdd).duration
+
+    pooled = run(True)   # 3.0 GB in flight / 2.4 GB usable = 1.25
+    private = run(False)  # 1.5 GB / 1.2 GB usable each = 1.25
+    assert pooled > 10.0  # pressure slows both beyond raw compute
+    assert pooled == pytest.approx(private, rel=0.15)
+
+
+def test_multicore_validation():
+    cluster = MiniCluster()
+    vm = cluster.provider.request_vm("m4.4xlarge", already_running=True)
+    with pytest.raises(ValueError):
+        cluster.driver.add_vm_executor(vm, cores=0)
+
+
+def test_running_tasks_counter():
+    cluster = MiniCluster()
+    vm = cluster.provider.request_vm("m4.4xlarge", already_running=True)
+    executor = cluster.driver.add_vm_executor(vm, cores=4)
+    rdd = single_stage_rdd(cluster.builder, tasks=4, seconds=10.0)
+    job = cluster.driver.submit(rdd)
+    cluster.env.run(until=5)
+    assert executor.running_tasks == 4
+    assert not executor.is_free
+    cluster.env.run(until=job.done)
+    assert executor.is_idle

@@ -1,0 +1,99 @@
+"""Tests for RDD lineage construction."""
+
+import pytest
+
+from repro.spark.rdd import (
+    NarrowDependency,
+    RDD,
+    RDDBuilder,
+    ShuffleDependency,
+    reset_id_counters,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_ids():
+    reset_id_counters()
+
+
+def test_rdd_validation():
+    with pytest.raises(ValueError):
+        RDD("x", num_partitions=0)
+    with pytest.raises(ValueError):
+        RDD("x", num_partitions=4, working_set_bytes=-1)
+
+
+def test_compute_seconds_constant_and_callable():
+    constant = RDD("c", 4, compute_seconds=2.5)
+    assert constant.compute_seconds(0) == 2.5
+    varying = RDD("v", 4, compute_seconds=lambda p: p * 1.0)
+    assert varying.compute_seconds(3) == 3.0
+
+
+def test_negative_compute_rejected_at_call():
+    bad = RDD("bad", 2, compute_seconds=lambda p: -1.0)
+    with pytest.raises(ValueError):
+        bad.compute_seconds(0)
+
+
+def test_shuffle_dependency_bytes_per_map():
+    parent = RDD("parent", 8)
+    dep = ShuffleDependency(parent, total_bytes=800)
+    assert dep.bytes_per_map == 100
+
+
+def test_shuffle_dependency_negative_bytes_rejected():
+    parent = RDD("p", 2)
+    with pytest.raises(ValueError):
+        ShuffleDependency(parent, total_bytes=-1)
+
+
+def test_builder_map_preserves_partitions():
+    b = RDDBuilder()
+    src = b.source("src", partitions=16, compute_seconds=1.0)
+    mapped = b.map(src, "mapped", compute_seconds=0.5)
+    assert mapped.num_partitions == 16
+    assert isinstance(mapped.deps[0], NarrowDependency)
+
+
+def test_builder_shuffle_changes_partitions():
+    b = RDDBuilder()
+    src = b.source("src", partitions=16, compute_seconds=1.0)
+    red = b.shuffle(src, "red", partitions=4, shuffle_bytes=1e6)
+    assert red.num_partitions == 4
+    assert isinstance(red.deps[0], ShuffleDependency)
+
+
+def test_narrow_ancestry_order_is_upstream_first():
+    b = RDDBuilder()
+    a = b.source("a", 4, 1.0)
+    c = b.map(a, "c")
+    d = b.map(c, "d")
+    names = [r.name for r in d.narrow_ancestry()]
+    assert names == ["a", "c", "d"]
+
+
+def test_narrow_ancestry_stops_at_shuffle():
+    b = RDDBuilder()
+    a = b.source("a", 4, 1.0)
+    red = b.shuffle(a, "red", 4, 1e6)
+    mapped = b.map(red, "m")
+    names = [r.name for r in mapped.narrow_ancestry()]
+    assert names == ["red", "m"]  # 'a' is across the shuffle boundary
+
+
+def test_join_has_two_shuffle_deps():
+    b = RDDBuilder()
+    left = b.source("l", 4, 1.0)
+    right = b.source("r", 4, 1.0)
+    joined = b.join(left, right, "j", partitions=8,
+                    left_bytes=100, right_bytes=200)
+    sids = joined.shuffle_deps
+    assert len(sids) == 2
+    assert {d.parent.name for d in sids} == {"l", "r"}
+
+
+def test_rdd_ids_unique_and_increasing():
+    r1 = RDD("x", 1)
+    r2 = RDD("y", 1)
+    assert r2.rdd_id == r1.rdd_id + 1

@@ -1,0 +1,104 @@
+"""Tests for speculative execution (straggler mitigation)."""
+
+import pytest
+
+from repro.spark import SparkConf, TaskState
+
+from tests.spark.helpers import MiniCluster
+
+
+def straggler_rdd(builder, tasks=8, normal=5.0, straggler=60.0):
+    """One partition is pathologically slow (a straggling host, not an
+    inherently bigger task — exactly what speculation is for)."""
+    return builder.source(
+        "straggle", partitions=tasks,
+        compute_seconds=lambda p: straggler if p == 0 else normal)
+
+
+def spec_conf(**overrides):
+    base = {"spark.speculation": True,
+            "spark.speculation.quantile": 0.5,
+            "spark.speculation.multiplier": 1.5,
+            "spark.speculation.interval": 0.5}
+    base.update(overrides)
+    return SparkConf(base)
+
+
+def test_speculation_disabled_by_default():
+    cluster = MiniCluster()
+    cluster.vm_executors(4)
+    job = cluster.driver.submit(straggler_rdd(cluster.builder))
+    cluster.env.run(until=job.done)
+    assert not cluster.trace.select(category="scheduler",
+                                    name="speculative_launch")
+
+
+def test_speculation_launches_copy_for_straggler():
+    cluster = MiniCluster(conf=spec_conf())
+    cluster.vm_executors(4)
+    job = cluster.driver.submit(straggler_rdd(cluster.builder))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    launches = cluster.trace.select(category="scheduler",
+                                    name="speculative_launch")
+    assert launches
+    assert launches[0].get("task").endswith("p0")
+
+
+def test_speculation_does_not_help_identical_copies():
+    """Copies of an *inherently* big task take just as long: the job
+    completes correctly, with exactly one winner per partition."""
+    cluster = MiniCluster(conf=spec_conf())
+    cluster.vm_executors(4)
+    job = cluster.driver.submit(straggler_rdd(cluster.builder))
+    cluster.env.run(until=job.done)
+    finished = [a for a in job.task_attempts
+                if a.state is TaskState.FINISHED]
+    partitions = [a.spec.partition for a in finished]
+    assert sorted(partitions) == list(range(8))  # one winner each
+
+
+def test_speculation_cancels_losing_copy():
+    cluster = MiniCluster(conf=spec_conf())
+    executors = cluster.vm_executors(4)
+    job = cluster.driver.submit(straggler_rdd(cluster.builder))
+    cluster.env.run(until=job.done)
+    # The losing copy was killed, not counted as a task failure, and the
+    # job shows exactly one cancelled attempt (the loser).
+    assert not job.failed
+    cancelled = [a for a in job.failed_attempts
+                 if a.state is TaskState.KILLED]
+    assert len(cancelled) <= 1  # the loser (or zero if copy never started)
+    # No retries were scheduled for the cancelled copy: every partition
+    # finished exactly once.
+    assert len({a.spec.partition for a in job.task_attempts}) == 8
+
+
+def test_speculation_beats_no_speculation_on_slow_executor():
+    """When the straggle comes from a slow *executor* (a tiny Lambda),
+    a speculative copy on a fast core genuinely wins."""
+    def run(speculation):
+        conf = spec_conf() if speculation else SparkConf()
+        cluster = MiniCluster(conf=conf)
+        cluster.lambda_executors(1, memory_mb=512)  # 1/3 of a vCPU
+        cluster.vm_executors(3)
+        rdd = cluster.builder.source("uniform", partitions=5,
+                                     compute_seconds=10.0)
+        job = cluster.driver.submit(rdd)
+        cluster.env.run(until=job.done)
+        return job.duration
+
+    without = run(False)
+    with_spec = run(True)
+    assert with_spec < without
+
+
+def test_speculation_respects_quantile_gate():
+    """With quantile=1.0 nothing can ever be speculated."""
+    cluster = MiniCluster(conf=spec_conf(**{
+        "spark.speculation.quantile": 1.0}))
+    cluster.vm_executors(4)
+    job = cluster.driver.submit(straggler_rdd(cluster.builder))
+    cluster.env.run(until=job.done)
+    assert not cluster.trace.select(category="scheduler",
+                                    name="speculative_launch")

@@ -1,0 +1,44 @@
+"""Tests for per-stage job summaries."""
+
+import pytest
+
+from tests.spark.helpers import MiniCluster, two_stage_rdd
+
+
+def test_stage_summaries_ordered_and_complete():
+    cluster = MiniCluster()
+    cluster.vm_executors(4)
+    rdd = two_stage_rdd(cluster.builder, maps=4, reduces=4,
+                        map_seconds=10.0, reduce_seconds=5.0,
+                        shuffle_bytes=0)
+    job = cluster.driver.submit(rdd)
+    cluster.env.run(until=job.done)
+    rows = job.stage_summaries()
+    assert len(rows) == 2
+    map_row, result_row = rows
+    assert "map" in map_row["stage"]
+    assert "result" in result_row["stage"]
+    assert map_row["completed_at"] <= result_row["submitted_at"]
+    assert map_row["duration"] == pytest.approx(10.0, rel=0.1)
+    assert result_row["duration"] == pytest.approx(5.0, rel=0.1)
+    assert all(r["attempts"] == 1 for r in rows)
+
+
+def test_stage_summaries_count_resubmissions():
+    cluster = MiniCluster()
+    executors = cluster.vm_executors(2)
+    rdd = two_stage_rdd(cluster.builder, maps=2, reduces=2,
+                        map_seconds=10.0, reduce_seconds=30.0,
+                        shuffle_bytes=1024)
+    job = cluster.driver.submit(rdd)
+
+    def killer(env):
+        yield env.timeout(15)
+        cluster.driver.task_scheduler.decommission_executor(
+            executors[0], graceful=False, reason="rollback trigger")
+
+    cluster.env.process(killer(cluster.env))
+    cluster.env.run(until=job.done)
+    rows = job.stage_summaries()
+    map_row = next(r for r in rows if "map" in r["stage"])
+    assert map_row["attempts"] >= 2  # the rollback re-ran it

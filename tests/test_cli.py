@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main, make_workload
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "pagerank" in out
+    assert "ss_hybrid" in out
+
+
+def test_workload_registry_covers_paper_workloads():
+    for name in ("pagerank", "kmeans", "sparkpi", "tpcds-q5", "tpcds-q95"):
+        assert name in WORKLOADS
+
+
+def test_make_workload_unknown_exits():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        make_workload("mapreduce-2004")
+
+
+def test_run_single_scenario(capsys):
+    assert main(["run", "--workload", "sparkpi",
+                 "--scenario", "ss_R_la"]) == 0
+    out = capsys.readouterr().out
+    assert "SS 64 La" in out
+    assert "$" in out
+
+
+def test_run_with_timeline(capsys):
+    assert main(["run", "--workload", "sparkpi",
+                 "--scenario", "ss_R_la", "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline" in out
+    assert "#" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "--workload", "pagerank-small",
+                 "--kind", "vm", "--parallelism", "2,8"]) == 0
+    out = capsys.readouterr().out
+    assert "executors" in out
+    assert "all-vm" in out
+
+
+def test_stream_command(capsys):
+    assert main(["stream", "--hours", "0.1", "--base-cores", "8",
+                 "--peak-cores", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "SLO attainment" in out
+
+
+def test_parser_rejects_bad_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--scenario", "warp-drive"])

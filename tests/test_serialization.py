@@ -1,0 +1,49 @@
+"""Tests for the export utilities (trace JSONL, scenario dicts)."""
+
+import json
+
+from repro.core.scenarios import run_scenario
+from repro.simulation import TraceRecorder
+from repro.workloads import SparkPiWorkload
+
+
+def test_trace_to_dicts():
+    trace = TraceRecorder()
+    trace.record(1.5, "vm", "launch", vm="a", itype="m4.large")
+    rows = trace.to_dicts()
+    assert rows == [{"time": 1.5, "category": "vm", "name": "launch",
+                     "vm": "a", "itype": "m4.large"}]
+
+
+def test_trace_save_jsonl_roundtrip(tmp_path):
+    result = run_scenario(SparkPiWorkload(), "ss_R_la", keep_trace=True)
+    path = tmp_path / "trace.jsonl"
+    count = result.trace.save_jsonl(str(path))
+    assert count == len(result.trace)
+    lines = path.read_text().splitlines()
+    assert len(lines) == count
+    parsed = [json.loads(line) for line in lines]
+    assert all("time" in row and "category" in row for row in parsed)
+    # Times are in emission (and therefore chronological) order.
+    times = [row["time"] for row in parsed]
+    assert times == sorted(times)
+
+
+def test_scenario_result_to_dict_is_json_serializable():
+    result = run_scenario(SparkPiWorkload(), "ss_hybrid")
+    payload = result.to_dict()
+    text = json.dumps(payload)  # must not raise
+    loaded = json.loads(text)
+    assert loaded["scenario"] == "ss_hybrid"
+    assert loaded["duration_s"] > 0
+    assert "lambda" in loaded["tasks_by_kind"]
+
+
+def test_failed_scenario_to_dict():
+    from repro.workloads import TPCDSWorkload
+
+    result = run_scenario(TPCDSWorkload("q5"), "qubole_R_la")
+    payload = result.to_dict()
+    assert payload["failed"]
+    assert "tasks" not in payload
+    json.dumps(payload)

@@ -1,0 +1,96 @@
+"""Tests for the reference NumPy K-means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.kmeans_algo import (
+    assign_points,
+    generate_points,
+    kmeans,
+    measure_assign_cost,
+    update_centroids,
+)
+
+
+def test_generate_points_shape_and_determinism():
+    a = generate_points(1000, 20, 10, seed=1)
+    b = generate_points(1000, 20, 10, seed=1)
+    assert a.shape == (1000, 20)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, generate_points(1000, 20, 10, seed=2))
+
+
+def test_generate_points_validation():
+    with pytest.raises(ValueError):
+        generate_points(0, 20, 10)
+
+
+def test_assign_points_matches_bruteforce():
+    points = generate_points(500, 8, 4, seed=3)
+    centroids = points[:4]
+    fast = assign_points(points, centroids)
+    dists = np.linalg.norm(points[:, None, :] - centroids[None, :, :],
+                           axis=2)
+    brute = np.argmin(dists, axis=1)
+    assert np.array_equal(fast, brute)
+
+
+def test_update_centroids_are_cluster_means():
+    points = np.array([[0.0, 0.0], [2.0, 0.0], [10.0, 10.0]])
+    assignments = np.array([0, 0, 1])
+    centroids = update_centroids(points, assignments, k=2)
+    assert centroids[0] == pytest.approx([1.0, 0.0])
+    assert centroids[1] == pytest.approx([10.0, 10.0])
+
+
+def test_update_centroids_reseeds_empty_clusters():
+    points = np.array([[1.0, 1.0], [2.0, 2.0]])
+    assignments = np.array([0, 0])
+    centroids = update_centroids(points, assignments, k=3)
+    assert centroids.shape == (3, 2)
+    assert np.isfinite(centroids).all()
+
+
+def test_kmeans_recovers_separated_blobs():
+    points = generate_points(3000, 5, 3, seed=7, spread=1.0)
+    result = kmeans(points, k=3, max_iterations=20,
+                    convergence_distance=0.01, seed=7)
+    # Well-separated blobs: three clusters of roughly a thousand each.
+    counts = np.bincount(result.assignments, minlength=3)
+    assert counts.min() > 500
+    assert result.inertia > 0
+
+
+def test_kmeans_paper_parameters_run():
+    """The paper's settings: k=10, <=5 iterations, convergence 0.5."""
+    points = generate_points(5000, 20, 10, seed=0)
+    result = kmeans(points, k=10, max_iterations=5,
+                    convergence_distance=0.5, seed=0)
+    assert result.iterations <= 5
+    assert result.centroids.shape == (10, 20)
+
+
+def test_kmeans_validation():
+    points = generate_points(100, 2, 2)
+    with pytest.raises(ValueError):
+        kmeans(points, k=1)
+    with pytest.raises(ValueError):
+        kmeans(points, k=3, max_iterations=0)
+
+
+def test_kmeans_deterministic_for_seed():
+    points = generate_points(2000, 10, 5, seed=4)
+    a = kmeans(points, k=5, seed=4)
+    b = kmeans(points, k=5, seed=4)
+    assert np.array_equal(a.assignments, b.assignments)
+
+
+def test_measured_cost_grounds_simulated_constant():
+    """The simulation charges ASSIGN_SECONDS_PER_POINT per point per
+    iteration; the pure NumPy kernel must be (much) faster than that —
+    the gap is the JVM/MLlib overhead the constant bakes in."""
+    from repro.workloads.kmeans import ASSIGN_SECONDS_PER_POINT
+
+    measured = measure_assign_cost(n_points=100_000, repeats=2)
+    assert measured > 0
+    assert measured < ASSIGN_SECONDS_PER_POINT
