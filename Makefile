@@ -1,6 +1,6 @@
 # Convenience targets for the SplitServe reproduction.
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test bench bench-smoke examples figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# One tiny ExperimentSpec per ported bench file, straight through the
+# ExperimentRunner — smoke-tests the figure suite in well under a minute.
+bench-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ -m smoke -q
 
 examples:
 	python examples/quickstart.py
@@ -23,4 +28,4 @@ figures: bench
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
-	rm -rf .pytest_cache src/repro.egg-info
+	rm -rf .pytest_cache src/repro.egg-info .repro_cache

@@ -12,19 +12,31 @@ Two sweeps:
    shows the trade: small values drain Lambdas early (cheap, but work
    shifts to the few VM cores -> slower); large values keep Lambdas
    longer (faster until the GC/cost cliff).
+
+Both experiments run as ``custom:`` ExperimentSpecs through the
+ExperimentRunner: the mid-flight decommission setup is not a §5.1
+scenario, so the spec points at the module-level experiment functions
+below, keeping each (policy, knob) point declarative and fan-out-able.
 """
+
+import pytest
 
 from repro.analysis.reporting import format_table
 from repro.cloud import CloudProvider
 from repro.core import SplitServe
+from repro.experiments import ExperimentRunner, ExperimentSpec
 from repro.simulation import Environment, RandomStreams
-from repro.spark import HostKind, SparkConf
+from repro.spark import HostKind
 from repro.workloads import SyntheticWorkload
 from benchmarks.conftest import run_once
 
 WORKLOAD = dict(stages=4, core_seconds_per_stage=320.0,
                 shuffle_bytes_per_boundary=200 * 1024 * 1024,
                 required_cores=8, available_cores=2)
+
+_HERE = "custom:benchmarks.bench_ablation_segue_policy"
+DECOMMISSION = f"{_HERE}:decommission_experiment"
+TIMEOUT_KNOB = f"{_HERE}:timeout_experiment"
 
 
 def build_ss(seed=0, conf=None, worker_cores=2):
@@ -40,10 +52,21 @@ def build_ss(seed=0, conf=None, worker_cores=2):
     return env, provider, ss
 
 
-def run_decommission(graceful: bool, at_s: float = 25.0):
-    env, provider, ss = build_ss()
-    workload = SyntheticWorkload(**WORKLOAD)
-    run = ss.submit_job(workload.build(8), required_cores=8, max_vm_cores=2)
+def _submit(ss, spec):
+    workload = SyntheticWorkload(**dict(spec.workload_params))
+    wspec = workload.spec
+    return ss.submit_job(workload.build(wspec.required_cores),
+                         required_cores=wspec.required_cores,
+                         max_vm_cores=wspec.available_cores), workload
+
+
+def decommission_experiment(spec):
+    """Custom experiment: drain (or kill) all Lambda executors at
+    ``extra["at_s"]`` and measure the recovery penalty."""
+    params = dict(spec.extra)
+    graceful, at_s = bool(params["graceful"]), float(params["at_s"])
+    env, provider, ss = build_ss(seed=spec.seed, conf=spec.conf())
+    run, workload = _submit(ss, spec)
 
     def decommission(env):
         yield env.timeout(at_s)
@@ -54,22 +77,48 @@ def run_decommission(graceful: bool, at_s: float = 25.0):
     env.process(decommission(env))
     env.run(until=run.job.done)
     ss.finish_run(run)
-    return run.job.duration, len(run.job.failed_attempts)
+    return {"workload": workload.name,
+            "duration_s": run.job.duration,
+            "cost": provider.meter.total(),
+            "cost_breakdown": provider.meter.breakdown(),
+            "metrics": {"failed_tasks": len(run.job.failed_attempts)}}
 
 
-def run_timeout_sweep():
-    results = {}
-    for timeout in (20.0, 60.0, 120.0, None):
-        conf = SparkConf({"spark.lambda.executor.timeout": timeout})
-        env, provider, ss = build_ss(conf=conf)
-        workload = SyntheticWorkload(**WORKLOAD)
-        run = ss.submit_job(workload.build(8), required_cores=8,
-                            max_vm_cores=2)
-        env.run(until=run.job.done)
-        ss.finish_run(run)
-        lambda_cost = provider.meter.breakdown().get("lambda", 0.0)
-        results[timeout] = (run.job.duration, lambda_cost)
-    return results
+def timeout_experiment(spec):
+    """Custom experiment: one spark.lambda.executor.timeout setting
+    (carried in the spec's conf_overrides)."""
+    env, provider, ss = build_ss(seed=spec.seed, conf=spec.conf())
+    run, workload = _submit(ss, spec)
+    env.run(until=run.job.done)
+    ss.finish_run(run)
+    breakdown = provider.meter.breakdown()
+    return {"workload": workload.name,
+            "duration_s": run.job.duration,
+            "cost": provider.meter.total(),
+            "cost_breakdown": breakdown,
+            "metrics": {"lambda_cost": breakdown.get("lambda", 0.0)}}
+
+
+def run_decommission(graceful: bool, at_s: float = 25.0, runner=None):
+    runner = runner if runner is not None else ExperimentRunner()
+    spec = ExperimentSpec(workload="synthetic", scenario=DECOMMISSION,
+                          workload_params=WORKLOAD,
+                          extra={"graceful": graceful, "at_s": at_s})
+    [record] = runner.run([spec], keep_errors=False)
+    return record.duration_s, int(record.metrics["failed_tasks"])
+
+
+def run_timeout_sweep(runner=None):
+    runner = runner if runner is not None else ExperimentRunner()
+    timeouts = (20.0, 60.0, 120.0, None)
+    specs = [ExperimentSpec(
+        workload="synthetic", scenario=TIMEOUT_KNOB,
+        workload_params=WORKLOAD,
+        conf_overrides={"spark.lambda.executor.timeout": timeout})
+        for timeout in timeouts]
+    records = runner.run(specs, keep_errors=False)
+    return {timeout: (record.duration_s, record.metrics["lambda_cost"])
+            for timeout, record in zip(timeouts, records)}
 
 
 def test_ablation_drain_vs_kill(benchmark, emit):
@@ -97,3 +146,17 @@ def test_ablation_lambda_timeout_knob(benchmark, emit):
     # spans that trade monotonically at the extremes.
     assert results[20.0][1] <= results[None][1]
     assert results[20.0][0] >= results[None][0]
+
+
+@pytest.mark.smoke
+def test_smoke_one_timeout_point():
+    runner = ExperimentRunner(workers=1, cache=False)
+    spec = ExperimentSpec(
+        workload="synthetic", scenario=TIMEOUT_KNOB,
+        workload_params=dict(stages=2, core_seconds_per_stage=16.0,
+                             shuffle_bytes_per_boundary=1024.0 * 1024,
+                             required_cores=4, available_cores=2),
+        conf_overrides={"spark.lambda.executor.timeout": 60.0})
+    [record] = runner.run([spec])
+    assert record.error is None
+    assert record.duration_s > 0

@@ -4,25 +4,40 @@
 for the small/medium/large (25k/50k/100k pages) PageRank inputs. The
 paper's findings: classic U-shaped curves, the same performance-optimal
 parallelism for both substrates, and much lower absolute times on VMs.
+
+Every (size, parallelism) point is one ExperimentSpec fanned out over
+the ExperimentRunner, so the 48-point sweep scales with available cores
+and re-runs hit the on-disk cache.
 """
 
-from repro.analysis.profiling import optimal_parallelism, profile_workload
+import pytest
+
+from repro.analysis.profiling import ProfilePoint, optimal_parallelism
 from repro.analysis.reporting import format_series
-from repro.workloads import PageRankWorkload
+from repro.experiments import ExperimentRunner, ExperimentSpec
 from benchmarks.conftest import run_once
 
 SWEEP = (1, 2, 4, 8, 16, 32, 64, 128)
-SIZES = {"small(25k)": PageRankWorkload.small,
-         "medium(50k)": PageRankWorkload.medium,
-         "large(100k)": PageRankWorkload.large}
+SIZES = {"small(25k)": "pagerank-small",
+         "medium(50k)": "pagerank-medium",
+         "large(100k)": "pagerank-large"}
 
 
-def run_profiles(kind):
-    out = {}
-    for label, factory in SIZES.items():
-        out[label] = profile_workload(factory(), kind,
-                                      parallelism_sweep=SWEEP)
-    return out
+def profile_specs(kind):
+    return {label: [ExperimentSpec(workload=workload,
+                                   scenario=f"profile_{kind}",
+                                   parallelism=p) for p in SWEEP]
+            for label, workload in SIZES.items()}
+
+
+def run_profiles(kind, runner=None):
+    runner = runner if runner is not None else ExperimentRunner()
+    by_size = profile_specs(kind)
+    flat = [spec for specs in by_size.values() for spec in specs]
+    by_spec = dict(zip(flat, runner.run(flat, keep_errors=False)))
+    return {label: [ProfilePoint(s.parallelism, by_spec[s].duration_s,
+                                 by_spec[s].cost, kind) for s in specs]
+            for label, specs in by_size.items()}
 
 
 def _render(points_by_size):
@@ -63,3 +78,12 @@ def test_fig4b_vm_profiling(benchmark, emit):
         for parallelism in (4, 8, 16):
             assert (vm_points[parallelism].duration_s
                     <= la_points[parallelism].duration_s * 1.05)
+
+
+@pytest.mark.smoke
+def test_smoke_one_profile_point(tmp_path):
+    runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+    [record] = runner.run([ExperimentSpec("pagerank-small", "profile_lambda",
+                                          parallelism=4)])
+    assert record.error is None
+    assert record.duration_s > 0 and record.cost > 0

@@ -5,20 +5,34 @@ Paper's findings at SF 8, R=32, r=8 on m4.10xlarge:
 - Qubole 32 La averages ~21.7x the baseline (and cannot run Q5 at all);
 - SS 32 VM compares closely with Spark 32 VM (<= 1.6x worst case);
 - SS 8 VM / 24 La takes ~55.2% less time than VM-based autoscaling.
+
+The 4 queries x 8 scenarios grid is fanned out as 32 independent
+ExperimentSpecs through the ExperimentRunner.
 """
 
-import math
+import pytest
 
 from repro.analysis.reporting import format_bar_chart, relative_to
-from repro.core.scenarios import SCENARIO_NAMES, run_all_scenarios
+from repro.core.scenarios import SCENARIO_NAMES
+from repro.experiments import ExperimentRunner, ExperimentSpec
 from repro.workloads import TPCDSWorkload
 from repro.workloads.tpcds import PRESENTED_QUERIES
 from benchmarks.conftest import run_once
 
 
-def run_fig5():
-    return {query: run_all_scenarios(TPCDSWorkload(query))
-            for query in PRESENTED_QUERIES}
+def fig5_specs():
+    return [ExperimentSpec(workload=f"tpcds-{query}", scenario=name)
+            for query in PRESENTED_QUERIES for name in SCENARIO_NAMES]
+
+
+def run_fig5(runner=None):
+    runner = runner if runner is not None else ExperimentRunner()
+    records = runner.run(fig5_specs(), keep_errors=False)
+    out = {query: {} for query in PRESENTED_QUERIES}
+    for record in records:
+        query = record.spec.workload.removeprefix("tpcds-")
+        out[query][record.scenario] = record
+    return out
 
 
 def test_fig5_tpcds(benchmark, emit):
@@ -59,3 +73,11 @@ def test_fig5_tpcds(benchmark, emit):
     print(f"\nhybrid-vs-autoscale improvement: {mean_improvement:.1%} "
           f"(paper: 55.2%)")
     print(f"Qubole average multiple: {mean_qubole:.1f}x (paper: 21.7x)")
+
+
+@pytest.mark.smoke
+def test_smoke_one_tpcds_run(tmp_path):
+    runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+    [record] = runner.run([ExperimentSpec("tpcds-q94", "spark_R_vm")])
+    assert record.error is None and not record.failed
+    assert record.duration_s > 0

@@ -5,25 +5,36 @@ Paper's findings at R=16, r=4:
 - VM autoscaling still ~3.3x (cache-cold new executors);
 - Qubole's S3 shuffle costs ~51% extra; SS 16 La only ~11% worse;
 - here the hybrid is NOT the winner — an all-Lambda SplitServe run is.
+
+All 8 scenarios x 15 seeds are independent ExperimentSpecs fanned out
+over the ExperimentRunner; per-spec seeded RNG streams keep the trial
+statistics identical at any worker count.
 """
 
 import statistics
 
+import pytest
+
 from repro.analysis.reporting import format_table
-from repro.core.scenarios import SCENARIO_NAMES, run_scenario
+from repro.core.scenarios import SCENARIO_NAMES
+from repro.experiments import ExperimentRunner, ExperimentSpec
 from repro.workloads import KMeansWorkload
 from benchmarks.conftest import run_once
 
 TRIALS = 15  # the paper's sample count
 
 
-def run_fig8():
-    workload = KMeansWorkload()
-    out = {}
-    for name in SCENARIO_NAMES:
-        runs = [run_scenario(workload, name, seed=seed)
-                for seed in range(TRIALS)]
-        out[name] = runs
+def fig8_specs():
+    return [ExperimentSpec(workload="kmeans", scenario=name, seed=seed)
+            for name in SCENARIO_NAMES for seed in range(TRIALS)]
+
+
+def run_fig8(runner=None):
+    runner = runner if runner is not None else ExperimentRunner()
+    records = runner.run(fig8_specs(), keep_errors=False)
+    out = {name: [] for name in SCENARIO_NAMES}
+    for record in records:
+        out[record.scenario].append(record)
     return out
 
 
@@ -56,3 +67,11 @@ def test_fig8_kmeans(benchmark, emit):
     # The paper's conclusion for this workload: all-Lambda under SS beats
     # waiting out VM-based scaling by a wide margin.
     assert stats["ss_R_la"] < 0.5 * stats["spark_autoscale"]
+
+
+@pytest.mark.smoke
+def test_smoke_one_kmeans_trial(tmp_path):
+    runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+    [record] = runner.run([ExperimentSpec("kmeans", "ss_R_la", seed=0)])
+    assert record.error is None and not record.failed
+    assert record.duration_s > 0 and record.tasks > 0

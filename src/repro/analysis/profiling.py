@@ -4,12 +4,19 @@ Measures execution time and marginal cost as a function of the degree of
 parallelism, with all executors either Lambda-based (Figure 4a) or
 VM-based on the fewest instances covering the cores (Figure 4b) — the
 classic U-curve from which the cost manager picks operating points.
+
+The canonical entry point is :func:`profile_point`, which executes one
+``profile_lambda``/``profile_vm`` :class:`ExperimentSpec`; sweeps are
+spec lists fanned out by :class:`repro.experiments.ExperimentRunner`.
+The legacy ``profile_workload(workload, kind, ...)`` form is kept as a
+deprecated wrapper.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.cloud.instance_types import fewest_instances_for_cores
 from repro.cloud.pricing import BillingMeter
@@ -20,6 +27,9 @@ from repro.spark.config import SparkConf
 from repro.spark.shuffle import ExternalShuffleBackend, LocalShuffleBackend
 from repro.storage import HDFS
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.experiments.spec import ExperimentSpec
 
 #: The sweep the paper uses: 1-128 executors in powers of two.
 DEFAULT_PARALLELISM_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128)
@@ -35,8 +45,8 @@ class ProfilePoint:
     executor_kind: str  # "lambda" | "vm"
 
 
-def _profile_lambda(workload: Workload, parallelism: int,
-                    seed: int) -> ProfilePoint:
+def _profile_lambda(workload: Workload, parallelism: int, seed: int,
+                    conf: Optional[SparkConf] = None) -> ProfilePoint:
     env = Environment()
     rng = RandomStreams(seed)
     meter = BillingMeter()
@@ -45,7 +55,7 @@ def _profile_lambda(workload: Workload, parallelism: int,
     master = provider.request_vm(workload.spec.master_itype, name="master",
                                  already_running=True)
     hdfs = HDFS(env, [master], rng, meter)
-    conf = SparkConf()
+    conf = conf if conf is not None else SparkConf()
     driver = SparkDriver(env, conf, rng,
                          ExternalShuffleBackend(hdfs))
 
@@ -71,13 +81,13 @@ def _profile_lambda(workload: Workload, parallelism: int,
     return ProfilePoint(parallelism, job.duration, meter.total(), "lambda")
 
 
-def _profile_vm(workload: Workload, parallelism: int,
-                seed: int) -> ProfilePoint:
+def _profile_vm(workload: Workload, parallelism: int, seed: int,
+                conf: Optional[SparkConf] = None) -> ProfilePoint:
     env = Environment()
     rng = RandomStreams(seed)
     meter = BillingMeter()
     provider = CloudProvider(env, rng, meter=meter)
-    conf = SparkConf()
+    conf = conf if conf is not None else SparkConf()
     driver = SparkDriver(env, conf, rng, LocalShuffleBackend())
     vms = []
     remaining = parallelism
@@ -98,17 +108,51 @@ def _profile_vm(workload: Workload, parallelism: int,
     return ProfilePoint(parallelism, job.duration, meter.total(), "vm")
 
 
+def profile_point(spec: "ExperimentSpec") -> ProfilePoint:
+    """Execute one ``profile_lambda``/``profile_vm`` spec."""
+    from repro.experiments.spec import PROFILE_SCENARIOS
+    if spec.scenario not in PROFILE_SCENARIOS:
+        raise ValueError(f"not a profiling spec: scenario must be one of "
+                         f"{PROFILE_SCENARIOS}, got {spec.scenario!r}")
+    if spec.parallelism is None:
+        raise ValueError("a profiling spec needs parallelism set")
+    kind = "lambda" if spec.scenario == "profile_lambda" else "vm"
+    runner = _profile_lambda if kind == "lambda" else _profile_vm
+    return runner(spec.make_workload(), spec.parallelism, spec.seed,
+                  conf=spec.conf())
+
+
 def profile_workload(
-    workload: Workload,
-    executor_kind: str,
+    workload: Union[Workload, "ExperimentSpec"],
+    executor_kind: Optional[str] = None,
     parallelism_sweep: Sequence[int] = DEFAULT_PARALLELISM_SWEEP,
     seed: int = 0,
 ) -> List[ProfilePoint]:
     """Sweep the degree of parallelism for one executor kind.
 
+    The canonical form takes a ``profile_*`` spec; when the spec's
+    ``parallelism`` is None, the sweep covers ``parallelism_sweep``::
+
+        profile_workload(ExperimentSpec("pagerank-large", "profile_lambda"))
+
     Returns points in sweep order; feed ``{p.parallelism: p.duration_s}``
-    to :class:`repro.core.cost_manager.CostManager`.
+    to :class:`repro.core.cost_manager.CostManager`. The legacy
+    ``profile_workload(workload_obj, "lambda", ...)`` form is deprecated.
     """
+    from repro.experiments.spec import ExperimentSpec
+    if isinstance(workload, ExperimentSpec):
+        spec = workload
+        if executor_kind is not None:
+            raise TypeError("executor_kind is implied by the spec; "
+                            "do not pass it separately")
+        sweep = ([spec.parallelism] if spec.parallelism is not None
+                 else parallelism_sweep)
+        return [profile_point(spec.with_(parallelism=p)) for p in sweep]
+    warnings.warn(
+        "profile_workload(workload, kind, ...) is deprecated; build a "
+        "profile_lambda/profile_vm ExperimentSpec and call "
+        "profile_workload(spec) (or run specs through ExperimentRunner)",
+        DeprecationWarning, stacklevel=2)
     if executor_kind not in ("lambda", "vm"):
         raise ValueError(f"executor_kind must be 'lambda' or 'vm', "
                          f"got {executor_kind!r}")

@@ -8,6 +8,13 @@ Commands:
 - ``profile`` — a §5.1 offline-profiling sweep (the Figure 4 curves);
 - ``stream`` — the §4.1 day-of-jobs simulation under a chosen policy.
 
+Every command shares the same flag set: ``--seed`` picks the RNG seed,
+``--workers N`` fans independent runs out over N processes (default:
+all cores), and ``--json PATH`` exports the results as RunRecord JSONL
+— one schema for every command. Runs go through
+:class:`repro.experiments.ExperimentRunner`, so repeated invocations
+hit the on-disk result cache (``.repro_cache``; see README).
+
 The full table/figure reproduction lives in the benchmark harness
 (``pytest benchmarks/ --benchmark-only``); the CLI is for interactive
 exploration.
@@ -17,44 +24,32 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
-from repro.analysis.profiling import profile_workload
 from repro.analysis.reporting import format_series, format_table, relative_to
 from repro.analysis.timeline import build_timeline
-from repro.core.autoscaler import ProvisioningPolicy
 from repro.core.scenarios import SCENARIO_NAMES, run_scenario
-from repro.core.stream import JobStreamSimulator
-from repro.workloads import (
-    KMeansWorkload,
-    PageRankWorkload,
-    SortWorkload,
-    SparkPiWorkload,
-    TPCDSWorkload,
-)
+from repro.experiments import ExperimentRunner, ExperimentSpec, write_jsonl
 from repro.workloads.base import Workload
-from repro.workloads.tpcds import TPCDS_QUERIES
-from repro.workloads.traces import DiurnalTrace
-
-#: name -> zero-argument workload factory.
-WORKLOADS: Dict[str, Callable[[], Workload]] = {
-    "pagerank": PageRankWorkload,
-    "pagerank-small": PageRankWorkload.small,
-    "pagerank-medium": PageRankWorkload.medium,
-    "pagerank-large": PageRankWorkload.large,
-    "kmeans": KMeansWorkload,
-    "sparkpi": SparkPiWorkload,
-    "sort": SortWorkload,
-    **{f"tpcds-{q}": (lambda q=q: TPCDSWorkload(q)) for q in TPCDS_QUERIES},
-}
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.registry import make_workload as _registry_make
 
 
 def make_workload(name: str) -> Workload:
     try:
-        return WORKLOADS[name]()
-    except KeyError:
-        known = ", ".join(sorted(WORKLOADS))
-        raise SystemExit(f"unknown workload {name!r}; known: {known}")
+        return _registry_make(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _export_json(path: Optional[str], records) -> None:
+    if not path:
+        return
+    try:
+        count = write_jsonl(records, path)
+    except OSError as exc:
+        raise SystemExit(f"cannot write {path}: {exc}")
+    print(f"\nwrote {count} RunRecord(s) to {path}")
 
 
 # ---------------------------------------------------------------------------
@@ -75,63 +70,86 @@ def cmd_run(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload)
     scenarios = ([args.scenario] if args.scenario != "all"
                  else SCENARIO_NAMES)
+    specs = [ExperimentSpec(workload=args.workload, scenario=name,
+                            seed=args.seed) for name in scenarios]
+    if args.timeline:
+        # Timelines need the in-memory trace, which records (being
+        # JSON-bounded) do not carry; run in-process.
+        results = [run_scenario(spec, keep_trace=True) for spec in specs]
+        records = [res.to_record(spec)
+                   for spec, res in zip(specs, results)]
+        for res in results:
+            if not res.failed and res.trace is not None:
+                print(f"\n--- timeline: {res.label(workload.spec)} ---")
+                print(build_timeline(res.trace).render())
+    else:
+        records = ExperimentRunner(workers=args.workers).run(specs)
+
     base: Optional[float] = None
+    for record in records:
+        if record.scenario == "spark_R_vm" and not record.failed:
+            base = record.duration_s
     rows = []
-    for name in scenarios:
-        result = run_scenario(workload, name, seed=args.seed,
-                              keep_trace=args.timeline)
-        if name == "spark_R_vm":
-            base = result.duration_s
-        if result.failed:
-            rows.append([result.label(workload.spec), "FAILED", "-", "-"])
+    for record in records:
+        if record.failed:
+            rows.append([record.label(workload.spec), "FAILED", "-", "-"])
             continue
-        rows.append([result.label(workload.spec),
-                     f"{result.duration_s:.1f}s",
-                     relative_to(base, result.duration_s) if base else "",
-                     f"${result.cost:.4f}"])
-        if args.timeline and result.trace is not None:
-            print(f"\n--- timeline: {result.label(workload.spec)} ---")
-            print(build_timeline(result.trace).render())
+        rows.append([record.label(workload.spec),
+                     f"{record.duration_s:.1f}s",
+                     relative_to(base, record.duration_s) if base else "",
+                     f"${record.cost:.4f}"])
     print()
     print(format_table(["scenario", "time", "vs baseline", "cost"], rows,
                        title=f"{workload.name} (seed {args.seed})"))
+    _export_json(args.json, records)
     return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload)
-    sweep = [int(x) for x in args.parallelism.split(",")]
-    points = profile_workload(workload, args.kind, parallelism_sweep=sweep,
-                              seed=args.seed)
+    try:
+        sweep = [int(x) for x in args.parallelism.split(",")]
+        if any(p <= 0 for p in sweep):
+            raise ValueError
+    except ValueError:
+        raise SystemExit(f"--parallelism must be a comma-separated list of "
+                         f"positive integers, got {args.parallelism!r}")
+    specs = [ExperimentSpec(workload=args.workload,
+                            scenario=f"profile_{args.kind}",
+                            parallelism=p, seed=args.seed) for p in sweep]
+    records = ExperimentRunner(workers=args.workers).run(specs)
     print(format_series(
-        "executors", [p.parallelism for p in points],
-        {"time (s)": [p.duration_s for p in points],
-         "cost ($)": [p.cost for p in points]},
+        "executors", sweep,
+        {"time (s)": [r.duration_s for r in records],
+         "cost ($)": [r.cost for r in records]},
         title=f"{workload.name}, all-{args.kind} profiling",
         value_format="{:.3f}"))
+    _export_json(args.json, records)
     return 0
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
-    demand = DiurnalTrace(base_cores=args.base_cores,
-                          peak_cores=args.peak_cores,
-                          sigma_fraction=0.2,
-                          seed=args.seed).generate(hours=args.hours + 1)
-    sim = JobStreamSimulator(demand, ProvisioningPolicy(k=args.k),
-                             bridge=args.bridge, seed=args.seed)
-    report = sim.run(args.hours * 3600.0)
+    spec = ExperimentSpec(
+        workload="diurnal", scenario="stream", seed=args.seed,
+        extra={"hours": args.hours, "k": args.k, "bridge": args.bridge,
+               "base_cores": args.base_cores, "peak_cores": args.peak_cores})
+    # One simulation: --workers is accepted for flag-set consistency but
+    # a single spec always runs in-process.
+    [record] = ExperimentRunner(workers=args.workers).run([spec])
+    m = record.metrics
     print(format_table(
         ["metric", "value"],
-        [["policy", report.policy_label],
-         ["bridge", report.bridge],
-         ["jobs", len(report.jobs)],
-         ["SLO attainment", f"{report.slo_attainment:.1%}"],
-         ["mean duration", f"{report.mean_duration:.1f}s"],
-         ["Lambda-bridged jobs", report.lambda_bridged_jobs],
-         ["VM cost", f"${report.vm_cost:.2f}"],
-         ["Lambda cost", f"${report.lambda_cost:.3f}"],
-         ["total cost", f"${report.total_cost:.2f}"]],
+        [["policy", m["policy"]],
+         ["bridge", m["bridge"]],
+         ["jobs", m["jobs"]],
+         ["SLO attainment", f"{m['slo_attainment']:.1%}"],
+         ["mean duration", f"{m['mean_duration']:.1f}s"],
+         ["Lambda-bridged jobs", m["lambda_bridged_jobs"]],
+         ["VM cost", f"${m['vm_cost']:.2f}"],
+         ["Lambda cost", f"${m['lambda_cost']:.3f}"],
+         ["total cost", f"${record.cost:.2f}"]],
         title=f"{args.hours:g}h job stream"))
+    _export_json(args.json, [record])
     return 0
 
 
@@ -145,25 +163,37 @@ def build_parser() -> argparse.ArgumentParser:
         description="SplitServe reproduction (Middleware '20)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Flags shared by every executing command (satellite of the
+    # ExperimentSpec redesign: one flag set, not per-command one-offs).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for the run(s)")
+    common.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for independent runs "
+                             "(default: all cores)")
+    common.add_argument("--json", default=None, metavar="PATH",
+                        help="export results as RunRecord JSONL to PATH")
+
     sub.add_parser("list", help="list workloads and scenarios")
 
-    run_p = sub.add_parser("run", help="run one scenario")
+    run_p = sub.add_parser("run", help="run one scenario",
+                           parents=[common])
     run_p.add_argument("--workload", default="pagerank")
     run_p.add_argument("--scenario", default="all",
                        choices=["all", *SCENARIO_NAMES])
-    run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--timeline", action="store_true",
                        help="print the Figure 7-style executor timeline")
 
-    prof_p = sub.add_parser("profile", help="Figure 4-style sweep")
+    prof_p = sub.add_parser("profile", help="Figure 4-style sweep",
+                            parents=[common])
     prof_p.add_argument("--workload", default="pagerank-large")
     prof_p.add_argument("--kind", choices=["lambda", "vm"],
                         default="lambda")
     prof_p.add_argument("--parallelism", default="1,2,4,8,16,32,64,128",
                         help="comma-separated executor counts")
-    prof_p.add_argument("--seed", type=int, default=0)
 
-    stream_p = sub.add_parser("stream", help="day-of-jobs simulation")
+    stream_p = sub.add_parser("stream", help="day-of-jobs simulation",
+                              parents=[common])
     stream_p.add_argument("--hours", type=float, default=1.0)
     stream_p.add_argument("--k", type=float, default=0.0,
                           help="provision at m(t)+k*sigma(t)")
@@ -171,7 +201,6 @@ def build_parser() -> argparse.ArgumentParser:
                           default="lambda")
     stream_p.add_argument("--base-cores", type=float, default=20.0)
     stream_p.add_argument("--peak-cores", type=float, default=80.0)
-    stream_p.add_argument("--seed", type=int, default=0)
 
     return parser
 

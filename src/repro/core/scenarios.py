@@ -27,8 +27,9 @@ across scenarios, and is not billed.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.cloud.instance_types import fewest_instances_for_cores, instance_type
 from repro.cloud.pricing import BillingMeter
@@ -41,6 +42,10 @@ from repro.spark.dag_scheduler import JobFailedError
 from repro.spark.shuffle import LocalShuffleBackend, QuboleS3ShuffleBackend
 from repro.storage import HDFS, S3
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.experiments.records import RunRecord
+    from repro.experiments.spec import ExperimentSpec
 
 SCENARIO_NAMES = [
     "spark_r_vm",
@@ -93,29 +98,61 @@ class ScenarioResult:
     cost_breakdown: Dict[str, float] = field(default_factory=dict)
     job_result: Optional[JobResult] = None
     trace: Optional[TraceRecorder] = None
+    #: Seed the run used (recorded so results stay replayable).
+    seed: int = 0
+    #: The spec this result came from, when run through the new API.
+    experiment: Optional["ExperimentSpec"] = None
 
     def label(self, spec) -> str:
         return SCENARIO_LABELS[self.scenario].format(
             R=spec.required_cores, r=spec.available_cores,
             d=spec.shortfall_cores)
 
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable summary (trace and job internals omitted;
-        export the trace separately via TraceRecorder.save_jsonl)."""
-        out = {
-            "scenario": self.scenario,
-            "workload": self.workload,
-            "duration_s": self.duration_s,
-            "cost": self.cost,
-            "failed": self.failed,
-            "failure_reason": self.failure_reason,
-            "cost_breakdown": dict(self.cost_breakdown),
-        }
+    def to_record(self, spec: Optional["ExperimentSpec"] = None,
+                  wall_time_s: float = 0.0) -> "RunRecord":
+        """Project this result onto the unified RunRecord schema."""
+        from repro.experiments.records import RunRecord
+        from repro.experiments.spec import ExperimentSpec
+        if spec is None:
+            spec = self.experiment
+        if spec is None:
+            # Legacy path: synthesize a spec from what we know. The
+            # workload label may not be a registry name, so the spec is
+            # descriptive rather than guaranteed re-runnable.
+            spec = ExperimentSpec(workload=self.workload,
+                                  scenario=self.scenario, seed=self.seed)
+        tasks = tasks_by_kind = failed_attempts = None
+        metrics: Dict[str, object] = {}
         if self.job_result is not None:
-            out["tasks"] = self.job_result.num_tasks
-            out["tasks_by_kind"] = dict(self.job_result.tasks_by_kind)
-            out["failed_attempts"] = self.job_result.failed_attempts
-        return out
+            jr = self.job_result
+            tasks = jr.num_tasks
+            tasks_by_kind = dict(jr.tasks_by_kind)
+            failed_attempts = jr.failed_attempts
+            metrics = {
+                "num_stages": jr.num_stages,
+                "submit_time": jr.submit_time,
+                "finish_time": jr.finish_time,
+                "fetch_seconds_total": jr.fetch_seconds_total,
+                "input_seconds_total": jr.input_seconds_total,
+                "compute_seconds_total": jr.compute_seconds_total,
+                "gc_overhead_seconds_total": jr.gc_overhead_seconds_total,
+                "write_seconds_total": jr.write_seconds_total,
+                "cache_hits": jr.cache_hits,
+            }
+        return RunRecord(
+            spec=spec, workload=self.workload,
+            duration_s=self.duration_s, cost=self.cost,
+            wall_time_s=wall_time_s, failed=self.failed,
+            failure_reason=self.failure_reason,
+            cost_breakdown=dict(self.cost_breakdown),
+            tasks=tasks, tasks_by_kind=tasks_by_kind or {},
+            failed_attempts=failed_attempts, metrics=metrics)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary in the RunRecord schema (trace and
+        job internals omitted; export the trace separately via
+        TraceRecorder.save_jsonl)."""
+        return self.to_record().to_dict()
 
 
 class _Runtime:
@@ -372,11 +409,9 @@ def _splitserve(workload: Workload, runtime: _Runtime, vm_cores: int,
 # Entry points
 # ---------------------------------------------------------------------------
 
-def run_scenario(workload: Workload, scenario: str, seed: int = 0,
-                 keep_trace: bool = False,
-                 conf: Optional[SparkConf] = None,
-                 segue_at_s: Optional[float] = None) -> ScenarioResult:
-    """Execute one scenario for one workload and return its result."""
+def _run_scenario_impl(workload: Workload, scenario: str, seed: int,
+                       keep_trace: bool, conf: Optional[SparkConf],
+                       segue_at_s: Optional[float]) -> ScenarioResult:
     if scenario not in SCENARIO_NAMES:
         raise ValueError(f"unknown scenario {scenario!r}; "
                          f"known: {SCENARIO_NAMES}")
@@ -384,29 +419,71 @@ def run_scenario(workload: Workload, scenario: str, seed: int = 0,
     conf = conf if conf is not None else SparkConf()
     spec = workload.spec
     if scenario == "spark_r_vm":
-        return _vanilla(workload, runtime, spec.available_cores, False,
-                        scenario, keep_trace, conf)
-    if scenario == "spark_R_vm":
-        return _vanilla(workload, runtime, spec.required_cores, False,
-                        scenario, keep_trace, conf)
-    if scenario == "spark_autoscale":
-        return _vanilla(workload, runtime, spec.available_cores, True,
-                        scenario, keep_trace, conf)
-    if scenario == "qubole_R_la":
-        return _qubole(workload, runtime, scenario, keep_trace, conf)
-    if scenario == "ss_R_vm":
-        return _splitserve(workload, runtime, spec.required_cores, False,
-                           scenario, keep_trace, conf, segue_at_s)
-    if scenario == "ss_R_la":
-        return _splitserve(workload, runtime, 0, False, scenario,
-                           keep_trace, conf, segue_at_s)
-    if scenario == "ss_hybrid":
-        return _splitserve(workload, runtime, spec.available_cores, False,
-                           scenario, keep_trace, conf, segue_at_s)
-    if scenario == "ss_hybrid_segue":
-        return _splitserve(workload, runtime, spec.available_cores, True,
-                           scenario, keep_trace, conf, segue_at_s)
-    raise AssertionError("unreachable")
+        result = _vanilla(workload, runtime, spec.available_cores, False,
+                          scenario, keep_trace, conf)
+    elif scenario == "spark_R_vm":
+        result = _vanilla(workload, runtime, spec.required_cores, False,
+                          scenario, keep_trace, conf)
+    elif scenario == "spark_autoscale":
+        result = _vanilla(workload, runtime, spec.available_cores, True,
+                          scenario, keep_trace, conf)
+    elif scenario == "qubole_R_la":
+        result = _qubole(workload, runtime, scenario, keep_trace, conf)
+    elif scenario == "ss_R_vm":
+        result = _splitserve(workload, runtime, spec.required_cores, False,
+                             scenario, keep_trace, conf, segue_at_s)
+    elif scenario == "ss_R_la":
+        result = _splitserve(workload, runtime, 0, False, scenario,
+                             keep_trace, conf, segue_at_s)
+    elif scenario == "ss_hybrid":
+        result = _splitserve(workload, runtime, spec.available_cores, False,
+                             scenario, keep_trace, conf, segue_at_s)
+    elif scenario == "ss_hybrid_segue":
+        result = _splitserve(workload, runtime, spec.available_cores, True,
+                             scenario, keep_trace, conf, segue_at_s)
+    else:
+        raise AssertionError("unreachable")
+    result.seed = seed
+    return result
+
+
+def run_scenario(workload: Union[Workload, "ExperimentSpec"],
+                 scenario: Optional[str] = None, seed: int = 0,
+                 keep_trace: bool = False,
+                 conf: Optional[SparkConf] = None,
+                 segue_at_s: Optional[float] = None) -> ScenarioResult:
+    """Execute one scenario run and return its result.
+
+    The canonical form takes a single
+    :class:`~repro.experiments.spec.ExperimentSpec`::
+
+        run_scenario(ExperimentSpec("kmeans", "ss_R_la", seed=3))
+
+    The legacy ``run_scenario(workload_obj, scenario_name, ...)`` form
+    still works but is deprecated; it cannot always be mapped back to a
+    registry spec (arbitrary workload instances), so it runs directly.
+    """
+    from repro.experiments.spec import ExperimentSpec
+    if isinstance(workload, ExperimentSpec):
+        spec = workload
+        if scenario is not None:
+            raise TypeError("scenario is implied by the spec; "
+                            "do not pass it separately")
+        result = _run_scenario_impl(spec.make_workload(), spec.scenario,
+                                    spec.seed, keep_trace, spec.conf(),
+                                    spec.segue_at_s)
+        result.experiment = spec
+        return result
+    if scenario is None:
+        raise TypeError("run_scenario(workload, scenario, ...) requires "
+                        "a scenario name")
+    warnings.warn(
+        "run_scenario(workload, scenario, ...) is deprecated; build an "
+        "ExperimentSpec and call run_scenario(spec) (or use "
+        "repro.experiments.ExperimentRunner)",
+        DeprecationWarning, stacklevel=2)
+    return _run_scenario_impl(workload, scenario, seed, keep_trace, conf,
+                              segue_at_s)
 
 
 def run_all_scenarios(workload: Workload, seed: int = 0,
@@ -414,5 +491,8 @@ def run_all_scenarios(workload: Workload, seed: int = 0,
                       **kwargs) -> Dict[str, ScenarioResult]:
     """Run every (or the given) scenario for one workload."""
     names = scenarios if scenarios is not None else SCENARIO_NAMES
-    return {name: run_scenario(workload, name, seed=seed, **kwargs)
+    return {name: _run_scenario_impl(workload, name, seed,
+                                     kwargs.get("keep_trace", False),
+                                     kwargs.get("conf"),
+                                     kwargs.get("segue_at_s"))
             for name in names}

@@ -1,0 +1,34 @@
+"""Declarative, parallel, cached experiment execution.
+
+The subsystem has three pieces:
+
+- :class:`~repro.experiments.spec.ExperimentSpec` — a frozen, hashable
+  value object (workload + params, scenario, seed, conf overrides) that
+  fully determines one simulation run;
+- :class:`~repro.experiments.records.RunRecord` — the single result
+  schema every experiment produces (and every exporter emits), with a
+  round-trippable ``to_dict``/``from_dict`` and JSONL helpers;
+- :class:`~repro.experiments.runner.ExperimentRunner` — fans a list of
+  specs out over a ``ProcessPoolExecutor`` and memoizes results in an
+  on-disk cache keyed by spec hash + code version.
+
+Because every run builds its own :class:`~repro.simulation.Environment`
+and :class:`~repro.simulation.RandomStreams` from the spec's seed,
+parallel and serial execution produce bit-identical records.
+"""
+
+from repro.experiments.cache import ResultCache, code_version
+from repro.experiments.records import RunRecord, read_jsonl, write_jsonl
+from repro.experiments.runner import ExperimentRunner, run_spec
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "ResultCache",
+    "RunRecord",
+    "code_version",
+    "read_jsonl",
+    "run_spec",
+    "write_jsonl",
+]

@@ -1,0 +1,93 @@
+"""On-disk result cache keyed by spec hash + code version.
+
+Layout: ``<root>/<code-version>/<spec-hash>.json``, one RunRecord per
+file. The code version is a digest over every ``*.py`` file of the
+installed ``repro`` package, so *any* source change invalidates every
+cached record — coarse, but impossible to get stale numbers from.
+Entries from older code versions are left on disk (they are cheap) and
+simply never match again.
+
+The default root is ``.repro_cache`` under the current directory, or
+``$REPRO_CACHE_DIR`` when set; ``REPRO_CACHE=0`` disables caching
+process-wide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.records import RunRecord
+from repro.experiments.spec import ExperimentSpec
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (memoized per process)."""
+    global _code_version
+    if _code_version is None:
+        import repro
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(source.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE`` is set to 0/false/no/off."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in (
+        "0", "false", "no", "off")
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Get/put RunRecords by spec under one code version."""
+
+    def __init__(self, root: Optional[str] = None,
+                 version: Optional[str] = None) -> None:
+        self.root = Path(root if root is not None else default_cache_dir())
+        self.version = version if version is not None else code_version()
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        return self.root / self.version / f"{spec.spec_hash()}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional[RunRecord]:
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        record = RunRecord.from_dict(data)
+        record.cached = True
+        return record
+
+    def put(self, spec: ExperimentSpec, record: RunRecord) -> None:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a concurrent reader never sees a torn file.
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record.to_dict(), fh, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

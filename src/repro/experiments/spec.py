@@ -1,0 +1,157 @@
+"""The declarative experiment specification.
+
+An :class:`ExperimentSpec` is a frozen, hashable value object that fully
+determines one simulation run: which workload (by registry name, plus
+constructor parameters), which scenario, which seed, and any Spark
+configuration overrides. Two equal specs always produce bit-identical
+:class:`~repro.experiments.records.RunRecord` numbers, which is what
+makes parallel fan-out and on-disk caching safe.
+
+Scenario names accepted:
+
+- the eight §5.1 scenarios (:data:`repro.core.scenarios.SCENARIO_NAMES`);
+- ``profile_lambda`` / ``profile_vm`` — one Figure 4 profiling point at
+  ``parallelism`` executors;
+- ``stream`` — the §4.1 day-of-jobs simulation (parameters in ``extra``);
+- ``custom:<module>:<function>`` — a dotted reference to a module-level
+  function taking the spec and returning a record (or a dict of record
+  fields); used by ablation benches whose setup is not a §5.1 scenario.
+
+All parameter values must be JSON-representable scalars (str, int,
+float, bool, None) so that the spec's canonical hash is stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+#: Scenario names handled by :mod:`repro.analysis.profiling`.
+PROFILE_SCENARIOS = ("profile_lambda", "profile_vm")
+#: Scenario name handled by :class:`repro.core.stream.JobStreamSimulator`.
+STREAM_SCENARIO = "stream"
+#: Prefix for ``custom:<module>:<function>`` scenario references.
+CUSTOM_PREFIX = "custom:"
+
+Params = Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...], None]
+
+
+def _freeze(params: Params) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize a mapping (or pair tuple) into a sorted, hashable tuple."""
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else tuple(params)
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to (re)execute one simulation run.
+
+    ``workload_params``, ``conf_overrides`` and ``extra`` accept plain
+    dicts at construction time and are canonicalized into sorted tuples,
+    so specs stay hashable and order-insensitive.
+    """
+
+    workload: str
+    scenario: str
+    seed: int = 0
+    #: Executor count for ``profile_*`` specs; None elsewhere.
+    parallelism: Optional[int] = None
+    #: Constructor kwargs for registry workloads (e.g. ``synthetic``).
+    workload_params: Tuple[Tuple[str, Any], ...] = ()
+    #: :class:`~repro.spark.config.SparkConf` overrides for the run.
+    conf_overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Override for the segue-availability delay (scenario runs only).
+    segue_at_s: Optional[float] = None
+    #: Scenario-specific parameters (``stream`` and ``custom:`` runs).
+    extra: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload_params",
+                           _freeze(self.workload_params))
+        object.__setattr__(self, "conf_overrides",
+                           _freeze(self.conf_overrides))
+        object.__setattr__(self, "extra", _freeze(self.extra))
+        self._validate_scenario()
+        if self.parallelism is not None:
+            if self.scenario not in PROFILE_SCENARIOS:
+                raise ValueError(
+                    f"parallelism only applies to {PROFILE_SCENARIOS}, "
+                    f"not {self.scenario!r}")
+            if self.parallelism <= 0:
+                raise ValueError("parallelism must be positive")
+
+    def _validate_scenario(self) -> None:
+        name = self.scenario
+        if name in PROFILE_SCENARIOS or name == STREAM_SCENARIO:
+            return
+        if name.startswith(CUSTOM_PREFIX):
+            parts = name[len(CUSTOM_PREFIX):].split(":")
+            if len(parts) != 2 or not all(parts):
+                raise ValueError(
+                    f"custom scenario must look like "
+                    f"'custom:<module>:<function>', got {name!r}")
+            return
+        # Imported lazily: repro.core.scenarios consumes this module.
+        from repro.core.scenarios import SCENARIO_NAMES
+        if name not in SCENARIO_NAMES:
+            known = [*SCENARIO_NAMES, *PROFILE_SCENARIOS, STREAM_SCENARIO,
+                     CUSTOM_PREFIX + "<module>:<function>"]
+            raise ValueError(f"unknown scenario {name!r}; known: {known}")
+
+    # -- derived objects ---------------------------------------------------
+
+    def make_workload(self):
+        """Build the workload instance this spec names."""
+        from repro.workloads.registry import make_workload
+        return make_workload(self.workload, **dict(self.workload_params))
+
+    def conf(self):
+        """Build the :class:`~repro.spark.config.SparkConf` for the run."""
+        from repro.spark.config import SparkConf
+        return SparkConf(dict(self.conf_overrides))
+
+    def with_(self, **changes: Any) -> "ExperimentSpec":
+        """A copy of the spec with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "parallelism": self.parallelism,
+            "workload_params": dict(self.workload_params),
+            "conf_overrides": dict(self.conf_overrides),
+            "segue_at_s": self.segue_at_s,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        return cls(
+            workload=data["workload"],
+            scenario=data["scenario"],
+            seed=int(data.get("seed", 0)),
+            parallelism=data.get("parallelism"),
+            workload_params=data.get("workload_params") or (),
+            conf_overrides=data.get("conf_overrides") or (),
+            segue_at_s=data.get("segue_at_s"),
+            extra=data.get("extra") or (),
+        )
+
+    def spec_hash(self) -> str:
+        """A stable content hash of the canonical spec serialization."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def short_hash(self) -> str:
+        return self.spec_hash()[:12]

@@ -26,6 +26,7 @@ from repro.workloads.sort import SortWorkload
 from repro.workloads.sparkpi import SparkPiWorkload
 from repro.workloads.tpcds import TPCDSWorkload, TPCDS_QUERIES
 from repro.workloads.traces import DiurnalTrace
+from repro.workloads.registry import WORKLOADS, make_workload
 
 __all__ = [
     "DiurnalTrace",
@@ -37,7 +38,9 @@ __all__ = [
     "SyntheticWorkload",
     "TPCDSWorkload",
     "TPCDS_QUERIES",
+    "WORKLOADS",
     "Workload",
     "WorkloadSpec",
     "chain_workload",
+    "make_workload",
 ]

@@ -1,0 +1,48 @@
+"""Workload registry: construct workloads from (name, params).
+
+This is the name space :class:`~repro.experiments.spec.ExperimentSpec`
+resolves workloads through, and the one the CLI lists. Parametric
+entries (``synthetic``, ``heterogeneous``) forward ``params`` to the
+workload constructor; the paper workloads are fixed setups and take
+none.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.workloads.base import Workload
+from repro.workloads.generators import HeterogeneousWorkload, SyntheticWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.sort import SortWorkload
+from repro.workloads.sparkpi import SparkPiWorkload
+from repro.workloads.tpcds import TPCDS_QUERIES, TPCDSWorkload
+
+#: name -> workload factory.
+WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "pagerank": PageRankWorkload,
+    "pagerank-small": PageRankWorkload.small,
+    "pagerank-medium": PageRankWorkload.medium,
+    "pagerank-large": PageRankWorkload.large,
+    "kmeans": KMeansWorkload,
+    "sparkpi": SparkPiWorkload,
+    "sort": SortWorkload,
+    "synthetic": SyntheticWorkload,
+    "heterogeneous": HeterogeneousWorkload,
+    **{f"tpcds-{q}": (lambda q=q: TPCDSWorkload(q)) for q in TPCDS_QUERIES},
+}
+
+
+def make_workload(name: str, **params: Any) -> Workload:
+    """Build the named workload, forwarding params to its constructor."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ValueError(f"unknown workload {name!r}; known: {known}") from None
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for workload {name!r}: {exc}") from None

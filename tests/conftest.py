@@ -1,0 +1,11 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_experiment_cache(tmp_path, monkeypatch):
+    """Point the experiment result cache at a per-test tmp dir so test
+    runs never write ``.repro_cache`` into the repository or leak
+    cached results across tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "experiment-cache"))

@@ -1,0 +1,128 @@
+"""Tests for ExperimentRunner: determinism, caching, fan-out plumbing."""
+
+import pytest
+
+from repro.analysis.profiling import profile_workload
+from repro.core.scenarios import run_scenario
+from repro.experiments import ExperimentRunner, ExperimentSpec, code_version
+from repro.workloads import SyntheticWorkload
+
+TINY = dict(stages=2, core_seconds_per_stage=8.0,
+            shuffle_bytes_per_boundary=1024.0 * 1024,
+            required_cores=4, available_cores=2)
+
+
+def tiny_specs():
+    return [ExperimentSpec("synthetic", scenario, seed=seed,
+                           workload_params=TINY)
+            for scenario in ("spark_R_vm", "ss_R_la", "ss_hybrid")
+            for seed in range(2)]
+
+
+def test_serial_and_parallel_records_identical():
+    """The tentpole guarantee: 1 worker and 4 workers produce
+    bit-identical RunRecords for a fixed spec list."""
+    specs = tiny_specs()
+    serial = ExperimentRunner(workers=1, cache=False).run(specs)
+    parallel = ExperimentRunner(workers=4, cache=False).run(specs)
+    assert [r.canonical() for r in serial] == \
+        [r.canonical() for r in parallel]
+
+
+def test_records_returned_in_input_order():
+    specs = tiny_specs()
+    records = ExperimentRunner(workers=1, cache=False).run(specs)
+    assert [r.spec for r in records] == specs
+
+
+def test_duplicate_specs_share_one_execution():
+    spec = ExperimentSpec("synthetic", "spark_R_vm", workload_params=TINY)
+    records = ExperimentRunner(workers=1, cache=False).run([spec, spec])
+    assert records[0] is records[1]
+
+
+def test_cache_hit_on_second_run(tmp_path):
+    specs = tiny_specs()
+    runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+    first = runner.run(specs)
+    second = runner.run(specs)
+    assert all(not r.cached for r in first)
+    assert all(r.cached for r in second)
+    assert [r.canonical() for r in first] == [r.canonical() for r in second]
+    version_dir = tmp_path / code_version()
+    assert len(list(version_dir.glob("*.json"))) == len(specs)
+
+
+def test_cache_disabled_executes_every_time(tmp_path):
+    spec = ExperimentSpec("synthetic", "spark_R_vm", workload_params=TINY)
+    runner = ExperimentRunner(workers=1, cache=False)
+    assert not runner.run([spec])[0].cached
+    assert not runner.run([spec])[0].cached
+    assert not any(tmp_path.iterdir())
+
+
+def test_cache_env_kill_switch(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+    runner.run([ExperimentSpec("synthetic", "spark_R_vm",
+                               workload_params=TINY)])
+    assert runner.cache is None
+    assert not any(tmp_path.iterdir())
+
+
+def test_custom_scenarios_never_cached(tmp_path):
+    spec = ExperimentSpec(
+        "synthetic",
+        "custom:tests.experiments.test_runner:custom_experiment",
+        workload_params=TINY)
+    runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+    first = runner.run([spec])[0]
+    second = runner.run([spec])[0]
+    assert first.duration_s == 12.5 and not first.cached
+    assert not second.cached  # custom code can change without repro's
+    assert not any(tmp_path.iterdir())
+
+
+def custom_experiment(spec):
+    return {"workload": "custom", "duration_s": 12.5, "cost": 0.0}
+
+
+def test_harness_errors_kept_or_raised():
+    bad = ExperimentSpec("no-such-workload", "ss_R_la")
+    runner = ExperimentRunner(workers=1, cache=False)
+    [record] = runner.run([bad])
+    assert record.failed and record.error is not None
+    with pytest.raises(RuntimeError, match="no-such-workload"):
+        runner.run([bad], keep_errors=False)
+
+
+def test_profile_specs_through_runner_match_direct_calls():
+    spec = ExperimentSpec("pagerank-small", "profile_vm", parallelism=4)
+    [record] = ExperimentRunner(workers=1, cache=False).run([spec])
+    [point] = profile_workload(spec)
+    assert record.duration_s == point.duration_s
+    assert record.cost == point.cost
+
+
+# -- deprecated kwargs-soup wrappers ---------------------------------------
+
+def test_legacy_run_scenario_warns_and_matches_spec_path():
+    workload = SyntheticWorkload(**TINY)
+    with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+        legacy = run_scenario(workload, "ss_hybrid", seed=1)
+    via_spec = run_scenario(ExperimentSpec("synthetic", "ss_hybrid", seed=1,
+                                           workload_params=TINY))
+    assert legacy.duration_s == via_spec.duration_s
+    assert legacy.cost == via_spec.cost
+
+
+def test_legacy_profile_workload_warns_and_matches_spec_path():
+    workload = SyntheticWorkload(**TINY)
+    with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+        legacy = profile_workload(workload, "lambda",
+                                  parallelism_sweep=(2, 4))
+    spec = ExperimentSpec("synthetic", "profile_lambda",
+                          workload_params=TINY)
+    via_spec = profile_workload(spec, parallelism_sweep=(2, 4))
+    assert [(p.parallelism, p.duration_s, p.cost) for p in legacy] == \
+        [(p.parallelism, p.duration_s, p.cost) for p in via_spec]

@@ -56,3 +56,51 @@ def test_stream_command(capsys):
 def test_parser_rejects_bad_scenario():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--scenario", "warp-drive"])
+
+
+def test_common_flags_on_every_command():
+    parser = build_parser()
+    for command in ("run", "profile", "stream"):
+        args = parser.parse_args([command, "--seed", "3", "--workers", "2",
+                                  "--json", "out.jsonl"])
+        assert args.seed == 3
+        assert args.workers == 2
+        assert args.json == "out.jsonl"
+
+
+def test_run_json_export_emits_run_records(tmp_path, capsys):
+    from repro.experiments import read_jsonl
+
+    path = str(tmp_path / "records.jsonl")
+    assert main(["run", "--workload", "sparkpi", "--scenario", "ss_R_la",
+                 "--seed", "1", "--json", path]) == 0
+    [record] = read_jsonl(path)
+    assert record.spec.scenario == "ss_R_la"
+    assert record.spec.workload == "sparkpi"
+    assert record.spec.seed == 1
+    assert record.duration_s > 0
+    assert "wrote 1 RunRecord" in capsys.readouterr().out
+
+
+def test_profile_json_export_and_workers(tmp_path, capsys):
+    from repro.experiments import read_jsonl
+
+    path = str(tmp_path / "profile.jsonl")
+    assert main(["profile", "--workload", "pagerank-small", "--kind", "vm",
+                 "--parallelism", "2,8", "--workers", "1",
+                 "--json", path]) == 0
+    records = read_jsonl(path)
+    assert [r.spec.parallelism for r in records] == [2, 8]
+    assert all(r.spec.scenario == "profile_vm" for r in records)
+
+
+def test_stream_json_export(tmp_path, capsys):
+    from repro.experiments import read_jsonl
+
+    path = str(tmp_path / "stream.jsonl")
+    assert main(["stream", "--hours", "0.1", "--base-cores", "8",
+                 "--peak-cores", "16", "--json", path]) == 0
+    [record] = read_jsonl(path)
+    assert record.spec.scenario == "stream"
+    assert record.metrics["jobs"] > 0
+    assert "SLO attainment" in capsys.readouterr().out
