@@ -1,6 +1,7 @@
 # Convenience targets for the SplitServe reproduction.
 
-.PHONY: install test bench bench-smoke examples figures clean
+.PHONY: install test bench bench-smoke bench-resilience-smoke examples \
+	figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +16,12 @@ bench:
 # ExperimentRunner — smoke-tests the figure suite in well under a minute.
 bench-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/ -m smoke -q
+
+# One tiny faulted run through the ExperimentRunner — smoke-tests the
+# fault-injection path (see DESIGN.md, "Fault model").
+bench-resilience-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_resilience.py -m smoke -q
 
 examples:
 	python examples/quickstart.py

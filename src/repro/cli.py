@@ -23,13 +23,15 @@ exploration.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.reporting import format_series, format_table, relative_to
 from repro.analysis.timeline import build_timeline
 from repro.core.scenarios import SCENARIO_NAMES, run_scenario
 from repro.experiments import ExperimentRunner, ExperimentSpec, write_jsonl
+from repro.simulation.faults import FaultSpec
 from repro.workloads.base import Workload
 from repro.workloads.registry import WORKLOADS
 from repro.workloads.registry import make_workload as _registry_make
@@ -40,6 +42,37 @@ def make_workload(name: str) -> Workload:
         return _registry_make(name)
     except ValueError as exc:
         raise SystemExit(str(exc))
+
+
+def _parse_faults(arg: Optional[str]) -> Tuple[FaultSpec, ...]:
+    """Parse ``--faults`` — inline JSON or ``@file`` — into FaultSpecs.
+
+    Accepts a JSON list of fault objects or a single object; each object
+    uses the :class:`~repro.simulation.faults.FaultSpec` vocabulary
+    (``kind``, one of ``at_s``/``on_event``/``probability``, ``target``,
+    ...). See DESIGN.md, "Fault model".
+    """
+    if not arg:
+        return ()
+    text = arg
+    if arg.startswith("@"):
+        try:
+            with open(arg[1:], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read fault plan {arg[1:]}: {exc}")
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"--faults is not valid JSON: {exc}")
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise SystemExit("--faults must be a JSON object or list of objects")
+    try:
+        return tuple(FaultSpec.from_dict(item) for item in data)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid fault plan: {exc}")
 
 
 def _export_json(path: Optional[str], records) -> None:
@@ -70,8 +103,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload)
     scenarios = ([args.scenario] if args.scenario != "all"
                  else SCENARIO_NAMES)
+    faults = _parse_faults(args.faults)
     specs = [ExperimentSpec(workload=args.workload, scenario=name,
-                            seed=args.seed) for name in scenarios]
+                            seed=args.seed, faults=faults)
+             for name in scenarios]
     if args.timeline:
         # Timelines need the in-memory trace, which records (being
         # JSON-bounded) do not carry; run in-process.
@@ -183,6 +218,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["all", *SCENARIO_NAMES])
     run_p.add_argument("--timeline", action="store_true",
                        help="print the Figure 7-style executor timeline")
+    run_p.add_argument("--faults", default=None, metavar="JSON|@FILE",
+                       help="declarative fault plan: a JSON list of fault "
+                            "objects (or @path to a file holding one); "
+                            "see DESIGN.md \"Fault model\"")
 
     prof_p = sub.add_parser("profile", help="Figure 4-style sweep",
                             parents=[common])

@@ -40,6 +40,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.tracing import TraceRecorder
 
 
+class LambdaInvokeError(RuntimeError):
+    """An invocation failed at the provider (transient service error)."""
+
+
+class LambdaThrottledError(LambdaInvokeError):
+    """The account's concurrent-execution limit rejected the invocation
+    (AWS's 429 ``TooManyRequestsException``). A subclass of
+    :class:`LambdaInvokeError` so one retry path handles both."""
+
+
 class LambdaState(enum.Enum):
     STARTING = "starting"
     RUNNING = "running"

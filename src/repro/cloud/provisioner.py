@@ -19,7 +19,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cloud.constants import LAMBDA_WARM_KEEPALIVE_S
 from repro.cloud.instance_types import InstanceType, instance_type
-from repro.cloud.lambda_fn import LambdaConfig, LambdaInstance
+from repro.cloud.lambda_fn import (
+    LambdaConfig,
+    LambdaInstance,
+    LambdaThrottledError,
+)
 from repro.cloud.pricing import BillingMeter
 from repro.cloud.vm import VirtualMachine
 
@@ -52,6 +56,16 @@ class CloudProvider:
         self._initial_warm = warm_pool_size
         self._vm_ids = itertools.count()
         self._lambda_ids = itertools.count()
+        #: Account-level concurrent-execution cap; invocations beyond it
+        #: raise :class:`LambdaThrottledError` (None = unlimited). Set
+        #: statically or by a ``lambda_throttle`` fault window.
+        self.concurrency_limit: Optional[int] = None
+        #: Optional per-invocation failure hook (wired by the fault
+        #: injector): a callable returning an exception to raise, or None
+        #: to admit the invocation.
+        self.invoke_fault = None
+        self.throttled_invocations = 0
+        self.failed_invocations = 0
 
     # ------------------------------------------------------------------
     # VMs
@@ -95,9 +109,29 @@ class CloudProvider:
         force_cold: bool = False,
     ) -> LambdaInstance:
         """Invoke one function; warm-start if the pool has a live container
-        of the same memory size."""
+        of the same memory size.
+
+        Raises :class:`LambdaThrottledError` past the account concurrency
+        limit, or whatever the injected ``invoke_fault`` hook returns —
+        callers own the retry policy (see
+        :class:`repro.core.launching.LaunchingFacility`).
+        """
         if config is None:
             config = LambdaConfig()
+        if (self.concurrency_limit is not None
+                and self.active_lambda_count >= self.concurrency_limit):
+            self.throttled_invocations += 1
+            self._record("lambda_throttled", limit=self.concurrency_limit,
+                         active=self.active_lambda_count)
+            raise LambdaThrottledError(
+                f"concurrency limit {self.concurrency_limit} reached "
+                f"({self.active_lambda_count} active)")
+        if self.invoke_fault is not None:
+            error = self.invoke_fault()
+            if error is not None:
+                self.failed_invocations += 1
+                self._record("lambda_invoke_failed", error=str(error))
+                raise error
         if name is None:
             name = f"lambda-{next(self._lambda_ids)}"
         warm = (not force_cold) and self._take_warm(config.memory_mb)
@@ -129,6 +163,12 @@ class CloudProvider:
         return False
 
     @property
+    def active_lambda_count(self) -> int:
+        """Functions invoked and not yet finished/reaped — the quantity
+        the account concurrency limit is enforced against."""
+        return sum(1 for fn in self.lambdas if fn.finish_time is None)
+
+    @property
     def warm_pool_available(self) -> int:
         """Containers currently reusable as warm starts (any size) plus
         the untouched pre-warmed allotment."""
@@ -136,6 +176,10 @@ class CloudProvider:
         live = sum(sum(1 for t in pool if t >= cutoff)
                    for pool in self._warm_pool.values())
         return live + self._initial_warm
+
+    def _record(self, event: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(self.env.now, "provider", event, **fields)
 
     # ------------------------------------------------------------------
     # Billing helpers

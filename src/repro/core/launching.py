@@ -4,6 +4,14 @@
 new job from the currently free cores and, if needed, by launching new
 Lambdas." — free VM cores are claimed first; the shortfall Δ = R − r is
 bridged with warm-started Lambdas, each hosting one executor.
+
+Lambda invocation is allowed to fail: the provider may throttle at the
+account concurrency limit or return transient invoke errors (both
+first-class fault-injection targets). Each executor slot retries with
+exponential backoff + seeded jitter; a slot that exhausts its retries
+degrades gracefully onto a free VM core instead of stalling the job —
+only when no VM core is free either does the slot go unfilled (and
+``all_registered`` still fires, with the outcome recording the deficit).
 """
 
 from __future__ import annotations
@@ -11,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List
 
-from repro.cloud.lambda_fn import LambdaConfig
+from repro.cloud.lambda_fn import LambdaConfig, LambdaInvokeError
 from repro.simulation.events import Event
 from repro.spark.executor import Executor
 
@@ -19,7 +27,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cloud.provisioner import CloudProvider
     from repro.core.state import ClusterState
     from repro.simulation.kernel import Environment
+    from repro.simulation.tracing import TraceRecorder
     from repro.spark.application import SparkDriver
+
+#: Invocation attempts per executor slot before degrading to a VM core.
+LAMBDA_INVOKE_MAX_ATTEMPTS = 4
+#: First backoff delay; doubled per retry (with seeded jitter).
+LAMBDA_RETRY_BASE_S = 0.5
+#: Backoff ceiling.
+LAMBDA_RETRY_CAP_S = 8.0
 
 
 @dataclass
@@ -29,7 +45,15 @@ class LaunchOutcome:
     requested_cores: int
     vm_executors: List[Executor] = field(default_factory=list)
     lambda_executors: List[Executor] = field(default_factory=list)
-    #: Fires once every requested executor has registered.
+    #: VM executors claimed as graceful degradation after a slot's Lambda
+    #: invocations were exhausted (throttling/invoke failures).
+    fallback_vm_executors: List[Executor] = field(default_factory=list)
+    #: Individual failed invocation attempts across all slots.
+    failed_invocations: int = 0
+    #: Slots that could be served neither by Lambda nor by a VM core.
+    unfilled_cores: int = 0
+    #: Fires once every requested executor has registered (or its slot
+    #: has been conclusively given up on).
     all_registered: Event = None
 
     @property
@@ -39,6 +63,10 @@ class LaunchOutcome:
     @property
     def lambda_cores(self) -> int:
         return len(self.lambda_executors)
+
+    @property
+    def fallback_cores(self) -> int:
+        return len(self.fallback_vm_executors)
 
 
 class LaunchingFacility:
@@ -51,12 +79,14 @@ class LaunchingFacility:
         driver: "SparkDriver",
         state: "ClusterState",
         lambda_memory_mb: int = 1536,
+        trace: "TraceRecorder" = None,
     ) -> None:
         self.env = env
         self.provider = provider
         self.driver = driver
         self.state = state
         self.lambda_memory_mb = lambda_memory_mb
+        self.trace = trace
 
     def acquire(self, cores: int, max_vm_cores: int = None) -> LaunchOutcome:
         """Assemble ``cores`` executors: free VM cores first, Lambdas for
@@ -64,8 +94,10 @@ class LaunchingFacility:
         the all-Lambda scenarios pass 0).
 
         VM executors register immediately; Lambda executors register as
-        their (typically warm) containers come up. ``outcome.all_registered``
-        fires when the full complement is in place.
+        their (typically warm) containers come up, with invocation
+        failures retried and, past the retry budget, degraded back onto
+        free VM cores. ``outcome.all_registered`` fires when every slot
+        has been resolved one way or the other.
         """
         if cores <= 0:
             raise ValueError(f"cores must be positive, got {cores}")
@@ -87,22 +119,65 @@ class LaunchingFacility:
             outcome.all_registered.succeed(outcome)
             return outcome
 
-        pending = [shortfall]  # mutable counter shared by the waiters
-
-        def register_when_ready(instance):
-            yield instance.ready
-            executor = self.driver.add_lambda_executor(instance)
-            self.state.record_executor(executor)
-            outcome.lambda_executors.append(executor)
-            pending[0] -= 1
-            if pending[0] == 0:
-                outcome.all_registered.succeed(outcome)
-
+        pending = [shortfall]  # mutable counter shared by the slots
         for _ in range(shortfall):
-            instance = self.provider.invoke_lambda(
-                LambdaConfig(memory_mb=self.lambda_memory_mb))
-            self.env.process(register_when_ready(instance))
+            self.env.process(self._lambda_slot(outcome, pending))
         return outcome
+
+    # ------------------------------------------------------------------
+    # One executor slot: invoke-with-retry, then degrade
+    # ------------------------------------------------------------------
+
+    def _lambda_slot(self, outcome: LaunchOutcome, pending: List[int]):
+        delay = LAMBDA_RETRY_BASE_S
+        instance = None
+        for attempt in range(LAMBDA_INVOKE_MAX_ATTEMPTS):
+            try:
+                instance = self.provider.invoke_lambda(
+                    LambdaConfig(memory_mb=self.lambda_memory_mb))
+                break
+            except LambdaInvokeError as error:
+                outcome.failed_invocations += 1
+                self._record("lambda_invoke_failed", attempt=attempt,
+                             error=str(error))
+                if attempt + 1 == LAMBDA_INVOKE_MAX_ATTEMPTS:
+                    break
+                # Exponential backoff with seeded jitter, so retry storms
+                # de-synchronize yet stay replayable.
+                yield self.env.timeout(self.driver.rng.uniform_jitter(
+                    "launch.lambda.backoff", delay, 0.5))
+                delay = min(delay * 2.0, LAMBDA_RETRY_CAP_S)
+        if instance is None:
+            self._degrade_to_vm(outcome)
+            self._slot_resolved(outcome, pending)
+            return
+        yield instance.ready
+        executor = self.driver.add_lambda_executor(instance)
+        self.state.record_executor(executor)
+        outcome.lambda_executors.append(executor)
+        self._slot_resolved(outcome, pending)
+
+    def _degrade_to_vm(self, outcome: LaunchOutcome) -> None:
+        """The Lambda pool is throttled/capped: fall back to a free VM
+        core rather than stalling the job (graceful degradation)."""
+        for vm in self.state.vms_with_free_cores():
+            executor = self.driver.add_vm_executor(vm)
+            self.state.record_executor(executor)
+            outcome.fallback_vm_executors.append(executor)
+            self._record("degraded_to_vm_core", vm=vm.name,
+                         executor=executor.executor_id)
+            return
+        outcome.unfilled_cores += 1
+        self._record("slot_unfilled",
+                     unfilled=outcome.unfilled_cores)
+
+    def _slot_resolved(self, outcome: LaunchOutcome,
+                       pending: List[int]) -> None:
+        pending[0] -= 1
+        if pending[0] == 0:
+            outcome.all_registered.succeed(outcome)
+
+    # ------------------------------------------------------------------
 
     def release_lambda_executor(self, executor: Executor) -> None:
         """Return a drained Lambda executor's container to the provider
@@ -117,3 +192,7 @@ class LaunchingFacility:
         inter-job policy decides its fate)."""
         executor.vm.release_cores(1)
         self.state.record_release(executor)
+
+    def _record(self, event: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(self.env.now, "launching", event, **fields)

@@ -36,6 +36,7 @@ from repro.cloud.pricing import BillingMeter
 from repro.cloud.provisioner import CloudProvider
 from repro.core.splitserve import SplitServe
 from repro.simulation import Environment, RandomStreams, TraceRecorder
+from repro.simulation.faults import FaultPlan, FaultsInput
 from repro.spark.application import JobResult, SparkDriver
 from repro.spark.config import SparkConf
 from repro.spark.dag_scheduler import JobFailedError
@@ -102,6 +103,10 @@ class ScenarioResult:
     seed: int = 0
     #: The spec this result came from, when run through the new API.
     experiment: Optional["ExperimentSpec"] = None
+    #: Recovery accounting (wasted work, rollback recompute, time to
+    #: recovery, degradation counters) — populated only for runs armed
+    #: with a fault plan, so clean records stay bit-identical.
+    recovery: Dict[str, float] = field(default_factory=dict)
 
     def label(self, spec) -> str:
         return SCENARIO_LABELS[self.scenario].format(
@@ -139,6 +144,8 @@ class ScenarioResult:
                 "write_seconds_total": jr.write_seconds_total,
                 "cache_hits": jr.cache_hits,
             }
+        if self.recovery:
+            metrics.update(self.recovery)
         return RunRecord(
             spec=spec, workload=self.workload,
             duration_s=self.duration_s, cost=self.cost,
@@ -158,13 +165,30 @@ class ScenarioResult:
 class _Runtime:
     """Shared plumbing for one scenario execution."""
 
-    def __init__(self, seed: int, trace_enabled: bool) -> None:
+    def __init__(self, seed: int, trace_enabled: bool,
+                 faults: FaultsInput = ()) -> None:
         self.env = Environment()
         self.rng = RandomStreams(seed)
         self.trace = TraceRecorder(enabled=trace_enabled)
         self.meter = BillingMeter()
         self.provider = CloudProvider(self.env, self.rng, trace=self.trace,
                                       meter=self.meter)
+        self.fault_plan = FaultPlan.coerce(faults)
+        self.injector = None
+        self.recovery = None
+
+    def arm_faults(self, driver, storages=()) -> None:
+        """Wire the run's fault plan (if any) into the freshly built
+        driver/provider/storage stack, plus recovery accounting."""
+        if not self.fault_plan:
+            return
+        from repro.simulation.faults import FaultInjector, RecoveryAccounting
+        self.recovery = RecoveryAccounting(self.env, trace=self.trace)
+        driver.task_scheduler.observers.append(self.recovery)
+        self.injector = FaultInjector(self.env, self.rng, self.fault_plan,
+                                      trace=self.trace)
+        self.injector.attach(scheduler=driver.task_scheduler,
+                             provider=self.provider, storages=storages)
 
     def provision_worker_cores(self, cores: int, itype_name: str) -> List:
         """Pre-provisioned (already running) capacity holding ``cores``."""
@@ -208,7 +232,7 @@ def _add_executors_on_vms(driver: SparkDriver, vms, cores: int) -> List:
 def _finish(runtime: _Runtime, job, scenario: str, workload: Workload,
             keep_trace: bool) -> ScenarioResult:
     failed = job.failed
-    return ScenarioResult(
+    result = ScenarioResult(
         scenario=scenario,
         workload=workload.name,
         duration_s=job.duration if job.duration is not None else float("nan"),
@@ -219,6 +243,10 @@ def _finish(runtime: _Runtime, job, scenario: str, workload: Workload,
         job_result=None if failed else JobResult.from_job(job),
         trace=runtime.trace if keep_trace else None,
     )
+    if runtime.recovery is not None:
+        result.recovery = dict(runtime.recovery.metrics())
+        result.recovery["faults_injected"] = len(runtime.injector.injected)
+    return result
 
 
 def _run_until_done(runtime: _Runtime, job) -> None:
@@ -240,6 +268,7 @@ def _vanilla(workload: Workload, runtime: _Runtime, cores: int,
                          LocalShuffleBackend(), trace=runtime.trace)
     vms = runtime.provision_worker_cores(cores, spec.worker_itype)
     _add_executors_on_vms(driver, vms, cores)
+    runtime.arm_faults(driver)
 
     new_vms = []
     if autoscale:
@@ -301,6 +330,7 @@ def _qubole(workload: Workload, runtime: _Runtime, scenario: str,
         yield s3.batch_read(1, nbytes, via_links=executor.net_links())
 
     driver.task_scheduler.input_reader = read_from_s3
+    runtime.arm_faults(driver, storages=[s3])
 
     lambdas = []
     job_holder = []
@@ -313,7 +343,11 @@ def _qubole(workload: Workload, runtime: _Runtime, scenario: str,
         # price of fresh invocations and lost in-flight tasks).
         yield fn.expired
         if job_holder and job_holder[0].finish_time is None:
-            replacement = runtime.provider.invoke_lambda()
+            from repro.cloud.lambda_fn import LambdaInvokeError
+            try:
+                replacement = runtime.provider.invoke_lambda()
+            except LambdaInvokeError:
+                return  # throttled: the job degrades to fewer executors
             lambdas.append(replacement)
             env.process(attach(env, replacement))
 
@@ -354,6 +388,7 @@ def _splitserve(workload: Workload, runtime: _Runtime, vm_cores: int,
                                             via_links=executor.net_links())
 
     ss.driver.task_scheduler.input_reader = read_from_hdfs
+    runtime.arm_faults(ss.driver, storages=[ss.shuffle_storage])
     worker_vms = []
     if vm_cores > 0:
         worker_vms = runtime.provision_worker_cores(vm_cores,
@@ -402,7 +437,17 @@ def _splitserve(workload: Workload, runtime: _Runtime, vm_cores: int,
         cores_left -= used
     for vm in segue_vms:
         runtime.bill_dedicated_vm(vm, end)
-    return _finish(runtime, run.job, scenario, workload, keep_trace)
+    # Fallback VM executors (Lambda slots degraded onto free cluster
+    # cores) ride pre-provisioned instances: bill their per-core share.
+    for executor in run.launch.fallback_vm_executors:
+        runtime.bill_shared_cores(executor.vm, 1, 0.0, end)
+    result = _finish(runtime, run.job, scenario, workload, keep_trace)
+    if runtime.recovery is not None:
+        result.recovery["lambda_fallback_cores"] = run.launch.fallback_cores
+        result.recovery["failed_lambda_invocations"] = (
+            run.launch.failed_invocations)
+        result.recovery["unfilled_cores"] = run.launch.unfilled_cores
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -411,11 +456,12 @@ def _splitserve(workload: Workload, runtime: _Runtime, vm_cores: int,
 
 def _run_scenario_impl(workload: Workload, scenario: str, seed: int,
                        keep_trace: bool, conf: Optional[SparkConf],
-                       segue_at_s: Optional[float]) -> ScenarioResult:
+                       segue_at_s: Optional[float],
+                       faults: FaultsInput = ()) -> ScenarioResult:
     if scenario not in SCENARIO_NAMES:
         raise ValueError(f"unknown scenario {scenario!r}; "
                          f"known: {SCENARIO_NAMES}")
-    runtime = _Runtime(seed, trace_enabled=keep_trace)
+    runtime = _Runtime(seed, trace_enabled=keep_trace, faults=faults)
     conf = conf if conf is not None else SparkConf()
     spec = workload.spec
     if scenario == "spark_r_vm":
@@ -471,7 +517,7 @@ def run_scenario(workload: Union[Workload, "ExperimentSpec"],
                             "do not pass it separately")
         result = _run_scenario_impl(spec.make_workload(), spec.scenario,
                                     spec.seed, keep_trace, spec.conf(),
-                                    spec.segue_at_s)
+                                    spec.segue_at_s, faults=spec.faults)
         result.experiment = spec
         return result
     if scenario is None:
@@ -494,5 +540,6 @@ def run_all_scenarios(workload: Workload, seed: int = 0,
     return {name: _run_scenario_impl(workload, name, seed,
                                      kwargs.get("keep_trace", False),
                                      kwargs.get("conf"),
-                                     kwargs.get("segue_at_s"))
+                                     kwargs.get("segue_at_s"),
+                                     faults=kwargs.get("faults", ()))
             for name in names}

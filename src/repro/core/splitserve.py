@@ -79,7 +79,7 @@ class SplitServe:
         self.state = ClusterState(provider)
         self.launching = LaunchingFacility(
             env, provider, self.driver, self.state,
-            lambda_memory_mb=lambda_memory_mb)
+            lambda_memory_mb=lambda_memory_mb, trace=trace)
         self.segueing = SegueingFacility(env, provider, self.driver,
                                          self.launching)
         # Whenever the scheduler drains a Lambda executor — via the
@@ -134,6 +134,7 @@ class SplitServe:
             if (executor.lambda_instance is not None
                     and executor.lambda_instance.finish_time is None):
                 self.launching.release_lambda_executor(executor)
-        for executor in run.launch.vm_executors:
+        for executor in (run.launch.vm_executors
+                         + run.launch.fallback_vm_executors):
             if executor.vm.is_running and executor.vm.allocated_cores > 0:
                 self.launching.release_vm_executor(executor)

@@ -27,7 +27,9 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.simulation.faults import FaultSpec
 
 #: Scenario names handled by :mod:`repro.analysis.profiling`.
 PROFILE_SCENARIOS = ("profile_lambda", "profile_vm")
@@ -45,6 +47,24 @@ def _freeze(params: Params) -> Tuple[Tuple[str, Any], ...]:
         return ()
     items = params.items() if isinstance(params, Mapping) else tuple(params)
     return tuple(sorted((str(key), value) for key, value in items))
+
+
+def _freeze_faults(faults: Optional[Iterable]) -> Tuple[FaultSpec, ...]:
+    """Normalize fault inputs (FaultSpec or plain dicts) into a tuple of
+    frozen FaultSpec values, keeping the spec hashable."""
+    if not faults:
+        return ()
+    frozen = []
+    for fault in faults:
+        if isinstance(fault, FaultSpec):
+            frozen.append(fault)
+        elif isinstance(fault, Mapping):
+            frozen.append(FaultSpec.from_dict(fault))
+        else:
+            raise TypeError(
+                f"faults entries must be FaultSpec or mapping, "
+                f"got {type(fault).__name__}")
+    return tuple(frozen)
 
 
 @dataclass(frozen=True)
@@ -69,6 +89,9 @@ class ExperimentSpec:
     segue_at_s: Optional[float] = None
     #: Scenario-specific parameters (``stream`` and ``custom:`` runs).
     extra: Tuple[Tuple[str, Any], ...] = ()
+    #: Declarative fault plan injected during the run (scenario runs
+    #: only); accepts FaultSpec values or plain dicts at construction.
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workload_params",
@@ -76,6 +99,7 @@ class ExperimentSpec:
         object.__setattr__(self, "conf_overrides",
                            _freeze(self.conf_overrides))
         object.__setattr__(self, "extra", _freeze(self.extra))
+        object.__setattr__(self, "faults", _freeze_faults(self.faults))
         self._validate_scenario()
         if self.parallelism is not None:
             if self.scenario not in PROFILE_SCENARIOS:
@@ -131,6 +155,7 @@ class ExperimentSpec:
             "conf_overrides": dict(self.conf_overrides),
             "segue_at_s": self.segue_at_s,
             "extra": dict(self.extra),
+            "faults": [fault.to_dict() for fault in self.faults],
         }
 
     @classmethod
@@ -144,6 +169,7 @@ class ExperimentSpec:
             conf_overrides=data.get("conf_overrides") or (),
             segue_at_s=data.get("segue_at_s"),
             extra=data.get("extra") or (),
+            faults=data.get("faults") or (),
         )
 
     def spec_hash(self) -> str:

@@ -17,6 +17,10 @@ Public surface:
   streams.
 - :class:`~repro.simulation.tracing.TraceRecorder` — structured event
   trace used by the analysis layer.
+- :class:`~repro.simulation.faults.FaultSpec`, :class:`FaultPlan`,
+  :class:`FaultInjector`, :class:`RecoveryAccounting` — the seeded
+  fault-injection harness (loaded lazily: the injector drives the upper
+  layers, so importing it eagerly here would be circular).
 """
 
 from repro.simulation.events import (
@@ -32,6 +36,13 @@ from repro.simulation.kernel import Environment, SimulationError
 from repro.simulation.resources import Container, Resource, Store
 from repro.simulation.rng import RandomStreams
 from repro.simulation.tracing import TraceRecord, TraceRecorder
+
+_LAZY_FAULT_EXPORTS = (
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryAccounting",
+)
 
 __all__ = [
     "AllOf",
@@ -49,4 +60,13 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "TraceRecorder",
+    *_LAZY_FAULT_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_FAULT_EXPORTS:
+        from repro.simulation import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.spark.config import SparkConf
 from repro.spark.dag_scheduler import DAGScheduler, Job
-from repro.spark.executor import Executor, HostKind
+from repro.spark.executor import LAMBDA_EXPIRY_REASON, Executor, HostKind
 from repro.spark.shuffle import ShuffleBackend
 from repro.spark.task_scheduler import TaskScheduler
 
@@ -141,8 +141,10 @@ class SparkDriver:
                              instance: "LambdaInstance"):
         yield instance.expired
         if executor.executor_id in self.task_scheduler.executors:
+            # The shared constant keeps this reap non-culpable: the
+            # executor's Interrupt handler exempts it from tasks_failed.
             self.task_scheduler.decommission_executor(
-                executor, graceful=False, reason="lambda lifetime expired")
+                executor, graceful=False, reason=LAMBDA_EXPIRY_REASON)
 
     def executors_of_kind(self, kind: HostKind) -> List[Executor]:
         return [ex for ex in self.task_scheduler.executors.values()

@@ -61,6 +61,18 @@ class ExecutorKilledError(RuntimeError):
 #: fault of the executor, so it never counts toward blacklisting.
 SPECULATION_CANCEL = "speculation: other copy won"
 
+#: Interrupt cause used when the provider reaps a Lambda at its 15-minute
+#: lifetime cap (§3). The driver's expiry watcher and the executor's
+#: blacklist accounting must agree on this string.
+LAMBDA_EXPIRY_REASON = "lambda lifetime expired"
+
+#: Kill causes that are infrastructure events, not task failures: they
+#: never increment ``tasks_failed`` toward the blacklist threshold.
+NON_CULPABLE_KILL_CAUSES = frozenset({
+    SPECULATION_CANCEL,
+    LAMBDA_EXPIRY_REASON,
+})
+
 
 class Executor:
     """An executor on a VM or a Lambda.
@@ -118,6 +130,10 @@ class Executor:
         #: bootstrap because its functions relinquish after each task.
         self.task_setup_s = float(task_setup_s)
         self.cores = int(cores)
+        #: Straggler multiplier (>= 1) on compute demand; set by a fault
+        #: injector for its window, applied to tasks launched while
+        #: active.
+        self.cpu_slowdown = 1.0
         self._cache: Dict[Tuple[int, int], float] = {}
         #: In-flight attempts -> their simulation processes.
         self._tasks: Dict[TaskAttempt, object] = {}
@@ -179,6 +195,14 @@ class Executor:
         """The running attempt, when at most one is in flight (the
         single-core common case); an arbitrary one otherwise."""
         return next(iter(self._tasks), None)
+
+    @property
+    def active_attempts(self) -> List[TaskAttempt]:
+        """Snapshot of in-flight attempts. After :meth:`kill`, interrupts
+        are delivered through the event queue, so this is still populated
+        when ``on_executor_lost`` observers run — recovery accounting
+        reads the doomed work here."""
+        return list(self._tasks)
 
     @property
     def is_idle(self) -> bool:
@@ -304,6 +328,7 @@ class Executor:
                 metrics.input_seconds = self.env.now - input_start
             base = sum(step.compute_seconds for step in live_steps)
             base /= self.cpu_speed
+            base *= self.cpu_slowdown
             concurrent_ws = sum(a.spec.working_set_bytes
                                 for a in self._tasks)
             slowdown = gc_slowdown(
@@ -342,7 +367,7 @@ class Executor:
         except Interrupt as intr:
             attempt.state = TaskState.KILLED
             attempt.failure = ExecutorKilledError(str(intr.cause))
-            if str(intr.cause) != SPECULATION_CANCEL:
+            if str(intr.cause) not in NON_CULPABLE_KILL_CAUSES:
                 self.tasks_failed += 1
         except FetchFailedError as exc:
             attempt.state = TaskState.FAILED

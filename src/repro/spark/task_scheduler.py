@@ -138,6 +138,10 @@ class TaskScheduler:
         self.shuffle_backend = shuffle_backend
         self.trace = trace
         self.listener = listener if listener is not None else SchedulerListener()
+        #: Additional listeners (fault injectors, recovery accounting)
+        #: notified after the primary listener. Observers may implement
+        #: any subset of the SchedulerListener methods.
+        self.observers: List[object] = []
         self.executors: Dict[str, Executor] = {}
         self.map_output_tracker = MapOutputTracker()
         self.tasksets: List[TaskSet] = []
@@ -163,6 +167,16 @@ class TaskScheduler:
         #: shared HDFS node for SplitServe, S3 for Qubole). None models
         #: fully data-local input via the executor's own disk.
         self.input_reader = None
+
+    def _notify(self, method: str, *args) -> None:
+        """Fan one listener callback out to the primary listener and every
+        observer (observers implementing only part of the protocol are
+        fine)."""
+        getattr(self.listener, method)(*args)
+        for observer in list(self.observers):
+            handler = getattr(observer, method, None)
+            if handler is not None:
+                handler(*args)
 
     def read_input(self, executor: Executor, nbytes: float):
         """Generator: deliver ``nbytes`` of source input to ``executor``."""
@@ -207,12 +221,12 @@ class TaskScheduler:
                 self._record("map_outputs_lost",
                              executor=executor.executor_id, count=len(lost))
         self.shuffle_backend.on_executor_lost(executor.executor_id)
-        self.listener.on_executor_lost(executor, reason)
+        self._notify("on_executor_lost", executor, reason)
         self._dispatch()
 
     def _finalize_drained(self, executor: Executor) -> None:
         self.executors.pop(executor.executor_id, None)
-        self.listener.on_executor_drained(executor)
+        self._notify("on_executor_drained", executor)
 
     @property
     def registered_executors(self) -> List[Executor]:
@@ -490,19 +504,19 @@ class TaskScheduler:
             taskset.finished.add(partition)
             taskset.finished_durations.append(attempt.metrics.duration)
             self._cancel_losing_copy(taskset, partition, attempt)
-            self.listener.on_task_finished(attempt)
+            self._notify("on_task_finished", attempt)
             if taskset.is_complete:
                 self.tasksets.remove(taskset)
-                self.listener.on_taskset_complete(taskset)
+                self._notify("on_taskset_complete", taskset)
             return
         if partition in taskset.finished:
             return  # a cancelled speculation loser; not a real failure
-        self.listener.on_task_failed(attempt)
+        self._notify("on_task_failed", attempt)
         if isinstance(attempt.failure, FetchFailedError):
             # Stage-level problem: zombify and let the DAG scheduler
             # resubmit (lost map outputs must be recomputed first).
             taskset.zombie = True
-            self.listener.on_fetch_failed(taskset, attempt, attempt.failure)
+            self._notify("on_fetch_failed", taskset, attempt, attempt.failure)
             return
         # Plain failure/kill: retry up to the limit.
         if self._blacklist_enabled:
@@ -510,22 +524,42 @@ class TaskScheduler:
             if (executor is not None
                     and executor.tasks_failed >= self._blacklist_threshold
                     and attempt.executor_id not in self.blacklisted):
-                self.blacklisted.add(attempt.executor_id)
-                self._record("executor_blacklisted",
-                             executor=attempt.executor_id,
-                             failures=executor.tasks_failed)
+                if self._has_other_live_executor(executor):
+                    self.blacklisted.add(attempt.executor_id)
+                    self._record("executor_blacklisted",
+                                 executor=attempt.executor_id,
+                                 failures=executor.tasks_failed)
+                else:
+                    # Blacklisting the last live executor would leave
+                    # every pending task set unschedulable (deadlock);
+                    # keep it and let per-task retry accounting decide.
+                    self._record("blacklist_suppressed",
+                                 executor=attempt.executor_id,
+                                 failures=executor.tasks_failed)
         count = taskset.failure_counts.get(partition, 0) + 1
         taskset.failure_counts[partition] = count
         if count >= self._max_failures:
             taskset.zombie = True
             self.tasksets.remove(taskset)
-            self.listener.on_taskset_failed(
+            self._notify("on_taskset_failed",
                 taskset,
                 f"task {attempt.describe()} failed {count} times: "
                 f"{attempt.failure}")
             return
         if not taskset.zombie:
             taskset.requeue(partition)
+
+    def _has_other_live_executor(self, executor: Executor) -> bool:
+        """True if any *other* registered, alive, non-blacklisted executor
+        could still take tasks."""
+        for other in self.executors.values():
+            if other is executor:
+                continue
+            if other.executor_id in self.blacklisted:
+                continue
+            if other.state is ExecutorState.REGISTERED and other.host_alive:
+                return True
+        return False
 
     # ------------------------------------------------------------------
 

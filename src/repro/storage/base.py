@@ -52,6 +52,8 @@ class StorageStats:
     read_requests: int = 0
     #: Cumulative seconds requests spent queued behind throttling.
     throttle_wait_s: float = 0.0
+    #: Extra seconds added by an active brownout (degradation_factor > 1).
+    brownout_wait_s: float = 0.0
 
 
 class StorageService(abc.ABC):
@@ -73,6 +75,26 @@ class StorageService(abc.ABC):
         self.meter = meter
         self.stats = StorageStats()
         self._objects: Dict[str, float] = {}
+        #: Brownout multiplier (>= 1) stretching admission delay,
+        #: per-request latency and payload transfer. 1.0 = healthy; a
+        #: ``storage_brownout`` fault raises it for its window. Elevated
+        #: error rates are folded in as latency (retry-until-success),
+        #: which keeps the model deterministic.
+        self.degradation_factor = 1.0
+
+    # ------------------------------------------------------------------
+    # Brownouts (fault injection)
+    # ------------------------------------------------------------------
+
+    def degrade(self, factor: float) -> None:
+        """Enter a brownout: every operation stretched by ``factor``."""
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        self.degradation_factor = float(factor)
+
+    def restore(self) -> None:
+        """Leave the brownout; subsequent operations run at full health."""
+        self.degradation_factor = 1.0
 
     # ------------------------------------------------------------------
     # Service hooks
@@ -226,18 +248,33 @@ class StorageService(abc.ABC):
         if parallelism is None:
             parallelism = self.DEFAULT_PARALLELISM
         try:
+            degraded = self.degradation_factor
             throttle = self._admit(count, write)
             if throttle > 0:
+                if degraded > 1.0:
+                    self.stats.brownout_wait_s += throttle * (degraded - 1.0)
+                    throttle *= degraded
                 self.stats.throttle_wait_s += throttle
                 yield self.env.timeout(throttle)
             waves = math.ceil(count / max(1, parallelism))
             for _ in range(waves):
                 latency = self._op_latency(write)
                 if latency > 0:
+                    if degraded > 1.0:
+                        self.stats.brownout_wait_s += latency * (degraded - 1.0)
+                        latency *= degraded
                     yield self.env.timeout(latency)
             if nbytes > 0:
+                transfer_start = self.env.now
                 yield from self._bulk_transfer(nbytes, via_links, write,
                                                context=context)
+                if degraded > 1.0:
+                    # A browned-out service streams the payload at 1/factor
+                    # of its healthy rate: stretch the observed transfer.
+                    stall = (self.env.now - transfer_start) * (degraded - 1.0)
+                    if stall > 0:
+                        self.stats.brownout_wait_s += stall
+                        yield self.env.timeout(stall)
         except BaseException as exc:  # pragma: no cover - defensive
             done.fail(exc)
             return

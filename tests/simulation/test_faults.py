@@ -1,0 +1,285 @@
+"""Unit tests for the declarative fault-injection vocabulary."""
+
+import pytest
+
+from repro.simulation import Environment, RandomStreams
+from repro.simulation.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    match_executor,
+    match_storage,
+    match_vm,
+)
+
+
+# ---------------------------------------------------------------------------
+# FaultSpec validation
+# ---------------------------------------------------------------------------
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor_strike", at_s=1.0)
+
+
+def test_exactly_one_trigger_required():
+    with pytest.raises(ValueError, match="exactly one trigger"):
+        FaultSpec(kind="executor_kill")
+    with pytest.raises(ValueError, match="exactly one trigger"):
+        FaultSpec(kind="executor_kill", at_s=1.0,
+                  on_event="tasks_finished:3")
+
+
+def test_on_event_format_checked():
+    FaultSpec(kind="executor_kill", on_event="tasks_finished:4")
+    for bad in ("tasks_finished", "tasks_finished:0", "bogus:3",
+                "tasks_finished:x"):
+        with pytest.raises(ValueError, match="on_event"):
+            FaultSpec(kind="executor_kill", on_event=bad)
+
+
+def test_invoke_failure_is_probabilistic():
+    FaultSpec(kind="lambda_invoke_failure", probability=0.5)
+    with pytest.raises(ValueError, match="probability"):
+        FaultSpec(kind="lambda_invoke_failure")
+    with pytest.raises(ValueError, match="probability"):
+        FaultSpec(kind="lambda_invoke_failure", probability=1.5)
+    with pytest.raises(ValueError, match="probabilistic"):
+        FaultSpec(kind="lambda_invoke_failure", probability=0.5,
+                  on_event="tasks_finished:1")
+    # ...and probability applies to nothing else.
+    with pytest.raises(ValueError, match="probability only"):
+        FaultSpec(kind="executor_kill", at_s=1.0, probability=0.5)
+
+
+def test_factor_limit_and_count_rules():
+    with pytest.raises(ValueError, match="factor"):
+        FaultSpec(kind="storage_brownout", at_s=1.0)
+    with pytest.raises(ValueError, match="factor"):
+        FaultSpec(kind="straggler", at_s=1.0, factor=0.5)
+    with pytest.raises(ValueError, match="factor does not apply"):
+        FaultSpec(kind="executor_kill", at_s=1.0, factor=2.0)
+    with pytest.raises(ValueError, match="limit"):
+        FaultSpec(kind="lambda_throttle", at_s=1.0)
+    with pytest.raises(ValueError, match="limit only"):
+        FaultSpec(kind="executor_kill", at_s=1.0, limit=3)
+    with pytest.raises(ValueError, match="count"):
+        FaultSpec(kind="lambda_throttle", at_s=1.0, limit=0, count=2)
+
+
+# ---------------------------------------------------------------------------
+# Serialization + plans
+# ---------------------------------------------------------------------------
+
+def test_spec_round_trips_through_dict():
+    spec = FaultSpec(kind="straggler", at_s=10.0, target="lambda",
+                     count=2, duration_s=5.0, factor=3.0)
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown FaultSpec field"):
+        FaultSpec.from_dict({"kind": "executor_kill", "at_s": 1.0,
+                             "severity": "high"})
+    with pytest.raises(ValueError, match="needs a 'kind'"):
+        FaultSpec.from_dict({"at_s": 1.0})
+
+
+def test_plan_coerce_variants():
+    spec = FaultSpec(kind="executor_kill", at_s=1.0)
+    assert FaultPlan.coerce(None) == FaultPlan()
+    assert not FaultPlan.coerce(None)
+    plan = FaultPlan.coerce([spec, {"kind": "executor_kill", "at_s": 2.0}])
+    assert len(plan) == 2 and plan.faults[0] is spec
+    assert FaultPlan.coerce(plan) is plan
+    with pytest.raises(TypeError, match="FaultSpec or mapping"):
+        FaultPlan.coerce(["executor_kill"])
+
+
+# ---------------------------------------------------------------------------
+# Target selectors (duck-typed stubs)
+# ---------------------------------------------------------------------------
+
+class _Kind:
+    def __init__(self, value):
+        self.value = value
+
+
+class _StubExecutor:
+    def __init__(self, executor_id, kind="vm", vm=None):
+        self.executor_id = executor_id
+        self.kind = _Kind(kind)
+        self.vm = vm
+
+
+class _StubVM:
+    def __init__(self, name, spot=False):
+        self.name = name
+        if spot:
+            self.mean_revocation_s = 600.0
+
+
+class _StubStorage:
+    def __init__(self, name):
+        self.name = name
+        self.factor = 1.0
+
+    def degrade(self, factor):
+        self.factor = factor
+
+    def restore(self):
+        self.factor = 1.0
+
+
+def test_match_executor():
+    vm = _StubVM("vm-3")
+    ex_vm = _StubExecutor("vm-exec-1", "vm", vm=vm)
+    ex_la = _StubExecutor("la-exec-2", "lambda")
+    assert match_executor("any", ex_vm) and match_executor("*", ex_la)
+    assert match_executor("vm", ex_vm) and not match_executor("vm", ex_la)
+    assert match_executor("lambda", ex_la)
+    assert match_executor("executor:vm-exec-*", ex_vm)
+    assert not match_executor("executor:la-*", ex_vm)
+    assert match_executor("vm:vm-3", ex_vm)
+    assert not match_executor("vm:vm-3", ex_la)  # lambdas have no VM
+    assert not match_executor("bogus", ex_vm)
+
+
+def test_match_vm_and_storage():
+    plain, spot = _StubVM("vm-0"), _StubVM("spot-1", spot=True)
+    assert match_vm("any", plain)
+    assert match_vm("spot", spot) and not match_vm("spot", plain)
+    assert match_vm("vm:spot-*", spot) and not match_vm("vm:spot-*", plain)
+    hdfs = _StubStorage("hdfs")
+    assert match_storage("any", hdfs)
+    assert match_storage("storage:hdfs", hdfs)
+    assert not match_storage("storage:s3", hdfs)
+
+
+# ---------------------------------------------------------------------------
+# Injector mechanics (against duck-typed stubs)
+# ---------------------------------------------------------------------------
+
+class _StubScheduler:
+    def __init__(self, executors):
+        self.observers = []
+        self._executors = executors
+        self.killed = []
+
+    @property
+    def registered_executors(self):
+        return list(self._executors)
+
+    def decommission_executor(self, executor, graceful=True, reason=""):
+        self.killed.append((executor.executor_id, graceful, reason))
+
+
+class _StubProvider:
+    def __init__(self):
+        self.concurrency_limit = None
+        self.invoke_fault = None
+        self.running_vms = []
+
+
+def _injector(env, plan, scheduler=None, provider=None, storages=()):
+    inj = FaultInjector(env, RandomStreams(7), plan)
+    inj.attach(scheduler=scheduler, provider=provider, storages=storages)
+    return inj
+
+
+def test_time_trigger_fires_at_t():
+    env = Environment()
+    scheduler = _StubScheduler([_StubExecutor("vm-exec-0")])
+    _injector(env, [FaultSpec(kind="executor_kill", at_s=5.0)],
+              scheduler=scheduler)
+    env.run(until=4.9)
+    assert scheduler.killed == []
+    env.run(until=5.1)
+    assert scheduler.killed == [("vm-exec-0", False,
+                                 "fault: executor_kill")]
+
+
+def test_event_trigger_fires_on_counter():
+    env = Environment()
+    scheduler = _StubScheduler([_StubExecutor("vm-exec-0")])
+    inj = _injector(
+        env, [FaultSpec(kind="executor_kill",
+                        on_event="tasks_finished:3")],
+        scheduler=scheduler)
+    assert inj in scheduler.observers
+    inj.on_task_finished(None)
+    inj.on_task_finished(None)
+    assert scheduler.killed == []
+    inj.on_task_finished(None)
+    assert len(scheduler.killed) == 1
+
+
+def test_victim_choice_is_seeded_and_deterministic():
+    def victims():
+        env = Environment()
+        executors = [_StubExecutor(f"vm-exec-{i}") for i in range(8)]
+        scheduler = _StubScheduler(executors)
+        _injector(env, [FaultSpec(kind="executor_kill", at_s=1.0,
+                                  count=3)], scheduler=scheduler)
+        env.run(until=2.0)
+        return [k[0] for k in scheduler.killed]
+
+    first, second = victims(), victims()
+    assert first == second and len(first) == 3
+
+
+def test_throttle_sets_and_lifts_concurrency_limit():
+    env = Environment()
+    provider = _StubProvider()
+    _injector(env, [FaultSpec(kind="lambda_throttle", at_s=1.0,
+                              duration_s=4.0, limit=2)],
+              provider=provider)
+    env.run(until=2.0)
+    assert provider.concurrency_limit == 2
+    env.run(until=6.0)
+    assert provider.concurrency_limit is None
+
+
+def test_brownout_degrades_and_restores_matching_storage():
+    env = Environment()
+    hdfs, s3 = _StubStorage("hdfs"), _StubStorage("s3")
+    _injector(env, [FaultSpec(kind="storage_brownout", at_s=1.0,
+                              duration_s=2.0, factor=4.0,
+                              target="storage:hdfs")],
+              storages=[hdfs, s3])
+    env.run(until=1.5)
+    assert hdfs.factor == 4.0 and s3.factor == 1.0
+    env.run(until=4.0)
+    assert hdfs.factor == 1.0
+
+
+def test_straggler_slows_and_restores_executor():
+    env = Environment()
+    ex = _StubExecutor("vm-exec-0")
+    ex.cpu_slowdown = 1.0
+    scheduler = _StubScheduler([ex])
+    _injector(env, [FaultSpec(kind="straggler", at_s=1.0, duration_s=3.0,
+                              factor=2.5)], scheduler=scheduler)
+    env.run(until=2.0)
+    assert ex.cpu_slowdown == 2.5
+    env.run(until=5.0)
+    assert ex.cpu_slowdown == 1.0
+
+
+def test_invoke_gate_draws_from_seeded_stream():
+    env = Environment()
+    provider = _StubProvider()
+    inj = _injector(env, [FaultSpec(kind="lambda_invoke_failure",
+                                    probability=1.0)],
+                    provider=provider)
+    error = provider.invoke_fault()
+    assert error is not None and "injected" in str(error)
+    assert inj.injected and inj.injected[0]["event"] == "invoke_failed"
+    # Windowed variant: outside the window nothing fires.
+    env2 = Environment()
+    provider2 = _StubProvider()
+    _injector(env2, [FaultSpec(kind="lambda_invoke_failure",
+                               probability=1.0, at_s=10.0,
+                               duration_s=5.0)],
+              provider=provider2)
+    assert provider2.invoke_fault() is None  # t=0 < window start

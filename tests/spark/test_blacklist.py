@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cloud import LambdaConfig
 from repro.spark import SparkConf
 
 from tests.spark.helpers import MiniCluster, single_stage_rdd
@@ -75,3 +76,56 @@ def test_speculation_losses_do_not_blacklist():
     assert not job.failed
     # Losing a speculation race is not a fault: nothing is blacklisted.
     assert cluster.driver.task_scheduler.blacklisted == set()
+
+
+def test_last_live_executor_never_blacklisted():
+    """Blacklisting every executor would deadlock the job: the scheduler
+    must keep the last live executor schedulable no matter how many
+    strikes it accumulates (regression: the job used to hang forever)."""
+    cluster = MiniCluster(conf=blacklist_conf(threshold=1))
+    executors = cluster.vm_executors(2)
+    rdd = single_stage_rdd(cluster.builder, tasks=6, seconds=10.0)
+    job = cluster.driver.submit(rdd)
+
+    def sabotage(env):
+        # Strike both executors past the threshold.
+        for _ in range(3):
+            yield env.timeout(3.0)
+            for ex in executors:
+                if ex.current is not None:
+                    ex.kill_task(ex.current, "flaky hardware")
+
+    cluster.env.process(sabotage(cluster.env))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    scheduler = cluster.driver.task_scheduler
+    # At most one of the two can be blacklisted; the survivor keeps the
+    # job alive even though it, too, is past the threshold.
+    assert len(scheduler.blacklisted) <= 1
+    live = [ex for ex in executors
+            if ex.executor_id not in scheduler.blacklisted]
+    assert len(live) >= 1
+    assert any(ex.tasks_failed >= 1 for ex in live)
+
+
+def test_lambda_expiry_is_not_culpable():
+    """Losing a task to the provider's 15-minute Lambda reap is the
+    platform's fault, not the executor's: it must not count toward the
+    blacklist threshold (enforced in the executor, not just documented)."""
+    cluster = MiniCluster(conf=blacklist_conf(threshold=1))
+    vm_ex = cluster.vm_executors(1)[0]
+    fn = cluster.provider.invoke_lambda(
+        LambdaConfig(memory_mb=1536, lifetime_s=5.0))
+    cluster.env.run(until=fn.ready)
+    la_ex = cluster.driver.add_lambda_executor(fn)
+
+    # Both tasks outlive the Lambda's 5 s lifetime: the one it picks up
+    # dies with the container and reruns on the VM executor.
+    rdd = single_stage_rdd(cluster.builder, tasks=2, seconds=8.0)
+    job = cluster.driver.submit(rdd)
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    assert la_ex.tasks_finished == 0
+    assert la_ex.tasks_failed == 0  # the reap is exempt
+    assert la_ex.executor_id not in cluster.driver.task_scheduler.blacklisted
+    assert vm_ex.tasks_finished == 2

@@ -1,0 +1,128 @@
+"""Zombie-taskset interactions: speculation racing stage resubmission.
+
+When a fetch failure marks a taskset zombie, in-flight attempts — and in
+particular in-flight *speculative copies* — keep running. These tests
+pin down the two interactions the scheduler must survive: a fetch
+failure landing while a speculative copy is mid-flight, and the winning
+copy's executor dying (taking its local shuffle outputs) after the race
+was decided.
+"""
+
+from repro.spark import SparkConf, TaskState
+
+from tests.spark.helpers import MiniCluster
+
+
+def spec_conf(**overrides):
+    base = {"spark.speculation": True,
+            "spark.speculation.quantile": 0.5,
+            "spark.speculation.multiplier": 1.5,
+            "spark.speculation.interval": 0.5,
+            "spark.sim.task.jitter": 0.0}
+    base.update(overrides)
+    return SparkConf(base)
+
+
+def two_stage_with_reduce_straggler(builder, maps=8, reduces=16,
+                                    straggler=60.0):
+    # Short reducers are staggered (4..19 s) so executors free up at
+    # different moments and some are always mid-task when the
+    # straggler's speculative copy launches.
+    mapped = builder.source("map", partitions=maps, compute_seconds=5.0)
+    return builder.shuffle(
+        mapped, "reduce", partitions=reduces,
+        shuffle_bytes=16 * 1024 * 1024,
+        compute_seconds=lambda p: straggler if p == 0 else 4.0 + p)
+
+
+def test_fetch_failure_during_inflight_speculative_copy():
+    """A map executor dies mid-reduce while a speculative copy of the
+    straggling reducer is in flight: the fetch failure turns the reduce
+    taskset zombie around the live copy, the map stage is resubmitted,
+    and the job still completes with one winner per partition."""
+    cluster = MiniCluster(conf=spec_conf(), no_jitter=False)
+    executors = cluster.vm_executors(4)
+    rdd = two_stage_with_reduce_straggler(cluster.builder)
+    job = cluster.driver.submit(rdd)
+
+    def kill_map_holder(env):
+        # Wait until the straggler's speculative copy has launched, then
+        # kill an executor that holds map outputs (all four ran maps)
+        # AND is mid-way through a short reduce task — its requeued task
+        # must re-fetch and hit the missing map output.
+        scheduler = cluster.driver.task_scheduler
+        while not cluster.trace.select(category="scheduler",
+                                       name="speculative_launch"):
+            yield env.timeout(0.5)
+        while True:
+            busy = [ex for ex in executors
+                    if ex.executor_id in scheduler.executors
+                    and ex.current is not None
+                    and ex.current.spec.partition != 0]
+            if busy:
+                scheduler.decommission_executor(
+                    busy[0], graceful=False,
+                    reason="test: map holder dies")
+                return
+            yield env.timeout(0.25)
+
+    cluster.env.process(kill_map_holder(cluster.env))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    # The speculative copy really was in flight when the stage blew up.
+    assert cluster.trace.select(category="scheduler",
+                                name="speculative_launch")
+    assert cluster.trace.select(category="dag", name="fetch_failed")
+    # One winner per reduce partition, despite zombie + resubmission.
+    finished = [a for a in job.task_attempts
+                if a.state is TaskState.FINISHED
+                and not a.spec.is_shuffle_map]
+    assert {a.spec.partition for a in finished} == set(range(16))
+
+
+def test_partition_requeued_after_winning_copys_executor_dies():
+    """The speculation winner's executor dies right after the race: its
+    local map output vanishes with it, so the partition must be requeued
+    and recomputed before the reduce stage can finish."""
+    cluster = MiniCluster(conf=spec_conf(), no_jitter=False)
+    cluster.vm_executors(4)
+    mapped = cluster.builder.source(
+        "map", partitions=8,
+        compute_seconds=lambda p: 30.0 if p == 0 else 5.0)
+    rdd = cluster.builder.shuffle(mapped, "reduce", partitions=4,
+                                  shuffle_bytes=16 * 1024 * 1024,
+                                  compute_seconds=2.0)
+    job = cluster.driver.submit(rdd)
+    scheduler = cluster.driver.task_scheduler
+
+    def kill_winner(env):
+        # Wait for map p0 to finish (original or speculative copy wins),
+        # then kill the winner's executor before the reduce stage can
+        # fetch from it.
+        while True:
+            winners = [a for a in job.task_attempts
+                       if a.state is TaskState.FINISHED
+                       and a.spec.is_shuffle_map
+                       and a.spec.partition == 0]
+            if winners:
+                break
+            yield env.timeout(0.25)
+        executor_id = winners[0].executor_id
+        victim = scheduler.executors.get(executor_id)
+        if victim is not None:
+            scheduler.decommission_executor(
+                victim, graceful=False, reason="test: winner dies")
+
+    cluster.env.process(kill_winner(cluster.env))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+    # Map p0 finished at least twice: the race winner and the recompute
+    # forced by the winner's death.
+    p0_finishes = [a for a in job.task_attempts
+                   if a.state is TaskState.FINISHED
+                   and a.spec.is_shuffle_map and a.spec.partition == 0]
+    assert len(p0_finishes) >= 2
+    reduce_done = [a for a in job.task_attempts
+                   if a.state is TaskState.FINISHED
+                   and not a.spec.is_shuffle_map]
+    assert {a.spec.partition for a in reduce_done} == set(range(4))

@@ -104,3 +104,36 @@ def test_stream_json_export(tmp_path, capsys):
     assert record.spec.scenario == "stream"
     assert record.metrics["jobs"] > 0
     assert "SLO attainment" in capsys.readouterr().out
+
+
+def test_run_faults_flag(tmp_path, capsys):
+    from repro.experiments import read_jsonl
+
+    path = str(tmp_path / "faulted.jsonl")
+    assert main(["run", "--workload", "sparkpi", "--scenario", "ss_R_vm",
+                 "--workers", "1", "--json", path, "--faults",
+                 '[{"kind": "executor_kill", "at_s": 5.0}]']) == 0
+    [record] = read_jsonl(path)
+    assert len(record.spec.faults) == 1
+    assert record.spec.faults[0].kind == "executor_kill"
+    assert record.metrics["faults_injected"] == 1
+
+
+def test_run_faults_from_file_and_single_object(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"kind": "executor_kill", "at_s": 5.0}')
+    assert main(["run", "--workload", "sparkpi", "--scenario", "ss_R_vm",
+                 "--workers", "1", "--faults", f"@{plan}"]) == 0
+    assert "$" in capsys.readouterr().out
+
+
+def test_run_faults_rejects_bad_input(tmp_path):
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["run", "--workload", "sparkpi", "--scenario", "ss_R_vm",
+              "--faults", "{nope"])
+    with pytest.raises(SystemExit, match="invalid fault plan"):
+        main(["run", "--workload", "sparkpi", "--scenario", "ss_R_vm",
+              "--faults", '[{"kind": "meteor_strike"}]'])
+    with pytest.raises(SystemExit, match="cannot read fault plan"):
+        main(["run", "--workload", "sparkpi", "--scenario", "ss_R_vm",
+              "--faults", f"@{tmp_path}/missing.json"])

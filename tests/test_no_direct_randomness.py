@@ -1,0 +1,53 @@
+"""Replayability lint: no ambient randomness or wall-clock time.
+
+Fault injection (and the cache/fan-out machinery built on spec hashes)
+is only sound if the same seed reproduces the same run bit-for-bit.
+That breaks the moment any module under ``src/repro`` reaches for the
+``random`` module or the wall clock: all randomness must flow through
+:class:`repro.simulation.rng.RandomStreams` and all time through the
+simulation clock. ``time.perf_counter`` stays allowed — it only measures
+host wall time *around* a run (runner bookkeeping, workload profiling)
+and never feeds simulated behavior.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: ``time`` attributes that inject wall-clock state into a run.
+BANNED_TIME_ATTRS = {"time", "time_ns", "monotonic", "monotonic_ns",
+                     "localtime", "gmtime"}
+
+
+def _violations(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    found.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                found.append((node.lineno, "from random import ..."))
+        elif isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "time"
+                    and node.attr in BANNED_TIME_ATTRS):
+                found.append((node.lineno, f"time.{node.attr}"))
+    return found
+
+
+def test_no_module_uses_ambient_randomness_or_wall_clock():
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources found under {SRC}"
+    offenders = []
+    for path in files:
+        for lineno, what in _violations(path):
+            offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}: "
+                             f"{what}")
+    assert not offenders, (
+        "ambient randomness / wall-clock use in src/repro (route it "
+        "through RandomStreams or the simulation clock):\n"
+        + "\n".join(offenders))
