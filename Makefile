@@ -1,7 +1,7 @@
 # Convenience targets for the SplitServe reproduction.
 
-.PHONY: install test bench bench-smoke bench-resilience-smoke examples \
-	figures clean
+.PHONY: install test bench bench-smoke bench-resilience-smoke \
+	report-smoke examples figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +22,13 @@ bench-smoke:
 bench-resilience-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_resilience.py -m smoke -q
+
+# One seeded scenario through event-log/trace export and `repro report`,
+# asserting same-seed event logs are byte-identical (see DESIGN.md,
+# "Observability").
+report-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest tests/observability/test_report_smoke.py -m smoke -q
 
 examples:
 	python examples/quickstart.py

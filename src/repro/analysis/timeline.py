@@ -9,8 +9,20 @@ scenario's :class:`~repro.simulation.tracing.TraceRecorder`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.observability.categories import (
+    CAT_DAG,
+    CAT_EXECUTOR,
+    CAT_SEGUE,
+    EV_DEAD,
+    EV_DRAINING,
+    EV_REGISTERED,
+    EV_SEGUE_TRIGGERED,
+    EV_STAGE_COMPLETE,
+    EV_TASK_END,
+    EV_TASK_START,
+)
 from repro.simulation.tracing import TraceRecorder
 
 
@@ -96,29 +108,59 @@ class Timeline:
 
 
 def build_timeline(trace: TraceRecorder) -> Timeline:
-    """Reconstruct per-executor activity from a run's trace."""
-    spans = {}
-    for rec in trace.select(category="executor"):
+    """Reconstruct per-executor activity from a run's trace.
+
+    Every ``task_start`` opens a span; ``task_end`` closes it. A span
+    still open when its executor dies (killed mid-task, Lambda lifetime
+    expiry) is closed at the executor's decommission time — falling back
+    to the trace's end — with state ``"lost"``, so faulted runs never
+    produce dangling spans.
+    """
+    spans: Dict[str, ExecutorSpan] = {}
+    open_tasks: Dict[Tuple[str, str], float] = {}
+    last_time = 0.0
+    for rec in trace.select(category=CAT_EXECUTOR):
+        last_time = max(last_time, rec.time)
         executor_id = rec.get("executor")
-        if rec.name == "registered":
+        if rec.name == EV_REGISTERED:
             spans[executor_id] = ExecutorSpan(
                 executor_id=executor_id,
                 kind=rec.get("kind", "vm"),
                 registered_at=rec.time)
-        elif rec.name in ("draining", "dead") and executor_id in spans:
+        elif rec.name in (EV_DRAINING, EV_DEAD) and executor_id in spans:
             if spans[executor_id].decommissioned_at is None:
                 spans[executor_id].decommissioned_at = rec.time
-        elif rec.name == "task_end" and executor_id in spans:
+        elif rec.name == EV_TASK_START and executor_id in spans:
+            open_tasks[(executor_id, rec.get("task", "?"))] = rec.time
+        elif rec.name == EV_TASK_END and executor_id in spans:
+            task = rec.get("task", "?")
+            started = open_tasks.pop((executor_id, task), None)
             duration = rec.get("duration", 0.0)
             spans[executor_id].tasks.append(TaskSpan(
-                task=rec.get("task", "?"),
-                start=rec.time - duration,
+                task=task,
+                start=started if started is not None
+                else rec.time - duration,
                 end=rec.time,
                 state=rec.get("state", "finished")))
+    # Close what the executors never finished: the in-flight work a
+    # kill/expiry destroyed still occupies timeline real estate.
+    for (executor_id, task), started in open_tasks.items():
+        span = spans.get(executor_id)
+        if span is None:
+            continue
+        end = span.decommissioned_at
+        if end is None:
+            end = last_time
+        span.tasks.append(TaskSpan(task=task, start=started,
+                                   end=max(started, end), state="lost"))
+    for span in spans.values():
+        span.tasks.sort(key=lambda t: (t.start, t.end, t.task))
 
-    segue_records = trace.select(category="executor", name="draining")
+    segue_records = trace.select(category=CAT_SEGUE, name=EV_SEGUE_TRIGGERED)
+    if not segue_records:  # older traces: first drain approximates it
+        segue_records = trace.select(category=CAT_EXECUTOR, name=EV_DRAINING)
     segue_time = segue_records[0].time if segue_records else None
-    boundaries = [rec.time for rec in trace.select(category="dag",
-                                                   name="stage_complete")]
+    boundaries = [rec.time for rec in trace.select(category=CAT_DAG,
+                                                   name=EV_STAGE_COMPLETE)]
     return Timeline(executors=list(spans.values()), segue_time=segue_time,
                     stage_boundaries=boundaries)

@@ -107,16 +107,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     specs = [ExperimentSpec(workload=args.workload, scenario=name,
                             seed=args.seed, faults=faults)
              for name in scenarios]
-    if args.timeline:
-        # Timelines need the in-memory trace, which records (being
-        # JSON-bounded) do not carry; run in-process.
+    wants_trace = bool(args.trace_out or args.events_out)
+    if wants_trace and len(specs) != 1:
+        raise SystemExit("--trace-out/--events-out need a single scenario; "
+                         "pass --scenario <name>, not all")
+    if args.timeline or wants_trace:
+        # Timelines and trace exports need the in-memory trace, which
+        # records (being JSON-bounded) do not carry; run in-process.
         results = [run_scenario(spec, keep_trace=True) for spec in specs]
         records = [res.to_record(spec)
                    for spec, res in zip(specs, results)]
         for res in results:
-            if not res.failed and res.trace is not None:
+            if args.timeline and not res.failed and res.trace is not None:
                 print(f"\n--- timeline: {res.label(workload.spec)} ---")
                 print(build_timeline(res.trace).render())
+        if wants_trace:
+            from repro.observability.export import (
+                save_chrome_trace,
+                save_event_log,
+            )
+            trace = results[0].trace
+            if args.events_out:
+                count = save_event_log(trace, args.events_out)
+                print(f"wrote {count} event(s) to {args.events_out}")
+            if args.trace_out:
+                count = save_chrome_trace(trace, args.trace_out)
+                print(f"wrote {count} traceEvents to {args.trace_out} "
+                      f"(load in https://ui.perfetto.dev)")
     else:
         records = ExperimentRunner(workers=args.workers).run(specs)
 
@@ -188,6 +205,18 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.observability.report import render_report_file
+
+    try:
+        print(render_report_file(args.path, index=args.index))
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.path}: {exc}")
+    except (ValueError, IndexError) as exc:
+        raise SystemExit(f"cannot render {args.path}: {exc}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -222,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="declarative fault plan: a JSON list of fault "
                             "objects (or @path to a file holding one); "
                             "see DESIGN.md \"Fault model\"")
+    run_p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome-trace (Perfetto) JSON of the "
+                            "run (single scenario only)")
+    run_p.add_argument("--events-out", default=None, metavar="PATH",
+                       help="write the raw event log as JSONL (single "
+                            "scenario only; same seed => byte-identical)")
 
     prof_p = sub.add_parser("profile", help="Figure 4-style sweep",
                             parents=[common])
@@ -241,13 +276,23 @@ def build_parser() -> argparse.ArgumentParser:
     stream_p.add_argument("--base-cores", type=float, default=20.0)
     stream_p.add_argument("--peak-cores", type=float, default=80.0)
 
+    report_p = sub.add_parser(
+        "report", help="render a per-run breakdown from a RunRecord "
+                       "JSONL (repro run --json) or an event log "
+                       "(repro run --events-out)")
+    report_p.add_argument("path", metavar="PATH",
+                          help="RunRecord JSONL or event-log JSONL file")
+    report_p.add_argument("--index", type=int, default=None,
+                          help="render only the Nth record of a "
+                               "RunRecord file (0-based)")
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "profile": cmd_profile,
-                "stream": cmd_stream}
+                "stream": cmd_stream, "report": cmd_report}
     return handlers[args.command](args)
 
 

@@ -31,6 +31,13 @@ from repro.cloud.constants import (
     LAMBDA_WARM_START_MEAN_S,
 )
 from repro.cloud.network import FairShareLink
+from repro.observability.categories import (
+    CAT_LAMBDA,
+    EV_EXPIRED,
+    EV_FINISHED,
+    EV_INVOKED,
+    EV_RUNNING,
+)
 from repro.simulation.events import Event
 from repro.simulation.resources import Container
 
@@ -134,7 +141,7 @@ class LambdaInstance:
                     LAMBDA_COLD_START_CV)
         self.start_delay_s = start_delay_s
         env.process(self._lifecycle(start_delay_s))
-        self._record("invoked", warm=warm, start_delay=start_delay_s)
+        self._record(EV_INVOKED, warm=warm, start_delay=start_delay_s)
 
     # ------------------------------------------------------------------
 
@@ -145,7 +152,7 @@ class LambdaInstance:
         self.state = LambdaState.RUNNING
         self.running_time = self.env.now
         self.ready.succeed(self)
-        self._record("running")
+        self._record(EV_RUNNING)
 
         # Lifetime reaper: counts from invocation, as AWS does.
         remaining = self.config.lifetime_s - (self.env.now - self.invoke_time)
@@ -154,7 +161,7 @@ class LambdaInstance:
             self.state = LambdaState.EXPIRED
             self.finish_time = self.env.now
             self.expired.succeed(self)
-            self._record("expired")
+            self._record(EV_EXPIRED)
 
     def finish(self) -> None:
         """The function returned (the executor on it shut down cleanly)."""
@@ -162,7 +169,7 @@ class LambdaInstance:
             return
         self.state = LambdaState.FINISHED
         self.finish_time = self.env.now
-        self._record("finished")
+        self._record(EV_FINISHED)
 
     # ------------------------------------------------------------------
 
@@ -191,7 +198,7 @@ class LambdaInstance:
 
     def _record(self, event: str, **fields) -> None:
         if self._trace is not None:
-            self._trace.record(self.env.now, "lambda", event,
+            self._trace.record(self.env.now, CAT_LAMBDA, event,
                                fn=self.name, memory_mb=self.config.memory_mb,
                                **fields)
 

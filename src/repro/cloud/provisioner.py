@@ -26,6 +26,12 @@ from repro.cloud.lambda_fn import (
 )
 from repro.cloud.pricing import BillingMeter
 from repro.cloud.vm import VirtualMachine
+from repro.observability.categories import (
+    CAT_PROVIDER,
+    EV_LAMBDA_INVOKE_FAILED,
+    EV_LAMBDA_THROTTLED,
+)
+from repro.observability.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.kernel import Environment
@@ -43,11 +49,15 @@ class CloudProvider:
         trace: Optional["TraceRecorder"] = None,
         meter: Optional[BillingMeter] = None,
         warm_pool_size: int = 10_000,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.env = env
         self.rng = rng
         self.trace = trace
         self.meter = meter if meter is not None else BillingMeter()
+        #: ``cloud.*`` counters land here; scenario runtimes pass their
+        #: per-run registry so the counts reach RunRecord.metrics.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.vms: List[VirtualMachine] = []
         self.lambdas: List[LambdaInstance] = []
         #: memory_mb -> list of sim-times at which a container went idle;
@@ -85,6 +95,7 @@ class CloudProvider:
             itype = instance_type(itype)
         if name is None:
             name = f"vm-{next(self._vm_ids)}"
+        self.metrics.counter("cloud.vm.requested").inc()
         vm = VirtualMachine(
             self.env, name, itype, self.rng, trace=self.trace,
             boot_delay_s=boot_delay_s, already_running=already_running)
@@ -121,7 +132,8 @@ class CloudProvider:
         if (self.concurrency_limit is not None
                 and self.active_lambda_count >= self.concurrency_limit):
             self.throttled_invocations += 1
-            self._record("lambda_throttled", limit=self.concurrency_limit,
+            self.metrics.counter("cloud.lambda.throttles").inc()
+            self._record(EV_LAMBDA_THROTTLED, limit=self.concurrency_limit,
                          active=self.active_lambda_count)
             raise LambdaThrottledError(
                 f"concurrency limit {self.concurrency_limit} reached "
@@ -130,11 +142,15 @@ class CloudProvider:
             error = self.invoke_fault()
             if error is not None:
                 self.failed_invocations += 1
-                self._record("lambda_invoke_failed", error=str(error))
+                self.metrics.counter("cloud.lambda.invoke_failures").inc()
+                self._record(EV_LAMBDA_INVOKE_FAILED, error=str(error))
                 raise error
         if name is None:
             name = f"lambda-{next(self._lambda_ids)}"
         warm = (not force_cold) and self._take_warm(config.memory_mb)
+        self.metrics.counter("cloud.lambda.invocations").inc()
+        self.metrics.counter("cloud.lambda.warm_starts" if warm
+                             else "cloud.lambda.cold_starts").inc()
         instance = LambdaInstance(
             self.env, name, config, self.rng, warm=warm, trace=self.trace)
         self.lambdas.append(instance)
@@ -179,7 +195,7 @@ class CloudProvider:
 
     def _record(self, event: str, **fields) -> None:
         if self.trace is not None:
-            self.trace.record(self.env.now, "provider", event, **fields)
+            self.trace.record(self.env.now, CAT_PROVIDER, event, **fields)
 
     # ------------------------------------------------------------------
     # Billing helpers

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.instance_types import InstanceType, instance_type
 from repro.cloud.vm import VirtualMachine
+from repro.observability.categories import EV_REVOKED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.kernel import Environment
@@ -73,5 +74,5 @@ class SpotVM(VirtualMachine):
         yield self.env.timeout(delay)
         if self.terminate_time is None:
             self.revoked = True
-            self._record("revoked", after=delay)
+            self._record(EV_REVOKED, after=delay)
             self.terminate()

@@ -16,6 +16,12 @@ from typing import TYPE_CHECKING, Optional
 from repro.cloud.constants import VM_STARTUP_CV, VM_STARTUP_MEAN_S
 from repro.cloud.instance_types import InstanceType
 from repro.cloud.network import FairShareLink
+from repro.observability.categories import (
+    CAT_VM,
+    EV_REQUESTED,
+    EV_RUNNING,
+    EV_TERMINATED,
+)
 from repro.simulation.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -74,14 +80,14 @@ class VirtualMachine:
             self.state = VMState.RUNNING
             self.running_time = env.now
             self.ready.succeed(self)
-            self._record("running", pre_provisioned=True)
+            self._record(EV_RUNNING, pre_provisioned=True)
         else:
             delay = boot_delay_s
             if delay is None:
                 delay = rng.lognormal_around(
                     "vm.boot", VM_STARTUP_MEAN_S, VM_STARTUP_CV)
             env.process(self._boot(delay))
-            self._record("requested", boot_delay=delay)
+            self._record(EV_REQUESTED, boot_delay=delay)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -95,7 +101,7 @@ class VirtualMachine:
         self.state = VMState.RUNNING
         self.running_time = self.env.now
         self.ready.succeed(self)
-        self._record("running")
+        self._record(EV_RUNNING)
 
     def terminate(self) -> None:
         """Release the instance back to the provider."""
@@ -105,7 +111,7 @@ class VirtualMachine:
         self.state = VMState.TERMINATED
         self.terminate_time = self.env.now
         self.stopped.succeed(self)
-        self._record("terminated", from_state=previous.value)
+        self._record(EV_TERMINATED, from_state=previous.value)
 
     @property
     def is_running(self) -> bool:
@@ -159,7 +165,7 @@ class VirtualMachine:
 
     def _record(self, event: str, **fields) -> None:
         if self._trace is not None:
-            self._trace.record(self.env.now, "vm", event, vm=self.name,
+            self._trace.record(self.env.now, CAT_VM, event, vm=self.name,
                                itype=self.itype.name, **fields)
 
     def __repr__(self) -> str:

@@ -20,6 +20,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List
 
 from repro.cloud.lambda_fn import LambdaConfig, LambdaInvokeError
+from repro.observability.categories import (
+    CAT_LAUNCHING,
+    EV_DEGRADED_TO_VM_CORE,
+    EV_LAMBDA_INVOKE_FAILED,
+    EV_SLOT_UNFILLED,
+)
 from repro.simulation.events import Event
 from repro.spark.executor import Executor
 
@@ -138,7 +144,7 @@ class LaunchingFacility:
                 break
             except LambdaInvokeError as error:
                 outcome.failed_invocations += 1
-                self._record("lambda_invoke_failed", attempt=attempt,
+                self._record(EV_LAMBDA_INVOKE_FAILED, attempt=attempt,
                              error=str(error))
                 if attempt + 1 == LAMBDA_INVOKE_MAX_ATTEMPTS:
                     break
@@ -164,11 +170,11 @@ class LaunchingFacility:
             executor = self.driver.add_vm_executor(vm)
             self.state.record_executor(executor)
             outcome.fallback_vm_executors.append(executor)
-            self._record("degraded_to_vm_core", vm=vm.name,
+            self._record(EV_DEGRADED_TO_VM_CORE, vm=vm.name,
                          executor=executor.executor_id)
             return
         outcome.unfilled_cores += 1
-        self._record("slot_unfilled",
+        self._record(EV_SLOT_UNFILLED,
                      unfilled=outcome.unfilled_cores)
 
     def _slot_resolved(self, outcome: LaunchOutcome,
@@ -195,4 +201,4 @@ class LaunchingFacility:
 
     def _record(self, event: str, **fields) -> None:
         if self.trace is not None:
-            self.trace.record(self.env.now, "launching", event, **fields)
+            self.trace.record(self.env.now, CAT_LAUNCHING, event, **fields)

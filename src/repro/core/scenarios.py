@@ -35,6 +35,10 @@ from repro.cloud.instance_types import fewest_instances_for_cores, instance_type
 from repro.cloud.pricing import BillingMeter
 from repro.cloud.provisioner import CloudProvider
 from repro.core.splitserve import SplitServe
+from repro.observability.bus import EventBus
+from repro.observability.instrumentation import MetricsListener, attribute_costs
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.stage_metrics import dotted_stage_metrics
 from repro.simulation import Environment, RandomStreams, TraceRecorder
 from repro.simulation.faults import FaultPlan, FaultsInput
 from repro.spark.application import JobResult, SparkDriver
@@ -107,6 +111,10 @@ class ScenarioResult:
     #: recovery, degradation counters) — populated only for runs armed
     #: with a fault plan, so clean records stay bit-identical.
     recovery: Dict[str, float] = field(default_factory=dict)
+    #: Telemetry snapshot: the run's MetricsRegistry flattened to dotted
+    #: names, plus per-stage/per-kind aggregates. Merged into
+    #: ``RunRecord.metrics``.
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     def label(self, spec) -> str:
         return SCENARIO_LABELS[self.scenario].format(
@@ -144,6 +152,8 @@ class ScenarioResult:
                 "write_seconds_total": jr.write_seconds_total,
                 "cache_hits": jr.cache_hits,
             }
+        if self.telemetry:
+            metrics.update(self.telemetry)
         if self.recovery:
             metrics.update(self.recovery)
         return RunRecord(
@@ -169,10 +179,20 @@ class _Runtime:
                  faults: FaultsInput = ()) -> None:
         self.env = Environment()
         self.rng = RandomStreams(seed)
-        self.trace = TraceRecorder(enabled=trace_enabled)
+        #: Raw record store — one bus subscriber among others.
+        self.recorder = TraceRecorder(enabled=trace_enabled)
+        self.metrics = MetricsRegistry()
+        self.listener = MetricsListener(self.metrics)
+        #: What every component receives as its ``trace=``: same
+        #: ``record()`` signature, fanned out to all subscribers.
+        self.bus = EventBus()
+        self.bus.subscribe(self.recorder)
+        self.bus.subscribe(self.listener)
+        self.trace = self.bus
         self.meter = BillingMeter()
-        self.provider = CloudProvider(self.env, self.rng, trace=self.trace,
-                                      meter=self.meter)
+        self.provider = CloudProvider(self.env, self.rng, trace=self.bus,
+                                      meter=self.meter,
+                                      metrics=self.metrics)
         self.fault_plan = FaultPlan.coerce(faults)
         self.injector = None
         self.recovery = None
@@ -232,6 +252,9 @@ def _add_executors_on_vms(driver: SparkDriver, vms, cores: int) -> List:
 def _finish(runtime: _Runtime, job, scenario: str, workload: Workload,
             keep_trace: bool) -> ScenarioResult:
     failed = job.failed
+    runtime.listener.finalize(runtime.env.now)
+    attribute_costs(runtime.metrics, runtime.meter.total(),
+                    runtime.meter.breakdown())
     result = ScenarioResult(
         scenario=scenario,
         workload=workload.name,
@@ -241,8 +264,11 @@ def _finish(runtime: _Runtime, job, scenario: str, workload: Workload,
         failure_reason=job.failure_reason,
         cost_breakdown=runtime.meter.breakdown(),
         job_result=None if failed else JobResult.from_job(job),
-        trace=runtime.trace if keep_trace else None,
+        trace=runtime.recorder if keep_trace else None,
     )
+    result.telemetry = runtime.metrics.snapshot()
+    if not failed:
+        result.telemetry.update(dotted_stage_metrics(job))
     if runtime.recovery is not None:
         result.recovery = dict(runtime.recovery.metrics())
         result.recovery["faults_injected"] = len(runtime.injector.injected)

@@ -18,6 +18,11 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.cloud.constants import VM_STARTUP_MEAN_S
 from repro.cloud.instance_types import fewest_instances_for_cores
+from repro.observability.categories import (
+    CAT_SEGUE,
+    EV_SEGUE_TRIGGERED,
+    EV_SEGUE_VMS_REQUESTED,
+)
 from repro.simulation.events import Event
 from repro.spark.executor import Executor, HostKind
 
@@ -26,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cloud.vm import VirtualMachine
     from repro.core.launching import LaunchingFacility
     from repro.simulation.kernel import Environment
+    from repro.simulation.tracing import TraceRecorder
     from repro.spark.application import SparkDriver
 
 
@@ -39,12 +45,14 @@ class SegueingFacility:
         driver: "SparkDriver",
         launching: "LaunchingFacility",
         nominal_vm_startup_s: float = VM_STARTUP_MEAN_S,
+        trace: Optional["TraceRecorder"] = None,
     ) -> None:
         self.env = env
         self.provider = provider
         self.driver = driver
         self.launching = launching
         self.nominal_vm_startup_s = nominal_vm_startup_s
+        self.trace = trace
         self.requested_vms: List["VirtualMachine"] = []
         #: Fires each time a segue (drain + replace) round completes.
         self.segue_complete: Optional[Event] = None
@@ -72,6 +80,8 @@ class SegueingFacility:
             vms.append(vm)
             self.env.process(self._segue_when_ready(vm, take))
         self.requested_vms.extend(vms)
+        self._record(EV_SEGUE_VMS_REQUESTED, cores=cores,
+                     vms=[vm.name for vm in vms])
         return vms
 
     def _segue_when_ready(self, vm: "VirtualMachine", cores: int):
@@ -98,7 +108,10 @@ class SegueingFacility:
             replacements.append(executor)
         # Drain one Lambda per replacement core (oldest first: they are
         # closest to their cost/GC cliff).
-        for lambda_exec in lambdas[:len(replacements)]:
+        drained = lambdas[:len(replacements)]
+        self._record(EV_SEGUE_TRIGGERED, vm=vm.name, cores=cores,
+                     replacements=len(replacements), drained=len(drained))
+        for lambda_exec in drained:
             self.drain_lambda(lambda_exec)
         return replacements
 
@@ -130,6 +143,10 @@ class SegueingFacility:
         instance = executor.lambda_instance
         if instance is not None and instance.finish_time is None:
             self.launching.release_lambda_executor(executor)
+
+    def _record(self, event: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(self.env.now, CAT_SEGUE, event, **fields)
 
     def _drainable_lambda_executors(self) -> List[Executor]:
         scheduler = self.driver.task_scheduler

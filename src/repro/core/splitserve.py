@@ -81,7 +81,7 @@ class SplitServe:
             env, provider, self.driver, self.state,
             lambda_memory_mb=lambda_memory_mb, trace=trace)
         self.segueing = SegueingFacility(env, provider, self.driver,
-                                         self.launching)
+                                         self.launching, trace=trace)
         # Whenever the scheduler drains a Lambda executor — via the
         # spark.lambda.executor.timeout knob or a segue — return its
         # container to the provider and bill the usage.

@@ -1,0 +1,74 @@
+"""Full-stack telemetry: event taxonomy, bus, metrics, exporters.
+
+The observability layer has four pieces:
+
+- :mod:`~repro.observability.categories` — the closed event taxonomy
+  (category/name constants) every emitter publishes under;
+- :mod:`~repro.observability.bus` — the typed :class:`EventBus` the
+  components publish to; the trace recorder is one subscriber;
+- :mod:`~repro.observability.metrics` — the deterministic
+  :class:`MetricsRegistry` of counters/gauges/histograms, fed by
+  :class:`MetricsListener` and direct cloud-layer instrumentation;
+- :mod:`~repro.observability.export` / ``report`` — JSONL event logs,
+  Chrome-trace (Perfetto) JSON, and the ``repro report`` renderer.
+"""
+
+from repro.observability.bus import EventBus, ListenerInterface
+from repro.observability.categories import (
+    EVENTS,
+    known_categories,
+    validate_event,
+)
+from repro.observability.export import (
+    chrome_trace,
+    event_log_dicts,
+    load_event_log,
+    save_chrome_trace,
+    save_event_log,
+)
+from repro.observability.instrumentation import MetricsListener, attribute_costs
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.report import (
+    render_event_log_report,
+    render_report_file,
+    render_run_report,
+)
+from repro.observability.stage_metrics import (
+    StageMetrics,
+    dotted_stage_metrics,
+    executor_metrics_from_job,
+    kind_metrics_from_job,
+    stage_metrics_from_job,
+)
+
+__all__ = [
+    "EventBus",
+    "ListenerInterface",
+    "EVENTS",
+    "known_categories",
+    "validate_event",
+    "chrome_trace",
+    "event_log_dicts",
+    "load_event_log",
+    "save_chrome_trace",
+    "save_event_log",
+    "MetricsListener",
+    "attribute_costs",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_event_log_report",
+    "render_report_file",
+    "render_run_report",
+    "StageMetrics",
+    "dotted_stage_metrics",
+    "executor_metrics_from_job",
+    "kind_metrics_from_job",
+    "stage_metrics_from_job",
+]

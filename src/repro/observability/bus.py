@@ -1,0 +1,167 @@
+"""The typed event bus every instrumented component publishes to.
+
+Historically components wrote straight into a
+:class:`~repro.simulation.tracing.TraceRecorder` — the recorder *was*
+the observability API, so anything else that wanted the event stream
+(metrics, exporters, live listeners) had to post-process the trace.
+The :class:`EventBus` inverts that: components publish through the same
+``record(time, category, name, **fields)`` duck-typed signature, and the
+recorder becomes one subscriber among several.
+
+Subscribers are either:
+
+- a :class:`ListenerInterface` implementation — known (category, name)
+  pairs dispatch to typed callbacks (``on_task_start`` ...), and every
+  event reaches the generic ``on_event`` hook; or
+- anything exposing ``record(time, category, name, **fields)`` (e.g. a
+  ``TraceRecorder``), which receives the raw stream unchanged.
+
+Publishing is synchronous and in subscription order, so delivery is as
+deterministic as the simulation itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.observability.categories import (
+    CAT_DAG,
+    CAT_EXECUTOR,
+    CAT_FAULT,
+    CAT_SCHEDULER,
+    CAT_SEGUE,
+    EV_DEAD,
+    EV_EXECUTOR_DRAINED,
+    EV_REGISTERED,
+    EV_SEGUE_TRIGGERED,
+    EV_STAGE_COMPLETE,
+    EV_STAGE_SUBMITTED,
+    EV_TASK_END,
+    EV_TASK_START,
+    EVENTS,
+    validate_event,
+)
+
+
+class ListenerInterface:
+    """Typed subscriber callbacks. Override any subset.
+
+    Typed callbacks receive ``(time, fields)``; ``fields`` is the
+    emitter's payload dict (shared, do not mutate). Every event — typed
+    or not — additionally reaches :meth:`on_event`.
+    """
+
+    def on_task_start(self, time: float, fields: Dict[str, Any]) -> None:
+        """A task attempt began running on an executor."""
+
+    def on_task_end(self, time: float, fields: Dict[str, Any]) -> None:
+        """A task attempt finished/failed/was killed on an executor."""
+
+    def on_stage_submitted(self, time: float, fields: Dict[str, Any]) -> None:
+        """The DAG scheduler submitted a stage's task set."""
+
+    def on_stage_completed(self, time: float, fields: Dict[str, Any]) -> None:
+        """A stage's outputs are complete."""
+
+    def on_executor_added(self, time: float, fields: Dict[str, Any]) -> None:
+        """An executor registered (fields carry ``executor``, ``kind``)."""
+
+    def on_executor_removed(self, time: float, fields: Dict[str, Any]) -> None:
+        """An executor left the cluster — drained gracefully or died."""
+
+    def on_segue_triggered(self, time: float, fields: Dict[str, Any]) -> None:
+        """The segueing facility began a Lambda→VM hand-off round."""
+
+    def on_fault_injected(self, time: float, fields: Dict[str, Any]) -> None:
+        """The fault injector fired one fault (any kind)."""
+
+    def on_event(self, time: float, category: str, name: str,
+                 fields: Dict[str, Any]) -> None:
+        """Generic hook: called for every published event."""
+
+
+#: (category, name) -> ListenerInterface method name. Fault injections
+#: are category-wide (every FaultInjector emission except the
+#: ``recovered`` milestone), handled separately below.
+TYPED_DISPATCH: Dict[Tuple[str, str], str] = {
+    (CAT_EXECUTOR, EV_TASK_START): "on_task_start",
+    (CAT_EXECUTOR, EV_TASK_END): "on_task_end",
+    (CAT_DAG, EV_STAGE_SUBMITTED): "on_stage_submitted",
+    (CAT_DAG, EV_STAGE_COMPLETE): "on_stage_completed",
+    (CAT_EXECUTOR, EV_REGISTERED): "on_executor_added",
+    (CAT_EXECUTOR, EV_DEAD): "on_executor_removed",
+    (CAT_SCHEDULER, EV_EXECUTOR_DRAINED): "on_executor_removed",
+    (CAT_SEGUE, EV_SEGUE_TRIGGERED): "on_segue_triggered",
+}
+
+#: Fault-category names that count as injections (everything but the
+#: post-hoc "recovered" milestone).
+_FAULT_INJECTED_NAMES = EVENTS[CAT_FAULT] - {"recovered"}
+
+
+class _RecorderSubscriber(ListenerInterface):
+    """Adapter: feeds the raw stream into a TraceRecorder-like sink."""
+
+    def __init__(self, recorder: Any) -> None:
+        self.recorder = recorder
+
+    def on_event(self, time: float, category: str, name: str,
+                 fields: Dict[str, Any]) -> None:
+        self.recorder.record(time, category, name, **fields)
+
+
+class EventBus:
+    """Fan-out hub with the ``TraceRecorder.record`` signature.
+
+    ``validate=True`` (the default) rejects events not registered in
+    :mod:`repro.observability.categories` — the runtime half of the
+    taxonomy lint. Pass ``validate=False`` to route ad-hoc events.
+    """
+
+    def __init__(self, validate: bool = True) -> None:
+        self.validate = validate
+        self._subscribers: List[ListenerInterface] = []
+
+    def subscribe(self, listener: Any) -> Any:
+        """Add a subscriber; returns ``listener`` for chaining.
+
+        A non-``ListenerInterface`` object exposing ``record(...)`` is
+        wrapped so it receives the raw stream.
+        """
+        if isinstance(listener, ListenerInterface):
+            self._subscribers.append(listener)
+        elif callable(getattr(listener, "record", None)):
+            self._subscribers.append(_RecorderSubscriber(listener))
+        else:
+            raise TypeError(
+                f"subscriber must be a ListenerInterface or expose "
+                f"record(time, category, name, **fields); got {listener!r}")
+        return listener
+
+    def unsubscribe(self, listener: Any) -> None:
+        """Remove a subscriber added via :meth:`subscribe` (no-op if
+        absent)."""
+        for sub in list(self._subscribers):
+            if sub is listener or (isinstance(sub, _RecorderSubscriber)
+                                   and sub.recorder is listener):
+                self._subscribers.remove(sub)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def record(self, time: float, category: str, name: str,
+               **fields: Any) -> None:
+        """Publish one event to every subscriber (TraceRecorder-compatible
+        signature, so emitters accept a bus anywhere they accept a
+        recorder)."""
+        if self.validate:
+            validate_event(category, name)
+        method = TYPED_DISPATCH.get((category, name))
+        if method is None and category == CAT_FAULT \
+                and name in _FAULT_INJECTED_NAMES:
+            method = "on_fault_injected"
+        for sub in self._subscribers:
+            if method is not None:
+                getattr(sub, method)(time, fields)
+            sub.on_event(time, category, name, fields)

@@ -1,0 +1,152 @@
+"""Trace exporters: JSONL event logs and Chrome-trace (Perfetto) JSON.
+
+Two serialized views of the same event stream:
+
+- the **event log** — one JSON object per :class:`TraceRecord`, payload
+  namespaced under ``fields``, keys sorted — is the replayable,
+  diff-able artifact (two same-seed runs produce byte-identical files);
+- the **Chrome trace** — the ``traceEvents`` JSON that
+  https://ui.perfetto.dev (or ``chrome://tracing``) renders — is the
+  human-facing Figure-7-style timeline: one process row per resource
+  kind, one thread lane per executor, complete ("X") slices per task,
+  and instant markers for stage/segue/fault milestones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.observability.categories import (
+    CAT_DAG,
+    CAT_EXECUTOR,
+    CAT_FAULT,
+    CAT_SEGUE,
+    EV_STAGE_COMPLETE,
+    EV_STAGE_SUBMITTED,
+    EV_TASK_END,
+)
+from repro.simulation.tracing import TraceRecord, TraceRecorder
+
+TraceLike = Union[TraceRecorder, Iterable[TraceRecord]]
+
+#: Fixed process ids per resource kind, so lanes are stable across runs.
+_KIND_PIDS = {"vm": 1, "lambda": 2}
+#: Everything that is not a per-executor slice lands on this process.
+_CONTROL_PID = 0
+
+
+def _records(trace: TraceLike) -> List[TraceRecord]:
+    if isinstance(trace, TraceRecorder):
+        return trace.records
+    return list(trace)
+
+
+# ---------------------------------------------------------------------------
+# Event log (JSONL)
+# ---------------------------------------------------------------------------
+
+def event_log_dicts(trace: TraceLike) -> List[Dict[str, Any]]:
+    """Records as envelope dicts: ``{time, category, name, fields}``."""
+    return [{"time": r.time, "category": r.category, "name": r.name,
+             "fields": dict(r.fields)} for r in _records(trace)]
+
+
+def save_event_log(trace: TraceLike, path: str) -> int:
+    """Write the event log as JSONL; returns the row count.
+
+    Keys are sorted and floats use Python's shortest-repr, so the output
+    is byte-identical for byte-identical event streams.
+    """
+    rows = event_log_dicts(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+    return len(rows)
+
+
+def load_event_log(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL event log back into envelope dicts."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace (Perfetto)
+# ---------------------------------------------------------------------------
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def chrome_trace(trace: TraceLike) -> Dict[str, Any]:
+    """Project the event stream onto the Chrome-trace JSON schema.
+
+    Task slices are emitted from ``task_end`` records (whose ``duration``
+    field closes the span); stage, segue, and fault milestones become
+    global instant events.
+    """
+    events: List[Dict[str, Any]] = []
+    #: executor id -> tid, first-seen order within its kind.
+    tids: Dict[str, int] = {}
+    seen_pids = set()
+
+    def tid_for(executor: str, pid: int) -> int:
+        if executor not in tids:
+            tids[executor] = len(tids) + 1
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tids[executor],
+                           "args": {"name": executor}})
+        return tids[executor]
+
+    def pid_for(kind: str) -> int:
+        pid = _KIND_PIDS.get(kind, _CONTROL_PID)
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0,
+                           "args": {"name": f"{kind} executors"}})
+        return pid
+
+    for rec in _records(trace):
+        if rec.category == CAT_EXECUTOR and rec.name == EV_TASK_END:
+            duration = float(rec.get("duration", 0.0))
+            executor = str(rec.get("executor", "?"))
+            pid = pid_for(str(rec.get("kind", "vm")))
+            events.append({
+                "ph": "X",
+                "name": str(rec.get("task", "task")),
+                "cat": rec.category,
+                "ts": _us(rec.time - duration),
+                "dur": _us(duration),
+                "pid": pid,
+                "tid": tid_for(executor, pid),
+                "args": dict(rec.fields),
+            })
+        elif ((rec.category == CAT_DAG
+               and rec.name in (EV_STAGE_SUBMITTED, EV_STAGE_COMPLETE))
+              or rec.category in (CAT_SEGUE, CAT_FAULT)):
+            events.append({
+                "ph": "i",
+                "s": "g",
+                "name": f"{rec.category}:{rec.name}",
+                "cat": rec.category,
+                "ts": _us(rec.time),
+                "pid": _CONTROL_PID,
+                "tid": 0,
+                "args": dict(rec.fields),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(trace: TraceLike, path: str) -> int:
+    """Write the Perfetto-loadable JSON; returns the event count."""
+    payload = chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, default=str)
+    return len(payload["traceEvents"])

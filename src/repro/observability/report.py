@@ -1,0 +1,298 @@
+"""Per-run breakdown rendering (the ``repro report`` subcommand).
+
+Two inputs, one look:
+
+- a **RunRecord** JSONL row — the richest view: cost split (FaaS vs
+  IaaS vs storage), per-stage task metrics (from the ``stage.*`` dotted
+  telemetry), per-resource-kind utilization, and the stage critical
+  path;
+- an **event log** JSONL file — stage spans and executor utilization
+  reconstructed from the raw stream (no cost data rides on events).
+
+All numbers are kept at full precision until the final ``format`` call —
+rounding is a rendering concern, never a serialization one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.observability.categories import (
+    CAT_DAG,
+    CAT_EXECUTOR,
+    CAT_SCHEDULER,
+    EV_DEAD,
+    EV_EXECUTOR_DRAINED,
+    EV_REGISTERED,
+    EV_STAGE_COMPLETE,
+    EV_STAGE_SUBMITTED,
+    EV_TASK_END,
+)
+
+#: Columns of the per-stage table, in display order: (telemetry field,
+#: column header).
+_STAGE_COLUMNS = [
+    ("tasks", "tasks"),
+    ("duration_seconds", "span_s"),
+    ("run_seconds", "run_s"),
+    ("scheduler_delay_seconds", "sched_s"),
+    ("deserialize_seconds", "deser_s"),
+    ("shuffle_read_seconds", "sh_read_s"),
+    ("shuffle_write_seconds", "sh_write_s"),
+    ("gc_seconds", "gc_s"),
+]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
+    """Render an aligned plain-text table as a list of lines."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    for n, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# RunRecord view
+# ---------------------------------------------------------------------------
+
+def _nested(metrics: Mapping[str, Any], prefix: str) -> Dict[str, Dict[str, Any]]:
+    """Group ``<prefix>.<key>.<field>`` metric names by ``<key>``."""
+    out: Dict[str, Dict[str, Any]] = {}
+    dot = prefix + "."
+    for name, value in metrics.items():
+        if not name.startswith(dot):
+            continue
+        rest = name[len(dot):]
+        key, _, field_name = rest.partition(".")
+        if field_name:
+            out.setdefault(key, {})[field_name] = value
+    return out
+
+
+def _stage_sort_key(stage_id: str):
+    try:
+        return (0, int(stage_id))
+    except ValueError:
+        return (1, stage_id)
+
+
+def render_run_report(record: Mapping[str, Any]) -> str:
+    """Render one RunRecord dict as a multi-section text report."""
+    lines: List[str] = []
+    metrics: Mapping[str, Any] = record.get("metrics") or {}
+    spec = record.get("spec") or {}
+
+    lines.append(f"run: workload={record.get('workload', '?')} "
+                 f"scenario={record.get('scenario', '?')} "
+                 f"seed={spec.get('seed', '?')}")
+    duration = record.get("duration_s", float("nan"))
+    lines.append(f"duration: {_fmt(float(duration))} s   "
+                 f"tasks: {record.get('tasks', '?')}   "
+                 f"failed: {record.get('failed', False)}")
+
+    # -- cost split ----------------------------------------------------
+    breakdown: Mapping[str, float] = record.get("cost_breakdown") or {}
+    total = float(record.get("cost", 0.0))
+    iaas = float(breakdown.get("vm", 0.0))
+    faas = float(breakdown.get("lambda", 0.0))
+    storage = {k.split(":", 1)[1]: float(v) for k, v in breakdown.items()
+               if k.startswith("storage:")}
+    rows = [["IaaS (VM)", iaas, _share(iaas, total)],
+            ["FaaS (Lambda)", faas, _share(faas, total)]]
+    for svc in sorted(storage):
+        rows.append([f"storage ({svc})", storage[svc],
+                     _share(storage[svc], total)])
+    rows.append(["total", total, _share(total, total)])
+    lines.append("")
+    lines.append("cost split ($):")
+    lines.extend(_table(["component", "cost", "share"], rows))
+
+    # -- per-stage breakdown + critical path ---------------------------
+    stages = _nested(metrics, "stage")
+    if stages:
+        order = sorted(stages, key=_stage_sort_key)
+        critical = max(order,
+                       key=lambda s: stages[s].get("duration_seconds", 0.0))
+        stage_rows = []
+        for stage_id in order:
+            row: List[Any] = [stage_id]
+            for field_name, _header in _STAGE_COLUMNS:
+                row.append(float(stages[stage_id].get(field_name, 0.0)))
+            row.append("*" if stage_id == critical else "")
+            stage_rows.append(row)
+        lines.append("")
+        lines.append("per-stage breakdown (* = critical path):")
+        lines.extend(_table(
+            ["stage"] + [h for _f, h in _STAGE_COLUMNS] + ["crit"],
+            stage_rows))
+
+    # -- per-kind utilization ------------------------------------------
+    kinds = _nested(metrics, "executor")
+    if kinds:
+        util_rows = []
+        for kind in sorted(kinds):
+            data = kinds[kind]
+            busy = float(data.get("busy_seconds", 0.0))
+            lifetime = float(data.get("lifetime_seconds", 0.0))
+            idle = float(data.get("idle_seconds",
+                                  max(0.0, lifetime - busy)))
+            util = busy / lifetime if lifetime > 0 else 0.0
+            util_rows.append([kind, int(data.get("added", 0)), busy, idle,
+                              lifetime, f"{util:.1%}"])
+        lines.append("")
+        lines.append("executor utilization:")
+        lines.extend(_table(
+            ["kind", "added", "busy_s", "idle_s", "lifetime_s", "util"],
+            util_rows))
+
+    # -- cloud counters -------------------------------------------------
+    cloud = {name: metrics[name] for name in sorted(metrics)
+             if name.startswith("cloud.")}
+    if cloud:
+        lines.append("")
+        lines.append("cloud counters:")
+        lines.extend(_table(["metric", "value"],
+                            [[k, v] for k, v in cloud.items()]))
+    return "\n".join(lines)
+
+
+def _share(part: float, total: float) -> str:
+    if total == 0:
+        return "-"
+    return f"{part / total:.1%}"
+
+
+# ---------------------------------------------------------------------------
+# Event-log view
+# ---------------------------------------------------------------------------
+
+def render_event_log_report(rows: List[Mapping[str, Any]]) -> str:
+    """Render a report from envelope dicts (``{time, category, name,
+    fields}``). Stage spans and executor utilization come straight from
+    the stream; there is no cost data on events."""
+    lines: List[str] = []
+    if not rows:
+        return "event log: empty"
+    end_time = max(float(r.get("time", 0.0)) for r in rows)
+    lines.append(f"event log: {len(rows)} events over "
+                 f"{_fmt(end_time)} simulated seconds")
+
+    # -- event census ---------------------------------------------------
+    census: Dict[str, int] = {}
+    for row in rows:
+        key = f"{row.get('category', '?')}.{row.get('name', '?')}"
+        census[key] = census.get(key, 0) + 1
+    lines.append("")
+    lines.append("event census:")
+    lines.extend(_table(["event", "count"],
+                        [[k, census[k]] for k in sorted(census)]))
+
+    # -- stage spans ----------------------------------------------------
+    submitted: Dict[str, float] = {}
+    completed: Dict[str, float] = {}
+    tasks_per_stage: Dict[str, int] = {}
+    busy: Dict[str, float] = {}
+    opened: Dict[str, tuple] = {}
+    closed: Dict[str, float] = {}
+    for row in rows:
+        category, name = row.get("category"), row.get("name")
+        fields = row.get("fields") or {}
+        time = float(row.get("time", 0.0))
+        if category == CAT_DAG:
+            stage = str(fields.get("stage_id", fields.get("stage", "?")))
+            if name == EV_STAGE_SUBMITTED:
+                submitted.setdefault(stage, time)
+            elif name == EV_STAGE_COMPLETE:
+                completed[stage] = time
+        elif category == CAT_EXECUTOR:
+            if name == EV_TASK_END:
+                stage = str(fields.get("stage", "?"))
+                tasks_per_stage[stage] = tasks_per_stage.get(stage, 0) + 1
+                kind = str(fields.get("kind", "vm"))
+                busy[kind] = busy.get(kind, 0.0) + float(
+                    fields.get("duration", 0.0))
+            elif name == EV_REGISTERED:
+                executor = str(fields.get("executor", "?"))
+                opened.setdefault(
+                    executor, (time, str(fields.get("kind", "vm"))))
+            elif name == EV_DEAD:
+                closed[str(fields.get("executor", "?"))] = time
+        elif category == CAT_SCHEDULER and name == EV_EXECUTOR_DRAINED:
+            closed[str(fields.get("executor", "?"))] = time
+
+    if submitted:
+        stage_rows = []
+        for stage in sorted(submitted, key=_stage_sort_key):
+            done = completed.get(stage)
+            span = (done - submitted[stage]) if done is not None else None
+            stage_rows.append([stage, tasks_per_stage.get(stage, 0),
+                               submitted[stage],
+                               done if done is not None else "open",
+                               span if span is not None else "-"])
+        lines.append("")
+        lines.append("stages:")
+        lines.extend(_table(
+            ["stage", "tasks", "submitted", "completed", "span_s"],
+            stage_rows))
+
+    if opened:
+        lifetime: Dict[str, float] = {}
+        for executor, (at, kind) in opened.items():
+            until = closed.get(executor, end_time)
+            lifetime[kind] = lifetime.get(kind, 0.0) + max(0.0, until - at)
+        util_rows = []
+        for kind in sorted(lifetime):
+            b = busy.get(kind, 0.0)
+            lt = lifetime[kind]
+            util_rows.append([kind, b, lt,
+                              f"{b / lt:.1%}" if lt > 0 else "-"])
+        lines.append("")
+        lines.append("executor utilization:")
+        lines.extend(_table(["kind", "busy_s", "lifetime_s", "util"],
+                            util_rows))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Input sniffing
+# ---------------------------------------------------------------------------
+
+def render_report_file(path: str,
+                       index: Optional[int] = None) -> str:
+    """Auto-detect a JSONL file's flavor and render the right report.
+
+    RunRecord rows carry a ``spec`` key; event-log rows carry
+    ``category``. For a RunRecord file, ``index`` picks a row (default:
+    report every row, separated by blank lines).
+    """
+    import json
+
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    if not rows:
+        return "empty file"
+    if "category" in rows[0]:
+        return render_event_log_report(rows)
+    if index is not None:
+        return render_run_report(rows[index])
+    return "\n\n".join(render_run_report(row) for row in rows)

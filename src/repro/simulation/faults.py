@@ -51,6 +51,20 @@ from typing import (
     Union,
 )
 
+from repro.observability.categories import (
+    CAT_FAULT,
+    EV_BROWNOUT_END,
+    EV_BROWNOUT_START,
+    EV_EXECUTOR_KILLED,
+    EV_INVOKE_FAILED,
+    EV_RECOVERED,
+    EV_STRAGGLER_END,
+    EV_STRAGGLER_START,
+    EV_THROTTLE_END,
+    EV_THROTTLE_START,
+    EV_VM_REVOKED,
+)
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.kernel import Environment
     from repro.simulation.rng import RandomStreams
@@ -395,7 +409,7 @@ class FaultInjector:
         candidates = [ex for ex in self.scheduler.registered_executors
                       if match_executor(fault.target, ex)]
         for executor in self._pick(candidates, fault.count):
-            self._log(fault, "executor_killed",
+            self._log(fault, EV_EXECUTOR_KILLED,
                       executor=executor.executor_id)
             self.scheduler.decommission_executor(
                 executor, graceful=False, reason="fault: executor_kill")
@@ -406,7 +420,7 @@ class FaultInjector:
         candidates = [vm for vm in self.provider.running_vms
                       if match_vm(fault.target, vm)]
         for vm in self._pick(candidates, fault.count):
-            self._log(fault, "vm_revoked", vm=vm.name)
+            self._log(fault, EV_VM_REVOKED, vm=vm.name)
             vm.terminate()
 
     def _throttle_lambdas(self, fault: FaultSpec) -> None:
@@ -415,12 +429,12 @@ class FaultInjector:
             return
         previous = provider.concurrency_limit
         provider.concurrency_limit = fault.limit
-        self._log(fault, "throttle_start", limit=fault.limit)
+        self._log(fault, EV_THROTTLE_START, limit=fault.limit)
         if fault.duration_s is not None:
             def lift(env):
                 yield env.timeout(fault.duration_s)
                 provider.concurrency_limit = previous
-                self._log(fault, "throttle_end")
+                self._log(fault, EV_THROTTLE_END)
             self.env.process(lift(self.env))
 
     def _brownout(self, fault: FaultSpec) -> None:
@@ -428,14 +442,14 @@ class FaultInjector:
                    if match_storage(fault.target, s)]
         for service in targets:
             service.degrade(fault.factor)
-            self._log(fault, "brownout_start", storage=service.name,
+            self._log(fault, EV_BROWNOUT_START, storage=service.name,
                       factor=fault.factor)
         if fault.duration_s is not None and targets:
             def lift(env):
                 yield env.timeout(fault.duration_s)
                 for service in targets:
                     service.restore()
-                    self._log(fault, "brownout_end", storage=service.name)
+                    self._log(fault, EV_BROWNOUT_END, storage=service.name)
             self.env.process(lift(self.env))
 
     def _slow_down(self, fault: FaultSpec) -> None:
@@ -446,14 +460,14 @@ class FaultInjector:
         victims = self._pick(candidates, fault.count)
         for executor in victims:
             executor.cpu_slowdown = fault.factor
-            self._log(fault, "straggler_start",
+            self._log(fault, EV_STRAGGLER_START,
                       executor=executor.executor_id, factor=fault.factor)
         if fault.duration_s is not None and victims:
             def lift(env):
                 yield env.timeout(fault.duration_s)
                 for executor in victims:
                     executor.cpu_slowdown = 1.0
-                    self._log(fault, "straggler_end",
+                    self._log(fault, EV_STRAGGLER_END,
                               executor=executor.executor_id)
             self.env.process(lift(self.env))
 
@@ -470,7 +484,7 @@ class FaultInjector:
                         continue
                 draw = float(self.rng.stream(INVOKE_STREAM).random())
                 if draw < fault.probability:
-                    self._log(fault, "invoke_failed")
+                    self._log(fault, EV_INVOKE_FAILED)
                     return LambdaInvokeError("injected invoke failure")
             return None
         return gate
@@ -480,7 +494,7 @@ class FaultInjector:
             {"t": self.env.now, "kind": fault.kind, "event": event,
              **fields})
         if self.trace is not None:
-            self.trace.record(self.env.now, "fault", event,
+            self.trace.record(self.env.now, CAT_FAULT, event,
                               kind=fault.kind, **fields)
 
 
@@ -528,7 +542,7 @@ class RecoveryAccounting:
             elapsed = self.env.now - lost_at
             self.recovery_times.append(elapsed)
             if self.trace is not None:
-                self.trace.record(self.env.now, "fault", "recovered",
+                self.trace.record(self.env.now, CAT_FAULT, EV_RECOVERED,
                                   task=attempt.spec.describe(),
                                   after_s=elapsed)
         if key in self._succeeded:

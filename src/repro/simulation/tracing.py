@@ -89,16 +89,22 @@ class TraceRecorder:
         self._records.clear()
 
     def to_dicts(self) -> List[Dict[str, Any]]:
-        """Records as plain dicts (for JSON export or DataFrames)."""
+        """Records as plain dicts (for JSON export or DataFrames).
+
+        The payload lives under a ``fields`` key so that a field named
+        ``time``/``category``/``name`` can never clobber the envelope.
+        """
         return [{"time": r.time, "category": r.category, "name": r.name,
-                 **r.fields} for r in self._records]
+                 "fields": dict(r.fields)} for r in self._records]
 
     def save_jsonl(self, path: str) -> int:
         """Write one JSON object per record to ``path``; returns the
-        record count. The format loads cleanly into pandas/jq."""
+        record count. Keys are sorted so two same-seed runs produce
+        byte-identical files. The format loads cleanly into pandas/jq."""
         import json
 
         with open(path, "w", encoding="utf-8") as handle:
             for row in self.to_dicts():
-                handle.write(json.dumps(row, default=str) + "\n")
+                handle.write(json.dumps(row, sort_keys=True, default=str)
+                             + "\n")
         return len(self._records)

@@ -44,6 +44,10 @@ class JobResult:
     write_seconds_total: float
     cache_hits: int
     failed_attempts: int
+    scheduler_delay_seconds_total: float = 0.0
+    deserialize_seconds_total: float = 0.0
+    shuffle_read_bytes_total: float = 0.0
+    shuffle_write_bytes_total: float = 0.0
 
     @classmethod
     def from_job(cls, job: Job) -> "JobResult":
@@ -67,6 +71,14 @@ class JobResult:
             write_seconds_total=sum(a.metrics.write_seconds for a in finished),
             cache_hits=sum(1 for a in finished if a.metrics.cache_hit),
             failed_attempts=len(job.failed_attempts),
+            scheduler_delay_seconds_total=sum(
+                a.metrics.scheduler_delay_seconds for a in finished),
+            deserialize_seconds_total=sum(
+                a.metrics.deserialize_seconds for a in finished),
+            shuffle_read_bytes_total=sum(
+                a.metrics.shuffle_read_bytes for a in finished),
+            shuffle_write_bytes_total=sum(
+                a.metrics.shuffle_write_bytes for a in finished),
         )
 
 

@@ -19,6 +19,17 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
+from repro.observability.categories import (
+    CAT_DAG,
+    EV_EXECUTOR_LOST,
+    EV_FETCH_FAILED,
+    EV_JOB_COMPLETE,
+    EV_JOB_FAILED,
+    EV_JOB_SUBMITTED,
+    EV_STAGE_COMPLETE,
+    EV_STAGE_OUTPUTS_LOST,
+    EV_STAGE_SUBMITTED,
+)
 from repro.simulation.events import Event
 from repro.spark.rdd import RDD, ShuffleDependency
 from repro.spark.shuffle import FetchFailedError
@@ -161,7 +172,7 @@ class DAGScheduler(SchedulerListener):
         self._active_job = job
         result_stage = self._create_result_stage(final_rdd)
         job.stages = self._collect_stages(result_stage)
-        self._record("job_submitted", job=job.job_id,
+        self._record(EV_JOB_SUBMITTED, job=job.job_id,
                      stages=len(job.stages))
         self._submit_stage(result_stage)
         return job
@@ -256,7 +267,8 @@ class DAGScheduler(SchedulerListener):
             return
         specs = [self._build_spec(stage, p) for p in partitions]
         self._running.add(stage)
-        self._record("stage_submitted", stage=stage.name,
+        self._record(EV_STAGE_SUBMITTED, stage=stage.name,
+                     stage_id=stage.stage_id,
                      attempt=stage.attempts, tasks=len(specs))
         self.task_scheduler.submit_taskset(
             TaskSet(stage.stage_id, stage.attempts - 1, specs, name=stage.name))
@@ -309,7 +321,7 @@ class DAGScheduler(SchedulerListener):
         if not self._stage_output_complete(stage):
             # Outputs were lost while the stage ran (executor death):
             # immediately re-run the missing partitions.
-            self._record("stage_outputs_lost", stage=stage.name)
+            self._record(EV_STAGE_OUTPUTS_LOST, stage=stage.name)
             self._submit_missing_tasks(stage)
             return
         self._on_stage_complete(stage)
@@ -317,7 +329,8 @@ class DAGScheduler(SchedulerListener):
     def _on_stage_complete(self, stage: Stage) -> None:
         self._running.discard(stage)
         stage.complete_time = self.env.now
-        self._record("stage_complete", stage=stage.name)
+        self._record(EV_STAGE_COMPLETE, stage=stage.name,
+                     stage_id=stage.stage_id)
         if not stage.is_shuffle_map:
             self._finish_job()
             return
@@ -330,7 +343,7 @@ class DAGScheduler(SchedulerListener):
                         error: FetchFailedError) -> None:
         stage = self._stage_by_id.get(taskset.stage_id)
         map_stage = self._shuffle_stage_by_id.get(error.shuffle_id)
-        self._record("fetch_failed", stage=stage.name if stage else "?",
+        self._record(EV_FETCH_FAILED, stage=stage.name if stage else "?",
                      shuffle=error.shuffle_id)
         self.task_scheduler.remove_taskset(taskset)
         if stage is not None:
@@ -348,7 +361,7 @@ class DAGScheduler(SchedulerListener):
         # Lost map outputs are dropped by the task scheduler; affected
         # stages are re-run lazily when a reducer hits a fetch failure,
         # or eagerly at taskset completion (stage_outputs_lost above).
-        self._record("executor_lost", executor=executor.executor_id,
+        self._record(EV_EXECUTOR_LOST, executor=executor.executor_id,
                      reason=reason)
 
     # ------------------------------------------------------------------
@@ -360,7 +373,7 @@ class DAGScheduler(SchedulerListener):
         if job is None or job.finish_time is not None:  # pragma: no cover
             return
         job.finish_time = self.env.now
-        self._record("job_complete", job=job.job_id, duration=job.duration)
+        self._record(EV_JOB_COMPLETE, job=job.job_id, duration=job.duration)
         job.done.succeed(job)
 
     def _fail_job(self, reason: str) -> None:
@@ -370,9 +383,9 @@ class DAGScheduler(SchedulerListener):
         job.finish_time = self.env.now
         job.failed = True
         job.failure_reason = reason
-        self._record("job_failed", job=job.job_id, reason=reason)
+        self._record(EV_JOB_FAILED, job=job.job_id, reason=reason)
         job.done.fail(JobFailedError(reason))
 
     def _record(self, event: str, **fields) -> None:
         if self.trace is not None:
-            self.trace.record(self.env.now, "dag", event, **fields)
+            self.trace.record(self.env.now, CAT_DAG, event, **fields)

@@ -26,10 +26,19 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from repro.observability.categories import (
+    CAT_EXECUTOR,
+    EV_CACHE_EVICT,
+    EV_DEAD,
+    EV_DRAINING,
+    EV_REGISTERED,
+    EV_TASK_END,
+    EV_TASK_START,
+)
 from repro.simulation.events import Interrupt
 from repro.spark.memory import gc_slowdown
 from repro.spark.shuffle import FetchFailedError, MapStatus
-from repro.spark.task import TaskAttempt, TaskState
+from repro.spark.task import NOMINAL_RECORD_BYTES, TaskAttempt, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cloud.lambda_fn import LambdaInstance
@@ -139,7 +148,7 @@ class Executor:
         self._tasks: Dict[TaskAttempt, object] = {}
         self.tasks_finished = 0
         self.tasks_failed = 0
-        self._record("registered")
+        self._record(EV_REGISTERED)
 
     # ------------------------------------------------------------------
     # Host properties
@@ -257,7 +266,7 @@ class Executor:
             if oldest == (rdd_id, partition):
                 break
             self._cache.pop(oldest)
-            self._record("cache_evict", rdd=oldest[0], partition=oldest[1])
+            self._record(EV_CACHE_EVICT, rdd=oldest[0], partition=oldest[1])
 
     @property
     def cached_partitions(self) -> int:
@@ -282,7 +291,7 @@ class Executor:
             raise RuntimeError(f"{self.executor_id} is not free")
         attempt.state = TaskState.RUNNING
         attempt.metrics.launch_time = self.env.now
-        self._record("task_start", task=attempt.spec.describe(),
+        self._record(EV_TASK_START, task=attempt.spec.describe(),
                      attempt=attempt.attempt)
         self._tasks[attempt] = self.env.process(
             self._execute(attempt, scheduler, on_finish))
@@ -293,8 +302,10 @@ class Executor:
         metrics = attempt.metrics
         try:
             if self.task_setup_s > 0:
+                setup_start = self.env.now
                 yield self.env.timeout(self.rng.uniform_jitter(
                     "task.setup", self.task_setup_s, 0.2))
+                metrics.deserialize_seconds = self.env.now - setup_start
 
             # ---- Fetch phase: pull shuffle inputs. ----
             fetch_start = self.env.now
@@ -310,6 +321,7 @@ class Executor:
                 yield from scheduler.shuffle_backend.fetch(
                     self, shuffle_id, spec.partition, nbytes,
                     spec.stage_task_count, statuses, scheduler.executors)
+                metrics.shuffle_read_bytes += nbytes
             metrics.fetch_seconds = self.env.now - fetch_start
 
             # ---- Compute phase: run the pipeline after any cache hit. ----
@@ -326,6 +338,7 @@ class Executor:
                 input_start = self.env.now
                 yield from scheduler.read_input(self, input_bytes)
                 metrics.input_seconds = self.env.now - input_start
+                metrics.input_bytes = input_bytes
             base = sum(step.compute_seconds for step in live_steps)
             base /= self.cpu_speed
             base *= self.cpu_slowdown
@@ -359,6 +372,7 @@ class Executor:
                     self, shuffle_id, spec.partition, nbytes,
                     spec.shuffle_write_reducers)
                 metrics.write_seconds = self.env.now - write_start
+                metrics.shuffle_write_bytes = nbytes
                 scheduler.map_output_tracker.register(MapStatus(
                     shuffle_id, spec.partition, self.executor_id, nbytes))
 
@@ -377,8 +391,14 @@ class Executor:
         # down mid-task, the generator's GeneratorExit must not fire
         # scheduler callbacks.
         metrics.finish_time = self.env.now
+        metrics.records_in = int((metrics.shuffle_read_bytes
+                                  + metrics.input_bytes)
+                                 // NOMINAL_RECORD_BYTES)
+        metrics.records_out = int(metrics.shuffle_write_bytes
+                                  // NOMINAL_RECORD_BYTES)
         self._tasks.pop(attempt, None)
-        self._record("task_end", task=spec.describe(),
+        self._record(EV_TASK_END, task=spec.describe(),
+                     stage=spec.stage_id,
                      state=attempt.state.value,
                      duration=metrics.duration)
         on_finish(self, attempt)
@@ -393,7 +413,7 @@ class Executor:
         additional tasks ... and get gracefully decommissioned")."""
         if self.state is ExecutorState.REGISTERED:
             self.state = ExecutorState.DRAINING
-            self._record("draining")
+            self._record(EV_DRAINING)
 
     def kill_task(self, attempt: TaskAttempt,
                   reason: str = "task killed") -> None:
@@ -412,11 +432,11 @@ class Executor:
         for process in list(self._tasks.values()):
             if process.is_alive:
                 process.interrupt(cause=reason)
-        self._record("dead", reason=reason)
+        self._record(EV_DEAD, reason=reason)
 
     def _record(self, event: str, **fields) -> None:
         if self._trace is not None:
-            self._trace.record(self.env.now, "executor", event,
+            self._trace.record(self.env.now, CAT_EXECUTOR, event,
                                executor=self.executor_id, kind=self.kind.value,
                                host=self.host_name, **fields)
 

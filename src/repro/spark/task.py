@@ -84,22 +84,87 @@ class TaskSpec:
         return f"stage{self.stage_id}/p{self.partition}"
 
 
+#: Nominal bytes per record for the records-in/out proxy. The simulation
+#: models volumes, not rows; dividing by a fixed record size yields
+#: record counts that are comparable across stages and runs (Spark's
+#: recordsRead/recordsWritten play the same comparative role).
+NOMINAL_RECORD_BYTES = 256.0
+
+
 @dataclass
 class TaskMetrics:
-    """Timing breakdown of one attempt, for analysis and timelines."""
+    """Spark-style per-attempt breakdown, for analysis and timelines.
+
+    Mirrors Spark's ``TaskMetrics`` where the simulation has a
+    counterpart: ``deserialize_seconds`` ≈ executorDeserializeTime (the
+    per-task bootstrap), ``fetch_seconds``/``write_seconds`` ≈ shuffle
+    read/write time (aliased below under the Spark names),
+    ``gc_overhead_seconds`` is the GC proxy, ``scheduler_delay_seconds``
+    is runnable→launched wait. ``spill_seconds`` exists for schema
+    parity — this engine models memory pressure as GC slowdown, not
+    disk spill, so it stays 0 until a spill model lands.
+    """
 
     launch_time: float = 0.0
     finish_time: float = 0.0
+    scheduler_delay_seconds: float = 0.0
+    deserialize_seconds: float = 0.0
     fetch_seconds: float = 0.0
     input_seconds: float = 0.0
     compute_seconds: float = 0.0
     gc_overhead_seconds: float = 0.0
     write_seconds: float = 0.0
+    spill_seconds: float = 0.0
+    shuffle_read_bytes: float = 0.0
+    shuffle_write_bytes: float = 0.0
+    input_bytes: float = 0.0
+    records_in: int = 0
+    records_out: int = 0
     cache_hit: bool = False
 
     @property
     def duration(self) -> float:
         return max(0.0, self.finish_time - self.launch_time)
+
+    @property
+    def run_seconds(self) -> float:
+        """On-executor work time (Spark's executorRunTime): everything
+        between launch and finish except the bootstrap."""
+        return (self.fetch_seconds + self.input_seconds
+                + self.compute_seconds + self.write_seconds)
+
+    # Spark-vocabulary aliases over the engine's historical field names.
+
+    @property
+    def shuffle_read_seconds(self) -> float:
+        return self.fetch_seconds
+
+    @property
+    def shuffle_write_seconds(self) -> float:
+        return self.write_seconds
+
+    def to_dict(self) -> dict:
+        """Flat full-precision dict (derived fields included)."""
+        return {
+            "launch_time": self.launch_time,
+            "finish_time": self.finish_time,
+            "duration": self.duration,
+            "scheduler_delay_seconds": self.scheduler_delay_seconds,
+            "deserialize_seconds": self.deserialize_seconds,
+            "run_seconds": self.run_seconds,
+            "shuffle_read_seconds": self.shuffle_read_seconds,
+            "input_seconds": self.input_seconds,
+            "compute_seconds": self.compute_seconds,
+            "gc_overhead_seconds": self.gc_overhead_seconds,
+            "shuffle_write_seconds": self.shuffle_write_seconds,
+            "spill_seconds": self.spill_seconds,
+            "shuffle_read_bytes": self.shuffle_read_bytes,
+            "shuffle_write_bytes": self.shuffle_write_bytes,
+            "input_bytes": self.input_bytes,
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "cache_hit": self.cache_hit,
+        }
 
 
 @dataclass(eq=False)  # identity semantics: attempts are tracked by object

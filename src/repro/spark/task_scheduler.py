@@ -17,6 +17,16 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.observability.categories import (
+    CAT_SCHEDULER,
+    EV_BLACKLIST_SUPPRESSED,
+    EV_EXECUTOR_BLACKLISTED,
+    EV_EXECUTOR_DRAINED,
+    EV_EXECUTOR_REGISTERED,
+    EV_MAP_OUTPUTS_LOST,
+    EV_SPECULATIVE_LAUNCH,
+    EV_TASKSET_SUBMITTED,
+)
 from repro.spark.executor import Executor, ExecutorState, HostKind
 from repro.spark.shuffle import (
     FetchFailedError,
@@ -79,6 +89,9 @@ class TaskSet:
         self.zombie = False
         self.submit_time: Optional[float] = None
         self.last_launch_time: Optional[float] = None
+        #: partition -> sim-time it (re)became runnable; launch reads it
+        #: to charge TaskMetrics.scheduler_delay_seconds.
+        self.pending_since: Dict[int, float] = {}
         #: Fast path: task sets with no cached pipeline steps have no
         #: locality preferences, so task selection is O(1).
         self.has_cache_preferences = any(
@@ -197,7 +210,7 @@ class TaskScheduler:
         if executor.executor_id in self.executors:
             raise ValueError(f"duplicate executor id {executor.executor_id}")
         self.executors[executor.executor_id] = executor
-        self._record("executor_registered", executor=executor.executor_id,
+        self._record(EV_EXECUTOR_REGISTERED, executor=executor.executor_id,
                      kind=executor.kind.value)
         self._dispatch()
 
@@ -218,7 +231,7 @@ class TaskScheduler:
             lost = self.map_output_tracker.remove_outputs_on_executor(
                 executor.executor_id)
             if lost:
-                self._record("map_outputs_lost",
+                self._record(EV_MAP_OUTPUTS_LOST,
                              executor=executor.executor_id, count=len(lost))
         self.shuffle_backend.on_executor_lost(executor.executor_id)
         self._notify("on_executor_lost", executor, reason)
@@ -226,6 +239,8 @@ class TaskScheduler:
 
     def _finalize_drained(self, executor: Executor) -> None:
         self.executors.pop(executor.executor_id, None)
+        self._record(EV_EXECUTOR_DRAINED, executor=executor.executor_id,
+                     kind=executor.kind.value)
         self._notify("on_executor_drained", executor)
 
     @property
@@ -245,8 +260,10 @@ class TaskScheduler:
 
     def submit_taskset(self, taskset: TaskSet) -> None:
         taskset.submit_time = self.env.now
+        for partition in taskset.pending:
+            taskset.pending_since[partition] = self.env.now
         self.tasksets.append(taskset)
-        self._record("taskset_submitted", taskset=taskset.name,
+        self._record(EV_TASKSET_SUBMITTED, taskset=taskset.name,
                      tasks=len(taskset.specs))
         if self._speculation and not self._speculation_active:
             self._speculation_active = True
@@ -388,6 +405,9 @@ class TaskScheduler:
         spec = taskset.specs[partition]
         attempt = TaskAttempt(spec, taskset.next_attempt_number(partition),
                               executor.executor_id)
+        attempt.metrics.scheduler_delay_seconds = max(
+            0.0, self.env.now - taskset.pending_since.get(partition,
+                                                          self.env.now))
         taskset.running[partition] = attempt
         taskset.last_launch_time = self.env.now
         executor.launch_task(attempt, self, self._on_task_finish)
@@ -447,7 +467,7 @@ class TaskScheduler:
                 copy = TaskAttempt(spec, taskset.next_attempt_number(partition),
                                    host.executor_id)
                 taskset.speculative[partition] = copy
-                self._record("speculative_launch", task=spec.describe(),
+                self._record(EV_SPECULATIVE_LAUNCH, task=spec.describe(),
                              executor=host.executor_id)
                 host.launch_task(copy, self, self._on_task_finish)
                 launched = True
@@ -526,14 +546,14 @@ class TaskScheduler:
                     and attempt.executor_id not in self.blacklisted):
                 if self._has_other_live_executor(executor):
                     self.blacklisted.add(attempt.executor_id)
-                    self._record("executor_blacklisted",
+                    self._record(EV_EXECUTOR_BLACKLISTED,
                                  executor=attempt.executor_id,
                                  failures=executor.tasks_failed)
                 else:
                     # Blacklisting the last live executor would leave
                     # every pending task set unschedulable (deadlock);
                     # keep it and let per-task retry accounting decide.
-                    self._record("blacklist_suppressed",
+                    self._record(EV_BLACKLIST_SUPPRESSED,
                                  executor=attempt.executor_id,
                                  failures=executor.tasks_failed)
         count = taskset.failure_counts.get(partition, 0) + 1
@@ -548,6 +568,7 @@ class TaskScheduler:
             return
         if not taskset.zombie:
             taskset.requeue(partition)
+            taskset.pending_since[partition] = self.env.now
 
     def _has_other_live_executor(self, executor: Executor) -> bool:
         """True if any *other* registered, alive, non-blacklisted executor
@@ -570,4 +591,4 @@ class TaskScheduler:
 
     def _record(self, event: str, **fields) -> None:
         if self.trace is not None:
-            self.trace.record(self.env.now, "scheduler", event, **fields)
+            self.trace.record(self.env.now, CAT_SCHEDULER, event, **fields)

@@ -1,0 +1,144 @@
+"""Timeline reconstruction on faulted runs: spans close, never dangle.
+
+Two real fault shapes (an executor killed mid-task, a Lambda reaped at
+its lifetime) plus synthetic truncated traces. In every case
+``build_timeline`` must close each task span with ``end >= start`` —
+in-flight work destroyed by the fault lands as a ``"lost"`` span at the
+executor's decommission time, not as a dangling record.
+"""
+
+from repro.analysis.timeline import build_timeline
+from repro.cloud import LambdaConfig
+from repro.simulation import TraceRecorder
+
+from tests.spark.helpers import MiniCluster, single_stage_rdd
+
+
+def _assert_all_spans_closed(timeline):
+    for span in timeline.executors:
+        for task in span.tasks:
+            assert task.end >= task.start, (span.executor_id, task)
+            assert task.state, (span.executor_id, task)
+
+
+def test_executor_killed_mid_task_spans_close():
+    cluster = MiniCluster()
+    victim = cluster.vm_executors(1)[0]
+    cluster.vm_executors(1)
+    rdd = single_stage_rdd(cluster.builder, tasks=6, seconds=10.0)
+    job = cluster.driver.submit(rdd)
+
+    def sabotage(env):
+        yield env.timeout(4.0)
+        cluster.driver.task_scheduler.decommission_executor(
+            victim, graceful=False, reason="fault: executor_kill")
+
+    cluster.env.process(sabotage(cluster.env))
+    cluster.env.run(until=job.done)
+    assert not job.failed
+
+    timeline = build_timeline(cluster.trace)
+    _assert_all_spans_closed(timeline)
+    victim_span = next(s for s in timeline.executors
+                       if s.executor_id == victim.executor_id)
+    assert victim_span.decommissioned_at is not None
+    # The task the kill interrupted still occupies timeline real estate,
+    # closed at the kill (state "killed" via its task_end record).
+    killed = [t for t in victim_span.tasks if t.state in ("killed", "lost")]
+    assert killed
+    assert all(t.end <= victim_span.decommissioned_at + 1e-9
+               for t in killed)
+
+
+def test_lambda_lifetime_expiry_spans_close():
+    cluster = MiniCluster()
+    cluster.vm_executors(1)
+    fn = cluster.provider.invoke_lambda(
+        LambdaConfig(memory_mb=1536, lifetime_s=5.0))
+    cluster.env.run(until=fn.ready)
+    la_ex = cluster.driver.add_lambda_executor(fn)
+
+    # Tasks outlive the Lambda: the one it picks up dies with the
+    # container and reruns on the VM executor.
+    rdd = single_stage_rdd(cluster.builder, tasks=2, seconds=8.0)
+    job = cluster.driver.submit(rdd)
+    cluster.env.run(until=job.done)
+    assert not job.failed
+
+    timeline = build_timeline(cluster.trace)
+    _assert_all_spans_closed(timeline)
+    la_span = next(s for s in timeline.executors
+                   if s.executor_id == la_ex.executor_id)
+    assert la_span.kind == "lambda"
+    assert la_span.decommissioned_at is not None
+    # Its in-flight task closed at/before the reap, never past it.
+    assert la_span.tasks
+    assert all(t.end <= la_span.decommissioned_at + 1e-9
+               for t in la_span.tasks)
+    assert not any(t.state == "finished" for t in la_span.tasks)
+
+
+def test_truncated_trace_closes_open_task_as_lost():
+    # A task_start with no matching task_end (trace ended mid-task):
+    # the span closes at the executor's death with state "lost".
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="e0", kind="vm")
+    trace.record(2.0, "executor", "task_start", executor="e0",
+                 task="stage0/p0")
+    trace.record(5.0, "executor", "dead", executor="e0")
+    timeline = build_timeline(trace)
+    (span,) = timeline.executors
+    (task,) = span.tasks
+    assert task.state == "lost"
+    assert task.start == 2.0
+    assert task.end == 5.0
+
+
+def test_open_task_without_death_closes_at_trace_end():
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="e0", kind="vm")
+    trace.record(2.0, "executor", "task_start", executor="e0",
+                 task="stage0/p0")
+    trace.record(7.0, "executor", "task_start", executor="e0",
+                 task="stage0/p1")
+    timeline = build_timeline(trace)
+    (span,) = timeline.executors
+    assert [t.state for t in span.tasks] == ["lost", "lost"]
+    # Both close at the last record's time; the later start never goes
+    # backwards (end >= start even at zero width).
+    assert span.tasks[0].end == 7.0
+    assert span.tasks[1].end == 7.0
+    _assert_all_spans_closed(timeline)
+
+
+def test_task_start_pairs_with_matching_end():
+    # With explicit start/end records the span uses the true start, not
+    # the duration back-projection.
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="e0", kind="vm")
+    trace.record(1.0, "executor", "task_start", executor="e0", task="t")
+    trace.record(4.0, "executor", "task_end", executor="e0", task="t",
+                 state="finished", duration=2.5)
+    timeline = build_timeline(trace)
+    (task,) = timeline.executors[0].tasks
+    assert task.start == 1.0
+    assert task.end == 4.0
+    assert task.state == "finished"
+
+
+def test_segue_time_prefers_segue_event_over_drain():
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="e0",
+                 kind="lambda")
+    trace.record(6.0, "segue", "triggered", vm="vm1", cores=4)
+    trace.record(8.0, "executor", "draining", executor="e0")
+    timeline = build_timeline(trace)
+    assert timeline.segue_time == 6.0
+
+
+def test_segue_time_falls_back_to_drain_for_older_traces():
+    trace = TraceRecorder()
+    trace.record(0.0, "executor", "registered", executor="e0",
+                 kind="lambda")
+    trace.record(8.0, "executor", "draining", executor="e0")
+    assert build_timeline(trace).segue_time == 8.0

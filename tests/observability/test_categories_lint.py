@@ -1,0 +1,93 @@
+"""Taxonomy tests + the lint pass over emitter call sites.
+
+The runtime half of the taxonomy guarantee is the EventBus calling
+``validate_event`` on every publish; the static half is this lint: no
+``record(...)``-style call site under ``src/repro`` may pass the
+category or event name as a string literal — they must come from the
+``CAT_*`` / ``EV_*`` constants, so a typo is an ImportError, not a
+silently new category.
+"""
+
+import ast
+import pathlib
+import re
+
+import pytest
+
+from repro.observability.bus import TYPED_DISPATCH
+from repro.observability.categories import (
+    EVENTS,
+    known_categories,
+    validate_event,
+)
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _literal_str(node):
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def _violations(path):
+    """String-literal category/name args at record-like call sites."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    bad = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        if attr == "record":
+            # record(time, category, name, **fields)
+            suspects = node.args[1:3]
+        elif attr in ("_record", "_log"):
+            # helpers bind the category; first arg is the event name
+            suspects = node.args[:1]
+        else:
+            continue
+        for arg in suspects:
+            if _literal_str(arg):
+                bad.append(f"{path.relative_to(SRC)}:{node.lineno} "
+                           f"{attr}(... {arg.value!r} ...)")
+    return bad
+
+
+def test_no_string_literal_categories_in_src():
+    bad = []
+    for path in sorted(SRC.rglob("*.py")):
+        bad.extend(_violations(path))
+    assert bad == [], (
+        "emitters must use repro.observability.categories constants, "
+        "not string literals:\n" + "\n".join(bad))
+
+
+def test_validate_event_accepts_every_registered_pair():
+    for category, names in EVENTS.items():
+        for name in names:
+            validate_event(category, name)  # must not raise
+
+
+def test_validate_event_rejects_unknown_category():
+    with pytest.raises(ValueError) as exc:
+        validate_event("warp-drive", "engaged")
+    assert "unknown event category" in str(exc.value)
+
+
+def test_validate_event_rejects_unknown_name():
+    with pytest.raises(ValueError) as exc:
+        validate_event("executor", "teleported")
+    assert "unknown event" in str(exc.value)
+
+
+def test_typed_dispatch_pairs_are_all_registered():
+    for (category, name), method in TYPED_DISPATCH.items():
+        assert name in EVENTS[category], (category, name)
+        assert method.startswith("on_")
+
+
+def test_taxonomy_names_are_stable_identifiers():
+    ident = re.compile(r"^[a-z][a-z0-9_]*$")
+    for category in known_categories():
+        assert ident.match(category), category
+        for name in EVENTS[category]:
+            assert ident.match(name), (category, name)

@@ -1,0 +1,99 @@
+"""Tests for the metrics primitives and registry."""
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    c = Counter("x")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter("x")
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_set_and_add():
+    g = Gauge("x")
+    g.set(4.0)
+    g.add(1.5)
+    assert g.value == 5.5
+    g.set(2)
+    assert g.value == 2.0
+
+
+def test_histogram_summary_statistics():
+    h = Histogram("x")
+    for v in (3.0, 1.0, 2.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.sum == 6.0
+    assert h.min == 1.0
+    assert h.max == 3.0
+    assert h.mean == 2.0
+
+
+def test_histogram_mean_of_empty_is_zero():
+    assert Histogram("x").mean == 0.0
+
+
+def test_registry_get_or_create_returns_same_metric():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+    assert len(reg) == 3
+    assert reg.names() == ["a", "b", "c"]
+    assert "a" in reg and "missing" not in reg
+
+
+def test_registry_rejects_kind_mismatch():
+    reg = MetricsRegistry()
+    reg.counter("cloud.lambda.invocations")
+    with pytest.raises(TypeError):
+        reg.gauge("cloud.lambda.invocations")
+    with pytest.raises(TypeError):
+        reg.histogram("cloud.lambda.invocations")
+
+
+def test_snapshot_is_flat_and_sorted():
+    reg = MetricsRegistry()
+    reg.counter("z.count").inc(2)
+    reg.gauge("a.gauge").set(1.25)
+    snap = reg.snapshot()
+    assert snap == {"a.gauge": 1.25, "z.count": 2.0}
+    assert list(snap) == sorted(snap)
+
+
+def test_snapshot_expands_histograms():
+    reg = MetricsRegistry()
+    h = reg.histogram("boot")
+    h.observe(2.0)
+    h.observe(4.0)
+    snap = reg.snapshot()
+    assert snap["boot.count"] == 2
+    assert snap["boot.sum"] == 6.0
+    assert snap["boot.min"] == 2.0
+    assert snap["boot.max"] == 4.0
+    assert snap["boot.mean"] == 3.0
+
+
+def test_snapshot_omits_extrema_of_empty_histogram():
+    reg = MetricsRegistry()
+    reg.histogram("boot")
+    snap = reg.snapshot()
+    assert snap["boot.count"] == 0
+    assert snap["boot.sum"] == 0.0
+    assert "boot.min" not in snap
+    assert "boot.max" not in snap
+    assert "boot.mean" not in snap

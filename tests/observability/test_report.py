@@ -1,0 +1,114 @@
+"""Tests for ``repro report`` rendering and metric precision."""
+
+import pytest
+
+from repro.core.scenarios import run_scenario
+from repro.experiments import ExperimentSpec, read_jsonl, write_jsonl
+from repro.observability.export import event_log_dicts, save_event_log
+from repro.observability.report import (
+    render_event_log_report,
+    render_report_file,
+    render_run_report,
+)
+
+
+@pytest.fixture(scope="module")
+def hybrid():
+    """One hybrid run: (spec, ScenarioResult, RunRecord)."""
+    spec = ExperimentSpec(workload="sparkpi", scenario="ss_hybrid", seed=0)
+    result = run_scenario(spec, keep_trace=True)
+    return spec, result, result.to_record(spec)
+
+
+def test_cost_split_sums_to_total(hybrid):
+    _spec, _result, record = hybrid
+    m = record.metrics
+    parts = m["cost.iaas"] + m["cost.faas"] + sum(
+        v for k, v in m.items() if k.startswith("cost.storage."))
+    assert abs(parts - m["cost.total"]) < 1e-6
+    assert abs(m["cost.total"] - record.cost) < 1e-6
+
+
+def test_render_run_report_sections(hybrid):
+    _spec, _result, record = hybrid
+    text = render_run_report(record.to_dict())
+    assert "run: workload=sparkpi scenario=ss_hybrid seed=0" in text
+    assert "cost split ($):" in text
+    assert "IaaS (VM)" in text and "FaaS (Lambda)" in text
+    assert "per-stage breakdown (* = critical path):" in text
+    assert "*" in text
+    assert "executor utilization:" in text
+    assert "cloud counters:" in text
+    assert "cloud.lambda.invocations" in text
+
+
+def test_render_run_report_has_both_kinds(hybrid):
+    _spec, _result, record = hybrid
+    text = render_run_report(record.to_dict())
+    util = text.split("executor utilization:")[1]
+    assert "lambda" in util and "vm" in util
+
+
+def test_render_event_log_report(hybrid):
+    _spec, result, _record = hybrid
+    rows = event_log_dicts(result.trace)
+    text = render_event_log_report(rows)
+    assert "event census:" in text
+    assert "executor.task_end" in text
+    assert "stages:" in text
+    # Every stage of a successful run closes — no dangling "open" span.
+    stage_table = text.split("stages:")[1].split("executor utilization:")[0]
+    assert "open" not in stage_table
+    assert "executor utilization:" in text
+
+
+def test_render_event_log_report_empty():
+    assert render_event_log_report([]) == "event log: empty"
+
+
+def test_render_report_file_autodetects_run_records(tmp_path, hybrid):
+    _spec, _result, record = hybrid
+    path = tmp_path / "records.jsonl"
+    write_jsonl([record, record], str(path))
+    text = render_report_file(str(path))
+    assert text.count("run: workload=sparkpi") == 2
+    only_first = render_report_file(str(path), index=0)
+    assert only_first.count("run: workload=sparkpi") == 1
+
+
+def test_render_report_file_autodetects_event_logs(tmp_path, hybrid):
+    _spec, result, _record = hybrid
+    path = tmp_path / "events.jsonl"
+    save_event_log(result.trace, str(path))
+    text = render_report_file(str(path))
+    assert "event census:" in text
+
+
+def test_render_report_file_empty(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert render_report_file(str(path)) == "empty file"
+
+
+# ---------------------------------------------------------------------------
+# Precision regression: metrics stay full-precision end to end
+# ---------------------------------------------------------------------------
+
+def test_metrics_survive_jsonl_roundtrip_at_full_precision(tmp_path, hybrid):
+    spec, _result, record = hybrid
+    probe = 0.12345678901234567  # more digits than any %.3f render keeps
+    record.metrics["precision.probe"] = probe
+    path = tmp_path / "records.jsonl"
+    write_jsonl([record], str(path))
+    [loaded] = read_jsonl(str(path))
+    assert loaded.metrics["precision.probe"] == probe
+    for name, value in record.metrics.items():
+        assert loaded.metrics[name] == value, name
+
+
+def test_rendering_does_not_mutate_metrics(hybrid):
+    _spec, _result, record = hybrid
+    payload = record.to_dict()
+    before = dict(payload["metrics"])
+    render_run_report(payload)
+    assert payload["metrics"] == before

@@ -1,0 +1,56 @@
+"""Smoke: seeded run -> event log/trace export -> ``repro report``.
+
+Wired into ``make report-smoke``. The byte-identity assertion is the
+determinism acceptance gate: same seed, same binary event log.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.smoke
+
+ARGS = ["run", "--workload", "sparkpi", "--scenario", "ss_hybrid_segue",
+        "--seed", "3"]
+
+
+def test_run_report_pipeline(tmp_path, capsys):
+    events_a = tmp_path / "events-a.jsonl"
+    events_b = tmp_path / "events-b.jsonl"
+    trace = tmp_path / "trace.json"
+    records = tmp_path / "records.jsonl"
+
+    rc = main(ARGS + ["--events-out", str(events_a), "--trace-out",
+                      str(trace), "--json", str(records)])
+    assert rc == 0
+    rc = main(ARGS + ["--events-out", str(events_b)])
+    assert rc == 0
+    capsys.readouterr()
+
+    # Determinism: same seed => byte-identical event logs.
+    assert events_a.read_bytes() == events_b.read_bytes()
+    assert events_a.stat().st_size > 0
+
+    # The Chrome trace is Perfetto-loadable JSON with real content.
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"]
+    assert payload["displayTimeUnit"] == "ms"
+
+    # Both report flavors render.
+    assert main(["report", str(records)]) == 0
+    out = capsys.readouterr().out
+    assert "cost split ($):" in out
+    assert "per-stage breakdown" in out
+
+    assert main(["report", str(events_a)]) == 0
+    out = capsys.readouterr().out
+    assert "event census:" in out
+    assert "executor utilization:" in out
+
+
+def test_trace_flags_require_single_scenario(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "sparkpi", "--scenario", "all",
+              "--events-out", str(tmp_path / "x.jsonl")])

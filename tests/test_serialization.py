@@ -12,7 +12,20 @@ def test_trace_to_dicts():
     trace.record(1.5, "vm", "launch", vm="a", itype="m4.large")
     rows = trace.to_dicts()
     assert rows == [{"time": 1.5, "category": "vm", "name": "launch",
-                     "vm": "a", "itype": "m4.large"}]
+                     "fields": {"vm": "a", "itype": "m4.large"}}]
+
+
+def test_trace_to_dicts_payload_cannot_clobber_envelope():
+    # A payload field named like an envelope key must survive intact.
+    from repro.simulation import TraceRecord
+
+    trace = TraceRecorder()
+    trace._records.append(TraceRecord(
+        2.0, "fault", "recovered", {"time": 99.0, "name": "victim"}))
+    (row,) = trace.to_dicts()
+    assert row["time"] == 2.0
+    assert row["name"] == "recovered"
+    assert row["fields"] == {"time": 99.0, "name": "victim"}
 
 
 def test_trace_save_jsonl_roundtrip(tmp_path):
