@@ -1,7 +1,7 @@
 # Convenience targets for the SplitServe reproduction.
 
 .PHONY: install test bench bench-smoke bench-resilience-smoke \
-	report-smoke examples figures clean
+	bench-multijob-smoke report-smoke examples figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +22,12 @@ bench-smoke:
 bench-resilience-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_resilience.py -m smoke -q
+
+# One tiny job-arrival replay against a shared executor pool — smoke-tests
+# the multi-application cluster runtime (see DESIGN.md, "Cluster runtime").
+bench-multijob-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_multijob_arrivals.py -m smoke -q
 
 # One seeded scenario through event-log/trace export and `repro report`,
 # asserting same-seed event logs are byte-identical (see DESIGN.md,

@@ -13,7 +13,7 @@ throttling-driven runtime) explode while HDFS stays flat.
 
 from repro.analysis.reporting import format_table
 from repro.core.scenarios import run_scenario
-from repro.workloads.sort import SortWorkload
+from repro.experiments.spec import ExperimentSpec
 from benchmarks.conftest import run_once
 
 PARTITION_SWEEP = (32, 128, 512)
@@ -23,10 +23,11 @@ DATASET_GB = 32.0
 def run_sweep():
     out = {}
     for partitions in PARTITION_SWEEP:
-        workload = SortWorkload(dataset_gb=DATASET_GB,
-                                partitions=partitions)
-        ss = run_scenario(workload, "ss_hybrid")
-        qubole = run_scenario(workload, "qubole_R_la")
+        params = {"dataset_gb": DATASET_GB, "partitions": partitions}
+        ss = run_scenario(ExperimentSpec("sort", "ss_hybrid",
+                                         workload_params=params))
+        qubole = run_scenario(ExperimentSpec("sort", "qubole_R_la",
+                                             workload_params=params))
         out[partitions] = (ss, qubole)
     return out
 

@@ -14,7 +14,7 @@ import statistics
 
 from repro.analysis.reporting import format_table
 from repro.core.scenarios import run_scenario
-from repro.workloads import TPCDSWorkload
+from repro.experiments.spec import ExperimentSpec
 from repro.workloads.tpcds import TPCDS_QUERIES
 from benchmarks.conftest import run_once
 
@@ -22,11 +22,13 @@ from benchmarks.conftest import run_once
 def run_pool():
     out = {}
     for query in sorted(TPCDS_QUERIES):
-        workload = TPCDSWorkload(query)
         out[query] = {
-            "base": run_scenario(workload, "spark_R_vm"),
-            "autoscale": run_scenario(workload, "spark_autoscale"),
-            "hybrid": run_scenario(workload, "ss_hybrid"),
+            "base": run_scenario(ExperimentSpec(f"tpcds-{query}",
+                                                "spark_R_vm")),
+            "autoscale": run_scenario(ExperimentSpec(f"tpcds-{query}",
+                                                     "spark_autoscale")),
+            "hybrid": run_scenario(ExperimentSpec(f"tpcds-{query}",
+                                                  "ss_hybrid")),
         }
     return out
 

@@ -8,14 +8,14 @@ on the stage axis marks when the segue commences (the blue bar).
 
 from repro.analysis.timeline import build_timeline
 from repro.core.scenarios import run_scenario
-from repro.workloads import PageRankWorkload
+from repro.experiments.spec import ExperimentSpec
 from benchmarks.conftest import run_once
 
 
 def run_fig7():
-    workload = PageRankWorkload()
     scenarios = ["spark_R_vm", "ss_hybrid", "ss_hybrid_segue"]
-    return {name: run_scenario(workload, name, keep_trace=True)
+    return {name: run_scenario(ExperimentSpec("pagerank", name),
+                               keep_trace=True)
             for name in scenarios}
 
 

@@ -11,17 +11,19 @@ per-stage compute dominates — 'small to modest' in the paper's taxonomy);
 
 from repro.analysis.reporting import format_table
 from repro.core.scenarios import run_scenario
-from repro.workloads import PageRankWorkload, TPCDSWorkload
+from repro.experiments.spec import ExperimentSpec
 from repro.workloads.tpcds import PRESENTED_QUERIES
 from benchmarks.conftest import run_once
 
 
-def best_ss_improvement(workload):
+def best_ss_improvement(workload_name):
     """Best SplitServe option (hybrid or all-Lambda) vs VM autoscaling."""
-    autoscale = run_scenario(workload, "spark_autoscale").duration_s
-    hybrid = run_scenario(workload, "ss_hybrid").duration_s
-    all_lambda = run_scenario(workload, "ss_R_la").duration_s
-    best = min(hybrid, all_lambda)
+    def duration(scenario):
+        return run_scenario(
+            ExperimentSpec(workload_name, scenario)).duration_s
+
+    autoscale = duration("spark_autoscale")
+    best = min(duration("ss_hybrid"), duration("ss_R_la"))
     return 1 - best / autoscale
 
 
@@ -29,8 +31,8 @@ def run_headline():
     improvements = {}
     for query in PRESENTED_QUERIES:
         improvements[f"tpcds-{query}"] = best_ss_improvement(
-            TPCDSWorkload(query))
-    improvements["pagerank"] = best_ss_improvement(PageRankWorkload())
+            f"tpcds-{query}")
+    improvements["pagerank"] = best_ss_improvement("pagerank")
     return improvements
 
 

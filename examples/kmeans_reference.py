@@ -13,7 +13,7 @@ Run:  python examples/kmeans_reference.py
 import time
 
 from repro.core import run_scenario
-from repro.workloads import KMeansWorkload
+from repro.experiments import ExperimentSpec
 from repro.workloads.kmeans import ASSIGN_SECONDS_PER_POINT
 from repro.workloads.kmeans_algo import (
     generate_points,
@@ -42,8 +42,8 @@ def main() -> None:
     print(f"   JVM overhead factor  : {ASSIGN_SECONDS_PER_POINT / measured:8.1f}x")
 
     print("\n3. The simulated cluster running the same workload")
-    baseline = run_scenario(KMeansWorkload(), "spark_R_vm")
-    all_lambda = run_scenario(KMeansWorkload(), "ss_R_la")
+    baseline = run_scenario(ExperimentSpec("kmeans", "spark_R_vm"))
+    all_lambda = run_scenario(ExperimentSpec("kmeans", "ss_R_la"))
     print(f"   Spark 16 VM : {baseline.duration_s:6.1f}s")
     print(f"   SS 16 La    : {all_lambda.duration_s:6.1f}s "
           f"(+{all_lambda.duration_s / baseline.duration_s - 1:.0%} — the "

@@ -12,11 +12,10 @@ Run:  python examples/pagerank_segue.py
 
 from repro.analysis.timeline import build_timeline
 from repro.core import run_scenario
-from repro.workloads import PageRankWorkload
+from repro.experiments import ExperimentSpec
 
 
 def main() -> None:
-    workload = PageRankWorkload()
     setups = [
         ("spark_R_vm", "(i) Vanilla Spark on 16 VM cores"),
         ("ss_hybrid", "(ii) SplitServe: 3 VM cores + 13 Lambdas"),
@@ -24,7 +23,8 @@ def main() -> None:
          "(iii) as (ii), segue to VM cores freed at 45 s"),
     ]
     for scenario, title in setups:
-        result = run_scenario(workload, scenario, keep_trace=True)
+        result = run_scenario(ExperimentSpec("pagerank", scenario),
+                              keep_trace=True)
         timeline = build_timeline(result.trace)
         print(f"\n{title} — finished in {result.duration_s:.1f}s, "
               f"cost ${result.cost:.4f}")

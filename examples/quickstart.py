@@ -11,6 +11,7 @@ Run:  python examples/quickstart.py
 
 from repro.analysis.reporting import format_table, relative_to
 from repro.core import SCENARIO_NAMES, run_scenario
+from repro.experiments import ExperimentSpec
 from repro.workloads import PageRankWorkload
 
 
@@ -21,7 +22,8 @@ def main() -> None:
           f"(R={spec.required_cores} cores wanted, "
           f"r={spec.available_cores} free on VMs)\n")
 
-    results = {name: run_scenario(workload, name) for name in SCENARIO_NAMES}
+    results = {name: run_scenario(ExperimentSpec("pagerank", name))
+               for name in SCENARIO_NAMES}
     base = results["spark_R_vm"].duration_s
 
     rows = []

@@ -12,7 +12,7 @@ Run:  python examples/tpcds_burst.py
 
 from repro.analysis.reporting import format_table
 from repro.core import run_scenario
-from repro.workloads import TPCDSWorkload
+from repro.experiments import ExperimentSpec
 from repro.workloads.tpcds import PRESENTED_QUERIES
 
 
@@ -20,10 +20,10 @@ def main() -> None:
     rows = []
     total_autoscale, total_hybrid = 0.0, 0.0
     for query in PRESENTED_QUERIES:
-        workload = TPCDSWorkload(query)
-        baseline = run_scenario(workload, "spark_R_vm")
-        autoscale = run_scenario(workload, "spark_autoscale")
-        hybrid = run_scenario(workload, "ss_hybrid")
+        name = f"tpcds-{query}"
+        baseline = run_scenario(ExperimentSpec(name, "spark_R_vm"))
+        autoscale = run_scenario(ExperimentSpec(name, "spark_autoscale"))
+        hybrid = run_scenario(ExperimentSpec(name, "ss_hybrid"))
         total_autoscale += autoscale.duration_s
         total_hybrid += hybrid.duration_s
         improvement = 1 - hybrid.duration_s / autoscale.duration_s

@@ -10,10 +10,10 @@ harness regenerating every table and figure.
 
 Quickstart::
 
-    from repro.workloads import PageRankWorkload
     from repro.core import run_scenario
+    from repro.experiments import ExperimentSpec
 
-    result = run_scenario(PageRankWorkload(), "ss_hybrid")
+    result = run_scenario(ExperimentSpec("pagerank", "ss_hybrid"))
     print(result.duration_s, result.cost)
 
 See README.md for the architecture tour and DESIGN.md for the

@@ -7,21 +7,17 @@ classic U-curve from which the cost manager picks operating points.
 
 The canonical entry point is :func:`profile_point`, which executes one
 ``profile_lambda``/``profile_vm`` :class:`ExperimentSpec`; sweeps are
-spec lists fanned out by :class:`repro.experiments.ExperimentRunner`.
-The legacy ``profile_workload(workload, kind, ...)`` form is kept as a
-deprecated wrapper.
+spec lists fanned out by :class:`repro.experiments.ExperimentRunner`, or
+:func:`profile_workload` for an in-process sweep over one spec.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.cloud.instance_types import fewest_instances_for_cores
-from repro.cloud.pricing import BillingMeter
-from repro.cloud.provisioner import CloudProvider
-from repro.simulation import Environment, RandomStreams
+from repro.cluster.runtime import ClusterRuntime
 from repro.spark.application import SparkDriver
 from repro.spark.config import SparkConf
 from repro.spark.shuffle import ExternalShuffleBackend, LocalShuffleBackend
@@ -47,16 +43,14 @@ class ProfilePoint:
 
 def _profile_lambda(workload: Workload, parallelism: int, seed: int,
                     conf: Optional[SparkConf] = None) -> ProfilePoint:
-    env = Environment()
-    rng = RandomStreams(seed)
-    meter = BillingMeter()
-    provider = CloudProvider(env, rng, meter=meter)
+    runtime = ClusterRuntime(seed)
+    env, provider = runtime.env, runtime.provider
     # Master + HDFS node, per the workload's paper setup.
     master = provider.request_vm(workload.spec.master_itype, name="master",
                                  already_running=True)
-    hdfs = HDFS(env, [master], rng, meter)
+    hdfs = HDFS(env, [master], runtime.rng, runtime.meter)
     conf = conf if conf is not None else SparkConf()
-    driver = SparkDriver(env, conf, rng,
+    driver = SparkDriver(env, conf, runtime.rng,
                          ExternalShuffleBackend(hdfs))
 
     def read_input(executor, nbytes):
@@ -78,17 +72,16 @@ def _profile_lambda(workload: Workload, parallelism: int, seed: int,
     for fn in lambdas:
         provider.release_lambda(fn)
         provider.bill_lambda_usage(fn)
-    return ProfilePoint(parallelism, job.duration, meter.total(), "lambda")
+    return ProfilePoint(parallelism, job.duration, runtime.meter.total(),
+                        "lambda")
 
 
 def _profile_vm(workload: Workload, parallelism: int, seed: int,
                 conf: Optional[SparkConf] = None) -> ProfilePoint:
-    env = Environment()
-    rng = RandomStreams(seed)
-    meter = BillingMeter()
-    provider = CloudProvider(env, rng, meter=meter)
+    runtime = ClusterRuntime(seed)
+    env, provider = runtime.env, runtime.provider
     conf = conf if conf is not None else SparkConf()
-    driver = SparkDriver(env, conf, rng, LocalShuffleBackend())
+    driver = SparkDriver(env, conf, runtime.rng, LocalShuffleBackend())
     vms = []
     remaining = parallelism
     # §5.1: "the fewest number of instances that provide the required
@@ -104,8 +97,9 @@ def _profile_vm(workload: Workload, parallelism: int, seed: int,
     env.run(until=job.done)
     end = env.now
     for vm in vms:
-        meter.bill_vm(vm.name, vm.itype, 0.0, end)
-    return ProfilePoint(parallelism, job.duration, meter.total(), "vm")
+        runtime.meter.bill_vm(vm.name, vm.itype, 0.0, end)
+    return ProfilePoint(parallelism, job.duration, runtime.meter.total(),
+                        "vm")
 
 
 def profile_point(spec: "ExperimentSpec") -> ProfilePoint:
@@ -123,41 +117,33 @@ def profile_point(spec: "ExperimentSpec") -> ProfilePoint:
 
 
 def profile_workload(
-    workload: Union[Workload, "ExperimentSpec"],
-    executor_kind: Optional[str] = None,
+    spec: "ExperimentSpec",
     parallelism_sweep: Sequence[int] = DEFAULT_PARALLELISM_SWEEP,
-    seed: int = 0,
 ) -> List[ProfilePoint]:
-    """Sweep the degree of parallelism for one executor kind.
+    """Sweep the degree of parallelism for one ``profile_*`` spec.
 
-    The canonical form takes a ``profile_*`` spec; when the spec's
-    ``parallelism`` is None, the sweep covers ``parallelism_sweep``::
+    When the spec's ``parallelism`` is None, the sweep covers
+    ``parallelism_sweep``::
 
         profile_workload(ExperimentSpec("pagerank-large", "profile_lambda"))
 
     Returns points in sweep order; feed ``{p.parallelism: p.duration_s}``
-    to :class:`repro.core.cost_manager.CostManager`. The legacy
-    ``profile_workload(workload_obj, "lambda", ...)`` form is deprecated.
+    to :class:`repro.core.cost_manager.CostManager`.
+
+    The old ``profile_workload(workload_obj, "lambda", ...)`` keyword
+    form has been removed; build a ``profile_lambda``/``profile_vm``
+    spec (workloads by registry name) instead.
     """
     from repro.experiments.spec import ExperimentSpec
-    if isinstance(workload, ExperimentSpec):
-        spec = workload
-        if executor_kind is not None:
-            raise TypeError("executor_kind is implied by the spec; "
-                            "do not pass it separately")
-        sweep = ([spec.parallelism] if spec.parallelism is not None
-                 else parallelism_sweep)
-        return [profile_point(spec.with_(parallelism=p)) for p in sweep]
-    warnings.warn(
-        "profile_workload(workload, kind, ...) is deprecated; build a "
-        "profile_lambda/profile_vm ExperimentSpec and call "
-        "profile_workload(spec) (or run specs through ExperimentRunner)",
-        DeprecationWarning, stacklevel=2)
-    if executor_kind not in ("lambda", "vm"):
-        raise ValueError(f"executor_kind must be 'lambda' or 'vm', "
-                         f"got {executor_kind!r}")
-    runner = _profile_lambda if executor_kind == "lambda" else _profile_vm
-    return [runner(workload, p, seed) for p in parallelism_sweep]
+    if not isinstance(spec, ExperimentSpec):
+        raise TypeError(
+            "profile_workload takes an ExperimentSpec, e.g. "
+            "profile_workload(ExperimentSpec('pagerank-large', "
+            "'profile_lambda')); "
+            f"got {type(spec).__name__}")
+    sweep = ([spec.parallelism] if spec.parallelism is not None
+             else parallelism_sweep)
+    return [profile_point(spec.with_(parallelism=p)) for p in sweep]
 
 
 def optimal_parallelism(points: Sequence[ProfilePoint]) -> ProfilePoint:

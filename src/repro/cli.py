@@ -93,6 +93,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print("workloads:")
     for name in sorted(WORKLOADS):
         print(f"  {name}")
+    print("  multijob (job-arrival replay on a shared pool; --mj-* flags)")
     print("\nscenarios (paper §5.1):")
     for name in SCENARIO_NAMES:
         print(f"  {name}")
@@ -100,6 +101,8 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.workload == "multijob":
+        return _run_multijob(args)
     workload = make_workload(args.workload)
     scenarios = ([args.scenario] if args.scenario != "all"
                  else SCENARIO_NAMES)
@@ -154,6 +157,49 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(format_table(["scenario", "time", "vs baseline", "cost"], rows,
                        title=f"{workload.name} (seed {args.seed})"))
     _export_json(args.json, records)
+    return 0
+
+
+def _run_multijob(args: argparse.Namespace) -> int:
+    """``repro run --workload multijob``: a job-arrival replay against
+    one shared FIFO/FAIR executor pool (see DESIGN.md, "Cluster
+    runtime"). Pool knobs come from the ``--mj-*`` flags."""
+    if args.timeline or args.trace_out or args.events_out:
+        raise SystemExit("--timeline/--trace-out/--events-out are "
+                         "single-job options; multijob reports pool "
+                         "metrics instead")
+    faults = _parse_faults(args.faults)
+    spec = ExperimentSpec(
+        workload="multijob", scenario="multijob", seed=args.seed,
+        faults=faults,
+        extra={"mix": args.mj_mix, "n_jobs": args.mj_jobs,
+               "mean_interarrival_s": args.mj_interarrival,
+               "pool_cores": args.mj_pool_cores,
+               "lambda_cores": args.mj_lambda_cores,
+               "pool_style": args.mj_pool_style, "mode": args.mj_mode,
+               "max_concurrent": args.mj_max_concurrent})
+    [record] = ExperimentRunner(workers=args.workers).run([spec])
+    if record.failed:
+        raise SystemExit(record.failure_reason or record.error
+                         or "multijob run failed")
+    m = record.metrics
+    print(format_table(
+        ["metric", "value"],
+        [["pool", f"{args.mj_pool_style} ({args.mj_mode}, "
+                  f"{args.mj_pool_cores} VM + "
+                  f"{args.mj_lambda_cores} La cores)"],
+         ["jobs", m["jobs"]],
+         ["jobs failed", m["jobs_failed"]],
+         ["p50 / p95 latency", f"{m['p50_latency_s']:.1f}s / "
+                               f"{m['p95_latency_s']:.1f}s"],
+         ["p50 / p95 queueing", f"{m['p50_queueing_delay_s']:.1f}s / "
+                                f"{m['p95_queueing_delay_s']:.1f}s"],
+         ["cost per job", f"${m['cost_per_job']:.4f}"],
+         ["makespan", f"{record.duration_s:.1f}s"],
+         ["total cost", f"${record.cost:.4f}"]],
+        title=f"multijob: {args.mj_mix} x{args.mj_jobs} "
+              f"(seed {args.seed})"))
+    _export_json(args.json, [record])
     return 0
 
 
@@ -257,6 +303,30 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--events-out", default=None, metavar="PATH",
                        help="write the raw event log as JSONL (single "
                             "scenario only; same seed => byte-identical)")
+    mj = run_p.add_argument_group(
+        "multijob options", "apply with --workload multijob: replay a "
+        "seeded job-arrival process against one shared executor pool")
+    mj.add_argument("--mj-mix", default="sparkpi,pagerank-small",
+                    metavar="W1,W2,...",
+                    help="registry workloads cycled over arrivals")
+    mj.add_argument("--mj-jobs", type=int, default=6, metavar="N",
+                    help="number of arrivals to replay")
+    mj.add_argument("--mj-interarrival", type=float, default=45.0,
+                    metavar="SECONDS",
+                    help="mean Poisson interarrival gap")
+    mj.add_argument("--mj-pool-cores", type=int, default=8, metavar="N",
+                    help="VM executor slots in the shared pool")
+    mj.add_argument("--mj-lambda-cores", type=int, default=0, metavar="N",
+                    help="extra Lambda-backed slots (hybrid_segue pool)")
+    mj.add_argument("--mj-pool-style", choices=["vm", "hybrid_segue"],
+                    default="vm",
+                    help="spark_R_vm-style vs ss_hybrid_segue-style pool")
+    mj.add_argument("--mj-mode", choices=["fifo", "fair"], default="fair",
+                    help="scheduler-pool ordering for concurrent apps")
+    mj.add_argument("--mj-max-concurrent", type=int, default=0,
+                    metavar="N",
+                    help="admission bound on concurrent apps "
+                         "(0 = unlimited)")
 
     prof_p = sub.add_parser("profile", help="Figure 4-style sweep",
                             parents=[common])

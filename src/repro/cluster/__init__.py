@@ -1,0 +1,44 @@
+"""The long-lived cluster runtime: shared simulation plumbing, executor
+pools, and multi-application scheduling.
+
+The §5.1 scenario driver used to hand-wire a fresh Environment,
+provider, bus, meter, and a single :class:`~repro.spark.application
+.SparkDriver` per run, which made concurrent jobs unrepresentable. This
+package extracts that plumbing into a reusable stack:
+
+- :class:`~repro.cluster.runtime.ClusterRuntime` — owns the Environment,
+  RandomStreams, CloudProvider, BillingMeter, EventBus, MetricsRegistry,
+  and fault arming for one simulated cluster's lifetime;
+- :mod:`~repro.cluster.pool` — the executor-pool layer: VM-attach,
+  Lambda-attach, and segue helpers shared by every scenario, plus
+  :class:`~repro.cluster.pool.ExecutorPool`, the cluster-owned capacity
+  that concurrently running applications share;
+- :mod:`~repro.cluster.pools` — FIFO/FAIR scheduler pools with Spark's
+  minShare + weight semantics, and the pooled task scheduler that
+  re-sorts offers so shares rebalance at task grain;
+- :mod:`~repro.cluster.apps` — the admission queue turning job arrivals
+  into :class:`~repro.spark.application.SparkDriver`s on the shared
+  scheduler;
+- :mod:`~repro.cluster.multijob` — the seeded job-arrival workload
+  (Poisson arrivals of mixed jobs) reported through ``RunRecord``.
+"""
+
+from repro.cluster.apps import AppManager, ClusterApp
+from repro.cluster.pool import ExecutorPool, add_executors_on_vms
+from repro.cluster.pools import (
+    PoolConfig,
+    PooledTaskScheduler,
+    SchedulerPools,
+)
+from repro.cluster.runtime import ClusterRuntime
+
+__all__ = [
+    "AppManager",
+    "ClusterApp",
+    "ClusterRuntime",
+    "ExecutorPool",
+    "PoolConfig",
+    "PooledTaskScheduler",
+    "SchedulerPools",
+    "add_executors_on_vms",
+]

@@ -1,0 +1,192 @@
+"""Multi-application admission: queue, drivers, and per-app accounting.
+
+An arriving job becomes a :class:`ClusterApp`; the :class:`AppManager`
+admits apps FIFO into a bounded set of concurrently running
+applications, giving each its own
+:class:`~repro.spark.application.SparkDriver` (and DAG scheduler) on
+top of the cluster's *shared*
+:class:`~repro.cluster.pools.PooledTaskScheduler`. Queueing delay,
+latency, and completion events are recorded per application under the
+``cluster`` event category and ``app.<id>.*`` metric names.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Set
+
+from repro.observability.categories import (
+    CAT_CLUSTER,
+    EV_APP_ADMITTED,
+    EV_APP_COMPLETED,
+    EV_APP_FAILED,
+    EV_APP_SUBMITTED,
+)
+from repro.spark.application import SparkDriver
+from repro.spark.dag_scheduler import JobFailedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.pool import ExecutorPool
+    from repro.cluster.pools import SchedulerPools
+    from repro.cluster.runtime import ClusterRuntime
+    from repro.workloads.base import Workload
+
+
+class ClusterApp:
+    """One application: a workload instance moving through submission,
+    admission, execution on the shared pool, and completion."""
+
+    def __init__(self, app_id: str, index: int, workload: "Workload",
+                 pool: str = "default", weight: int = 1,
+                 min_share: int = 0,
+                 parallelism: Optional[int] = None) -> None:
+        self.app_id = app_id
+        #: Admission-order tiebreak for the fair comparator.
+        self.index = index
+        self.workload = workload
+        self.pool = pool
+        self.weight = weight
+        self.min_share = min_share
+        #: Degree of parallelism the job is built for (defaults to the
+        #: workload's R).
+        self.parallelism = (parallelism if parallelism is not None
+                            else workload.spec.required_cores)
+        self.submit_time: Optional[float] = None
+        self.admit_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.failed = False
+        self.failure_reason: Optional[str] = None
+        self.driver: Optional[SparkDriver] = None
+        self.job = None
+
+    @property
+    def queueing_delay_s(self) -> Optional[float]:
+        if self.submit_time is None or self.admit_time is None:
+            return None
+        return self.admit_time - self.submit_time
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submission-to-completion time (what an arrival experiences)."""
+        if self.submit_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    @property
+    def run_duration_s(self) -> Optional[float]:
+        if self.admit_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.admit_time
+
+    def busy_seconds(self) -> float:
+        """Task-occupancy seconds this app put on the pool (the basis
+        for apportioning shared-resource cost across applications)."""
+        if self.job is None:
+            return 0.0
+        total = sum(a.metrics.duration for a in self.job.task_attempts)
+        total += sum(a.metrics.duration for a in self.job.failed_attempts)
+        return total
+
+    def __repr__(self) -> str:
+        return f"<ClusterApp {self.app_id} ({self.workload.name})>"
+
+
+class AppManager:
+    """FIFO admission of applications onto one shared executor pool."""
+
+    def __init__(self, runtime: "ClusterRuntime", pool: "ExecutorPool",
+                 pools: "SchedulerPools",
+                 max_concurrent: Optional[int] = None) -> None:
+        self.runtime = runtime
+        self.pool = pool
+        self.pools = pools
+        self.max_concurrent = max_concurrent
+        self.queue: Deque[ClusterApp] = deque()
+        self.running: Set[str] = set()
+        self.finished: List[ClusterApp] = []
+        self._completion_target: Optional[int] = None
+        self._completion_event = None
+
+    # ------------------------------------------------------------------
+
+    def submit(self, app: ClusterApp) -> None:
+        """An application arrives: enqueue and admit if a slot is free."""
+        app.submit_time = self.runtime.env.now
+        self._record(EV_APP_SUBMITTED, app=app.app_id,
+                     workload=app.workload.name, pool=app.pool)
+        self.queue.append(app)
+        self._try_admit()
+
+    def _try_admit(self) -> None:
+        while self.queue and (self.max_concurrent is None
+                              or len(self.running) < self.max_concurrent):
+            self._admit(self.queue.popleft())
+
+    def _admit(self, app: ClusterApp) -> None:
+        env = self.runtime.env
+        app.admit_time = env.now
+        self.running.add(app.app_id)
+        self._record(EV_APP_ADMITTED, app=app.app_id,
+                     queued_s=app.queueing_delay_s)
+        self.runtime.metrics.histogram("cluster.queueing_delay_s").observe(
+            app.queueing_delay_s)
+        self.pools.register(app)
+        driver = SparkDriver(env, self.pool.conf, self.runtime.rng,
+                             trace=self.runtime.trace,
+                             task_scheduler=self.pool.scheduler,
+                             app_id=app.app_id)
+        driver.dag_scheduler.schedulable = app
+        app.driver = driver
+        app.job = driver.submit(app.workload.build(app.parallelism))
+        env.process(self._watch(app))
+
+    def _watch(self, app: ClusterApp):
+        try:
+            yield app.job.done
+        except JobFailedError as exc:
+            app.failed = True
+            app.failure_reason = str(exc)
+        self._on_complete(app)
+
+    def _on_complete(self, app: ClusterApp) -> None:
+        app.finish_time = self.runtime.env.now
+        self.running.discard(app.app_id)
+        self.pools.unregister(app)
+        self.finished.append(app)
+        if app.failed:
+            self._record(EV_APP_FAILED, app=app.app_id,
+                         reason=app.failure_reason)
+        else:
+            self._record(EV_APP_COMPLETED, app=app.app_id,
+                         latency_s=app.latency_s)
+        metrics = self.runtime.metrics
+        metrics.gauge(f"app.{app.app_id}.latency_s").set(app.latency_s)
+        metrics.gauge(f"app.{app.app_id}.queueing_delay_s").set(
+            app.queueing_delay_s)
+        metrics.gauge(f"app.{app.app_id}.duration_s").set(app.run_duration_s)
+        self._try_admit()
+        if (self._completion_event is not None
+                and not self._completion_event.triggered
+                and len(self.finished) >= self._completion_target):
+            self._completion_event.succeed(self)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def all_done(self) -> bool:
+        return not self.queue and not self.running
+
+    def completion_event(self, total: int):
+        """An event that fires once ``total`` applications have finished
+        (run the environment until it to drain a fixed arrival batch)."""
+        from repro.simulation.events import Event
+        self._completion_target = total
+        self._completion_event = Event(self.runtime.env)
+        if len(self.finished) >= total:
+            self._completion_event.succeed(self)
+        return self._completion_event
+
+    def _record(self, event: str, **fields) -> None:
+        if self.runtime.trace is not None:
+            self.runtime.trace.record(self.runtime.env.now, CAT_CLUSTER,
+                                      event, **fields)

@@ -1,0 +1,231 @@
+"""The executor-pool layer: one home for executor-attachment plumbing.
+
+Before this package, every scenario in ``core/scenarios.py`` carried its
+own copy of the VM-attach loop and the ``attach(env, vm=vm, take=take)``
+/ segue / Lambda-respawn closures. They live here now, shared by the
+thin scenario configurations and by :class:`ExecutorPool` — the
+cluster-owned capacity that concurrently admitted applications share
+through a :class:`~repro.cluster.pools.PooledTaskScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.cloud.instance_types import InstanceType, fewest_instances_for_cores
+from repro.spark.application import ExecutorFactory
+from repro.spark.executor import Executor, ExecutorState, HostKind
+from repro.spark.shuffle import LocalShuffleBackend
+from repro.spark.task_scheduler import SchedulerListener
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.lambda_fn import LambdaInstance
+    from repro.cloud.vm import VirtualMachine
+    from repro.cluster.pools import SchedulerPools
+    from repro.cluster.runtime import ClusterRuntime
+    from repro.spark.config import SparkConf
+    from repro.spark.shuffle import ShuffleBackend
+
+
+def add_executors_on_vms(target, vms, cores: int) -> List[Executor]:
+    """Place ``cores`` single-core executors onto the given VMs' free
+    cores. ``target`` is anything with ``add_vm_executor`` (a
+    :class:`~repro.spark.application.SparkDriver` or an
+    :class:`~repro.spark.application.ExecutorFactory`)."""
+    executors = []
+    for vm in vms:
+        while cores > 0 and vm.free_cores > 0:
+            executors.append(target.add_vm_executor(vm))
+            cores -= 1
+        if cores == 0:
+            break
+    if cores > 0:
+        raise RuntimeError(f"not enough VM capacity: {cores} cores short")
+    return executors
+
+
+def _attach_when_ready(vm: "VirtualMachine", take: int,
+                       on_ready: Callable[["VirtualMachine", int], None]):
+    yield vm.ready
+    on_ready(vm, take)
+
+
+def request_cores(runtime: "ClusterRuntime", cores: int,
+                  boot_delay: Callable[[InstanceType], float],
+                  on_ready: Callable[["VirtualMachine", int], None],
+                  vms_out: List["VirtualMachine"]) -> None:
+    """Procure VMs totalling ``cores`` and run ``on_ready(vm, take)`` as
+    each becomes usable. ``boot_delay`` is called once per instance (so
+    seeded per-VM boot jitter draws in a stable order)."""
+    remaining = cores
+    for itype in fewest_instances_for_cores(cores):
+        vm = runtime.provider.request_vm(itype,
+                                         boot_delay_s=boot_delay(itype))
+        vms_out.append(vm)
+        take = min(remaining, itype.vcpus)
+        remaining -= take
+        runtime.env.process(_attach_when_ready(vm, take, on_ready))
+
+
+def scale_out_after(runtime: "ClusterRuntime", detect_delay: Optional[float],
+                    cores: int,
+                    boot_delay: Callable[[InstanceType], float],
+                    on_ready: Callable[["VirtualMachine", int], None],
+                    vms_out: List["VirtualMachine"]) -> None:
+    """Background scale-out: after ``detect_delay`` (None = immediately
+    at process start), procure ``cores`` and attach as VMs come up.
+    Covers both the autoscaler's detect-then-procure and the segue
+    facility's procure-now shapes."""
+
+    def scale_out(env):
+        if detect_delay is not None:
+            yield env.timeout(detect_delay)
+        request_cores(runtime, cores, boot_delay, on_ready, vms_out)
+
+    runtime.env.process(scale_out(runtime.env))
+
+
+def attach_lambda_with_respawn(runtime: "ClusterRuntime", driver,
+                               fn: "LambdaInstance",
+                               lambdas: List["LambdaInstance"],
+                               job_holder: List):
+    """Qubole-style Lambda attachment: register the executor when the
+    container is up, and replace the container when the provider reaps
+    it at the lifetime cap (while the job is still running)."""
+    yield fn.ready
+    driver.add_lambda_executor(fn)
+    # Qubole's provisioner replaces containers the provider reaps at
+    # the 15-minute cap, so long jobs keep their parallelism (at the
+    # price of fresh invocations and lost in-flight tasks).
+    yield fn.expired
+    if job_holder and job_holder[0].finish_time is None:
+        from repro.cloud.lambda_fn import LambdaInvokeError
+        try:
+            replacement = runtime.provider.invoke_lambda()
+        except LambdaInvokeError:
+            return  # throttled: the job degrades to fewer executors
+        lambdas.append(replacement)
+        runtime.env.process(attach_lambda_with_respawn(
+            runtime, driver, replacement, lambdas, job_holder))
+
+
+class ExecutorPool(SchedulerListener):
+    """Cluster-owned executor capacity shared by all admitted apps.
+
+    Owns the shared :class:`~repro.cluster.pools.PooledTaskScheduler`
+    and the :class:`~repro.spark.application.ExecutorFactory` that mints
+    executors onto it, and acts as the scheduler's primary listener so
+    executor-level lifecycle events (drain completion, loss) are handled
+    by the pool rather than any one application's DAG scheduler.
+    """
+
+    def __init__(
+        self,
+        runtime: "ClusterRuntime",
+        conf: "SparkConf",
+        pools: "SchedulerPools",
+        shuffle_backend: Optional["ShuffleBackend"] = None,
+    ) -> None:
+        from repro.cluster.pools import PooledTaskScheduler
+        self.runtime = runtime
+        self.conf = conf
+        backend = (shuffle_backend if shuffle_backend is not None
+                   else LocalShuffleBackend())
+        self.scheduler = PooledTaskScheduler(
+            runtime.env, conf, runtime.rng, backend, pools,
+            trace=runtime.trace)
+        self.scheduler.listener = self
+        self.factory = ExecutorFactory(
+            runtime.env, conf, runtime.rng, self.scheduler,
+            trace=runtime.trace, id_prefix="pool:")
+        #: Pre-provisioned instances and the cores the pool uses on each
+        #: (billed as a per-core share at settlement).
+        self.shared_vms: List["VirtualMachine"] = []
+        self._shared_cores: Dict[str, int] = {}
+        #: Instances procured *by* the pool (segue targets), billed
+        #: whole from readiness.
+        self.dedicated_vms: List["VirtualMachine"] = []
+        #: Live Lambda containers backing pool executors.
+        self.lambdas: List["LambdaInstance"] = []
+        self.failed_invocations = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    def provision_vm_cores(self, cores: int, itype_name: str) -> None:
+        """Stand up ``cores`` executors on pre-provisioned VMs."""
+        vms = self.runtime.provision_worker_cores(cores, itype_name)
+        self.shared_vms.extend(vms)
+        remaining = cores
+        for vm in vms:
+            take = min(remaining, vm.itype.vcpus)
+            self._shared_cores[vm.name] = (
+                self._shared_cores.get(vm.name, 0) + take)
+            remaining -= take
+        add_executors_on_vms(self.factory, vms, cores)
+
+    def invoke_lambda_executors(self, count: int) -> None:
+        """Invoke ``count`` Lambda containers; each registers an
+        executor when warm. Throttled invocations are counted and the
+        slot is dropped (the pool degrades to fewer executors)."""
+        from repro.cloud.lambda_fn import LambdaInvokeError
+        for _ in range(count):
+            try:
+                fn = self.runtime.provider.invoke_lambda()
+            except LambdaInvokeError:
+                self.failed_invocations += 1
+                continue
+            self.lambdas.append(fn)
+            self.runtime.env.process(self._attach_lambda(fn))
+
+    def _attach_lambda(self, fn: "LambdaInstance"):
+        yield fn.ready
+        self.factory.add_lambda_executor(fn)
+
+    def segue_to_vms(self, cores: int, boot_delay_s: float) -> None:
+        """Procure ``cores`` of VM capacity in the background; as each
+        VM becomes ready, move that many slots off Lambdas: add VM
+        executors and gracefully drain the oldest Lambda executors."""
+        scale_out_after(self.runtime, None, cores,
+                        lambda itype: boot_delay_s, self._segue_ready,
+                        self.dedicated_vms)
+
+    def _segue_ready(self, vm: "VirtualMachine", take: int) -> None:
+        add_executors_on_vms(self.factory, [vm], take)
+        drained = 0
+        for executor in list(self.scheduler.executors.values()):
+            if drained == take:
+                break
+            if (executor.kind is HostKind.LAMBDA
+                    and executor.state is ExecutorState.REGISTERED):
+                self.scheduler.decommission_executor(executor, graceful=True)
+                drained += 1
+
+    # ------------------------------------------------------------------
+    # SchedulerListener (primary, executor-level callbacks)
+    # ------------------------------------------------------------------
+
+    def on_executor_drained(self, executor: Executor) -> None:
+        instance = getattr(executor, "lambda_instance", None)
+        if instance is not None and instance.finish_time is None:
+            self.runtime.provider.release_lambda(instance)
+            self.runtime.provider.bill_lambda_usage(instance)
+
+    # ------------------------------------------------------------------
+    # Settlement
+    # ------------------------------------------------------------------
+
+    def settle(self, end: float) -> None:
+        """Marginal-cost billing at end of run: shared instances at
+        their per-core share, pool-procured instances whole from
+        readiness, surviving Lambda containers released and billed."""
+        for vm in self.shared_vms:
+            self.runtime.bill_shared_cores(
+                vm, self._shared_cores.get(vm.name, 0), 0.0, end)
+        for vm in self.dedicated_vms:
+            self.runtime.bill_dedicated_vm(vm, end)
+        for fn in self.lambdas:
+            if fn.finish_time is None:
+                self.runtime.provider.release_lambda(fn)
+                self.runtime.provider.bill_lambda_usage(fn)

@@ -1,0 +1,182 @@
+"""FIFO/FAIR scheduler pools over a shared task scheduler.
+
+Mirrors Spark's fair scheduler (``FairSchedulingAlgorithm`` /
+``FIFOSchedulingAlgorithm``) at the level that matters for slot sharing:
+
+- the root level is FAIR across named pools, each with a ``weight`` and
+  ``min_share`` (a pool below its minimum share is *needy* and always
+  sorts ahead of satisfied pools);
+- within a pool, applications are ordered FIFO (admission order) or
+  FAIR (per-application minShare + weight);
+- within an application, task sets keep submission (stage) order.
+
+:class:`PooledTaskScheduler` plugs this ordering into the base
+:class:`~repro.spark.task_scheduler.TaskScheduler` via its
+``_schedulable_tasksets`` hook and turns on per-launch re-sorting, so
+running-task counts feed back into the ordering after every single
+launch — shares rebalance at task grain, which is what makes the
+starvation guarantee (a needy pool eventually schedules under a
+saturating competitor) hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.spark.task_scheduler import TaskScheduler, TaskSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Environment
+    from repro.simulation.rng import RandomStreams
+    from repro.simulation.tracing import TraceRecorder
+    from repro.spark.config import SparkConf
+    from repro.spark.shuffle import ShuffleBackend
+
+FIFO = "fifo"
+FAIR = "fair"
+POOL_MODES = (FIFO, FAIR)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """One named scheduler pool (Spark's ``fairscheduler.xml`` entry)."""
+
+    name: str
+    #: Ordering of the applications inside this pool.
+    mode: str = FAIR
+    #: Relative share of executor slots versus sibling pools.
+    weight: int = 1
+    #: Slots this pool is entitled to before weights apply at all.
+    min_share: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in POOL_MODES:
+            raise ValueError(f"pool mode must be one of {POOL_MODES}, "
+                             f"got {self.mode!r}")
+        if self.weight <= 0:
+            raise ValueError("pool weight must be positive")
+        if self.min_share < 0:
+            raise ValueError("pool min_share cannot be negative")
+
+
+def fair_sort_key(running: int, min_share: int, weight: int,
+                  tiebreak: Tuple) -> Tuple:
+    """Spark's fair comparator as a stable sort key.
+
+    A schedulable below its minimum share is needy and precedes every
+    satisfied one; needy entries compare by ``running / minShare``
+    (closest to starvation first), satisfied ones by ``running / weight``
+    (furthest below their weighted share first); ties break on the
+    deterministic ``tiebreak`` tuple.
+    """
+    needy = running < min_share
+    if needy:
+        ratio = running / max(min_share, 1)
+    else:
+        ratio = running / max(weight, 1)
+    return (0 if needy else 1, ratio, tiebreak)
+
+
+class SchedulerPools:
+    """The pool tree: named pools, each holding admitted applications."""
+
+    def __init__(self, pools: Iterable[PoolConfig]) -> None:
+        self.pools: Dict[str, PoolConfig] = {}
+        for pool in pools:
+            if pool.name in self.pools:
+                raise ValueError(f"duplicate pool name {pool.name!r}")
+            self.pools[pool.name] = pool
+        if not self.pools:
+            raise ValueError("at least one pool is required")
+        #: pool name -> applications in admission order.
+        self._apps: Dict[str, List[object]] = {
+            name: [] for name in self.pools}
+
+    def register(self, app) -> None:
+        """Place an admitted application (``app.pool`` names the pool)."""
+        pool = getattr(app, "pool", None)
+        if pool not in self.pools:
+            raise ValueError(
+                f"unknown pool {pool!r} for app "
+                f"{getattr(app, 'app_id', app)!r}; "
+                f"known: {sorted(self.pools)}")
+        self._apps[pool].append(app)
+
+    def unregister(self, app) -> None:
+        """Drop a finished application from its pool."""
+        apps = self._apps.get(getattr(app, "pool", None))
+        if apps is not None and app in apps:
+            apps.remove(app)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _running_tasks(tasksets: List[TaskSet]) -> int:
+        # Speculative copies occupy executor slots too, so they count
+        # toward an application's share exactly like primary attempts.
+        return sum(len(ts.running) + len(ts.speculative) for ts in tasksets)
+
+    def ordered_tasksets(self, tasksets: List[TaskSet]) -> List[TaskSet]:
+        """All live task sets, in cross-pool offer order.
+
+        Task sets without a schedulable handle (direct submissions to
+        the shared scheduler, e.g. from tests) keep strict FIFO order
+        ahead of the pools, preserving base-scheduler behaviour.
+        """
+        orphans: List[TaskSet] = []
+        by_app: Dict[int, List[TaskSet]] = {}
+        apps_by_id: Dict[int, object] = {}
+        for ts in tasksets:
+            app = ts.schedulable
+            if app is None:
+                orphans.append(ts)
+            else:
+                by_app.setdefault(id(app), []).append(ts)
+                apps_by_id[id(app)] = app
+
+        running = {app_id: self._running_tasks(sets)
+                   for app_id, sets in by_app.items()}
+
+        def pool_members(name: str) -> List[object]:
+            return [app for app in self._apps[name] if id(app) in by_app]
+
+        def pool_key(pool: PoolConfig) -> Tuple:
+            pool_running = sum(running[id(app)]
+                               for app in pool_members(pool.name))
+            return fair_sort_key(pool_running, pool.min_share, pool.weight,
+                                 (pool.name,))
+
+        ordered = list(orphans)
+        active_pools = [pool for pool in self.pools.values()
+                        if pool_members(pool.name)]
+        for pool in sorted(active_pools, key=pool_key):
+            members = pool_members(pool.name)
+            if pool.mode == FAIR:
+                members = sorted(members, key=lambda app: fair_sort_key(
+                    running[id(app)], app.min_share, app.weight,
+                    (app.app_id, app.index)))
+            for app in members:
+                ordered.extend(by_app[id(app)])
+        return ordered
+
+
+class PooledTaskScheduler(TaskScheduler):
+    """A task scheduler shared by many drivers, offering slots in pool
+    order and re-sorting after every launch so shares stay balanced."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        conf: "SparkConf",
+        rng: "RandomStreams",
+        shuffle_backend: "ShuffleBackend",
+        pools: SchedulerPools,
+        trace: Optional["TraceRecorder"] = None,
+    ) -> None:
+        super().__init__(env, conf, rng, shuffle_backend, trace=trace)
+        self.scheduler_pools = pools
+        self._resort_each_launch = True
+
+    def _schedulable_tasksets(self) -> List[TaskSet]:
+        return self.scheduler_pools.ordered_tasksets(self.tasksets)

@@ -1,4 +1,4 @@
-"""The eight evaluation scenarios of §5.1, as one driver.
+"""The eight evaluation scenarios of §5.1, as thin cluster configurations.
 
 Every scenario runs a workload's job (always *sized* for R cores) under a
 different resource condition and records execution time plus the marginal
@@ -16,6 +16,14 @@ dollar cost of the resources involved:
 ``ss_hybrid_segue``       same, plus segue to VM cores once they are ready
 ========================  =====================================================
 
+The shared plumbing — environment, seeded streams, provider, meter,
+event bus, fault arming — lives in
+:class:`~repro.cluster.runtime.ClusterRuntime`, and the executor
+attachment shapes (VM attach loops, background scale-out, Lambda
+respawn) in :mod:`repro.cluster.pool`. Each ``_scenario`` function below
+is only the configuration that distinguishes it: which shuffle backend,
+which capacity, and which billing lines.
+
 Marginal-cost accounting follows §5.1 ("we only report the cost incurred
 towards the job in question"): pre-provisioned cluster cores are billed
 at their per-core share for the job's duration; VMs procured *for* the
@@ -27,25 +35,25 @@ across scenarios, and is not billed.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
-from repro.cloud.instance_types import fewest_instances_for_cores, instance_type
-from repro.cloud.pricing import BillingMeter
-from repro.cloud.provisioner import CloudProvider
+from repro.cluster.pool import (
+    add_executors_on_vms,
+    attach_lambda_with_respawn,
+    scale_out_after,
+)
+from repro.cluster.runtime import ClusterRuntime
 from repro.core.splitserve import SplitServe
-from repro.observability.bus import EventBus
-from repro.observability.instrumentation import MetricsListener, attribute_costs
-from repro.observability.metrics import MetricsRegistry
+from repro.observability.instrumentation import attribute_costs
 from repro.observability.stage_metrics import dotted_stage_metrics
-from repro.simulation import Environment, RandomStreams, TraceRecorder
-from repro.simulation.faults import FaultPlan, FaultsInput
+from repro.simulation import TraceRecorder
+from repro.simulation.faults import FaultsInput
 from repro.spark.application import JobResult, SparkDriver
 from repro.spark.config import SparkConf
 from repro.spark.dag_scheduler import JobFailedError
 from repro.spark.shuffle import LocalShuffleBackend, QuboleS3ShuffleBackend
-from repro.storage import HDFS, S3
+from repro.storage import S3
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
@@ -64,7 +72,8 @@ SCENARIO_NAMES = [
 ]
 
 #: Human-readable labels matching the paper's figures (R and r filled in
-#: per workload when rendering).
+#: per workload when rendering; d is the Lambda delta the run *used*,
+#: which can fall short of R − r under invoke throttling).
 SCENARIO_LABELS = {
     "spark_r_vm": "Spark {r} VM",
     "spark_R_vm": "Spark {R} VM",
@@ -107,6 +116,10 @@ class ScenarioResult:
     seed: int = 0
     #: The spec this result came from, when run through the new API.
     experiment: Optional["ExperimentSpec"] = None
+    #: Lambda executors the launch actually assembled (``ss_*`` runs
+    #: only); feeds the ``{d}`` label slot, which can differ from
+    #: R − r when invocations were throttled or degraded to VM cores.
+    lambda_cores_used: Optional[int] = None
     #: Recovery accounting (wasted work, rollback recompute, time to
     #: recovery, degradation counters) — populated only for runs armed
     #: with a fault plan, so clean records stay bit-identical.
@@ -117,9 +130,10 @@ class ScenarioResult:
     telemetry: Dict[str, float] = field(default_factory=dict)
 
     def label(self, spec) -> str:
+        delta = (self.lambda_cores_used if self.lambda_cores_used is not None
+                 else spec.shortfall_cores)
         return SCENARIO_LABELS[self.scenario].format(
-            R=spec.required_cores, r=spec.available_cores,
-            d=spec.shortfall_cores)
+            R=spec.required_cores, r=spec.available_cores, d=delta)
 
     def to_record(self, spec: Optional["ExperimentSpec"] = None,
                   wall_time_s: float = 0.0) -> "RunRecord":
@@ -129,7 +143,7 @@ class ScenarioResult:
         if spec is None:
             spec = self.experiment
         if spec is None:
-            # Legacy path: synthesize a spec from what we know. The
+            # Standalone path: synthesize a spec from what we know. The
             # workload label may not be a registry name, so the spec is
             # descriptive rather than guaranteed re-runnable.
             spec = ExperimentSpec(workload=self.workload,
@@ -172,84 +186,7 @@ class ScenarioResult:
         return self.to_record().to_dict()
 
 
-class _Runtime:
-    """Shared plumbing for one scenario execution."""
-
-    def __init__(self, seed: int, trace_enabled: bool,
-                 faults: FaultsInput = ()) -> None:
-        self.env = Environment()
-        self.rng = RandomStreams(seed)
-        #: Raw record store — one bus subscriber among others.
-        self.recorder = TraceRecorder(enabled=trace_enabled)
-        self.metrics = MetricsRegistry()
-        self.listener = MetricsListener(self.metrics)
-        #: What every component receives as its ``trace=``: same
-        #: ``record()`` signature, fanned out to all subscribers.
-        self.bus = EventBus()
-        self.bus.subscribe(self.recorder)
-        self.bus.subscribe(self.listener)
-        self.trace = self.bus
-        self.meter = BillingMeter()
-        self.provider = CloudProvider(self.env, self.rng, trace=self.bus,
-                                      meter=self.meter,
-                                      metrics=self.metrics)
-        self.fault_plan = FaultPlan.coerce(faults)
-        self.injector = None
-        self.recovery = None
-
-    def arm_faults(self, driver, storages=()) -> None:
-        """Wire the run's fault plan (if any) into the freshly built
-        driver/provider/storage stack, plus recovery accounting."""
-        if not self.fault_plan:
-            return
-        from repro.simulation.faults import FaultInjector, RecoveryAccounting
-        self.recovery = RecoveryAccounting(self.env, trace=self.trace)
-        driver.task_scheduler.observers.append(self.recovery)
-        self.injector = FaultInjector(self.env, self.rng, self.fault_plan,
-                                      trace=self.trace)
-        self.injector.attach(scheduler=driver.task_scheduler,
-                             provider=self.provider, storages=storages)
-
-    def provision_worker_cores(self, cores: int, itype_name: str) -> List:
-        """Pre-provisioned (already running) capacity holding ``cores``."""
-        vms = []
-        remaining = cores
-        itype = instance_type(itype_name)
-        while remaining > 0:
-            vm = self.provider.request_vm(itype, already_running=True)
-            vms.append(vm)
-            remaining -= itype.vcpus
-        return vms
-
-    def bill_shared_cores(self, vm, cores_used: int, start: float,
-                          end: float) -> None:
-        """Bill a job's share of a pre-provisioned instance."""
-        if cores_used <= 0:
-            return
-        fraction = min(1.0, cores_used / vm.itype.vcpus)
-        self.meter.bill_vm(vm.name, vm.itype, start, end, fraction)
-
-    def bill_dedicated_vm(self, vm, end: float) -> None:
-        """Bill a VM procured for this job, from readiness to job end."""
-        if vm.running_time is None:
-            return  # never became ready before the job finished
-        self.meter.bill_vm(vm.name, vm.itype, vm.running_time, end)
-
-
-def _add_executors_on_vms(driver: SparkDriver, vms, cores: int) -> List:
-    executors = []
-    for vm in vms:
-        while cores > 0 and vm.free_cores > 0:
-            executors.append(driver.add_vm_executor(vm))
-            cores -= 1
-        if cores == 0:
-            break
-    if cores > 0:
-        raise RuntimeError(f"not enough VM capacity: {cores} cores short")
-    return executors
-
-
-def _finish(runtime: _Runtime, job, scenario: str, workload: Workload,
+def _finish(runtime: ClusterRuntime, job, scenario: str, workload: Workload,
             keep_trace: bool) -> ScenarioResult:
     failed = job.failed
     runtime.listener.finalize(runtime.env.now)
@@ -275,7 +212,7 @@ def _finish(runtime: _Runtime, job, scenario: str, workload: Workload,
     return result
 
 
-def _run_until_done(runtime: _Runtime, job) -> None:
+def _run_until_done(runtime: ClusterRuntime, job) -> None:
     try:
         runtime.env.run(until=job.done)
     except JobFailedError:
@@ -286,38 +223,25 @@ def _run_until_done(runtime: _Runtime, job) -> None:
 # Vanilla Spark scenarios
 # ---------------------------------------------------------------------------
 
-def _vanilla(workload: Workload, runtime: _Runtime, cores: int,
+def _vanilla(workload: Workload, runtime: ClusterRuntime, cores: int,
              autoscale: bool, scenario: str, keep_trace: bool,
              conf: SparkConf) -> ScenarioResult:
     spec = workload.spec
     driver = SparkDriver(runtime.env, conf, runtime.rng,
                          LocalShuffleBackend(), trace=runtime.trace)
     vms = runtime.provision_worker_cores(cores, spec.worker_itype)
-    _add_executors_on_vms(driver, vms, cores)
+    add_executors_on_vms(driver, vms, cores)
     runtime.arm_faults(driver)
 
-    new_vms = []
+    new_vms: List = []
     if autoscale:
-        delta = spec.shortfall_cores
-
-        def scale_out(env):
-            yield env.timeout(AUTOSCALE_DETECT_S)
-            remaining = delta
-            for itype in fewest_instances_for_cores(delta):
-                vm = runtime.provider.request_vm(
-                    itype, boot_delay_s=runtime.rng.lognormal_around(
-                        "autoscale.boot", spec.vm_ready_delay_s, 0.1))
-                new_vms.append(vm)
-                take = min(remaining, itype.vcpus)
-                remaining -= take
-
-                def attach(env, vm=vm, take=take):
-                    yield vm.ready
-                    _add_executors_on_vms(driver, [vm], take)
-
-                env.process(attach(env))
-
-        runtime.env.process(scale_out(runtime.env))
+        scale_out_after(
+            runtime, AUTOSCALE_DETECT_S, spec.shortfall_cores,
+            boot_delay=lambda itype: runtime.rng.lognormal_around(
+                "autoscale.boot", spec.vm_ready_delay_s, 0.1),
+            on_ready=lambda vm, take: add_executors_on_vms(
+                driver, [vm], take),
+            vms_out=new_vms)
 
     job = driver.submit(workload.build(spec.required_cores))
     _run_until_done(runtime, job)
@@ -333,7 +257,7 @@ def _vanilla(workload: Workload, runtime: _Runtime, cores: int,
 # Qubole Spark-on-Lambda
 # ---------------------------------------------------------------------------
 
-def _qubole(workload: Workload, runtime: _Runtime, scenario: str,
+def _qubole(workload: Workload, runtime: ClusterRuntime, scenario: str,
             keep_trace: bool, conf: SparkConf) -> ScenarioResult:
     spec = workload.spec
     if not spec.qubole_supported:
@@ -358,29 +282,13 @@ def _qubole(workload: Workload, runtime: _Runtime, scenario: str,
     driver.task_scheduler.input_reader = read_from_s3
     runtime.arm_faults(driver, storages=[s3])
 
-    lambdas = []
-    job_holder = []
-
-    def attach(env, fn):
-        yield fn.ready
-        driver.add_lambda_executor(fn)
-        # Qubole's provisioner replaces containers the provider reaps at
-        # the 15-minute cap, so long jobs keep their parallelism (at the
-        # price of fresh invocations and lost in-flight tasks).
-        yield fn.expired
-        if job_holder and job_holder[0].finish_time is None:
-            from repro.cloud.lambda_fn import LambdaInvokeError
-            try:
-                replacement = runtime.provider.invoke_lambda()
-            except LambdaInvokeError:
-                return  # throttled: the job degrades to fewer executors
-            lambdas.append(replacement)
-            env.process(attach(env, replacement))
-
+    lambdas: List = []
+    job_holder: List = []
     for fn in [runtime.provider.invoke_lambda()
                for _ in range(spec.required_cores)]:
         lambdas.append(fn)
-        runtime.env.process(attach(runtime.env, fn))
+        runtime.env.process(attach_lambda_with_respawn(
+            runtime, driver, fn, lambdas, job_holder))
 
     job = driver.submit(workload.build(spec.required_cores))
     job_holder.append(job)
@@ -395,7 +303,7 @@ def _qubole(workload: Workload, runtime: _Runtime, scenario: str,
 # SplitServe scenarios
 # ---------------------------------------------------------------------------
 
-def _splitserve(workload: Workload, runtime: _Runtime, vm_cores: int,
+def _splitserve(workload: Workload, runtime: ClusterRuntime, vm_cores: int,
                 segue: bool, scenario: str, keep_trace: bool,
                 conf: SparkConf,
                 segue_at_s: Optional[float]) -> ScenarioResult:
@@ -426,32 +334,18 @@ def _splitserve(workload: Workload, runtime: _Runtime, vm_cores: int,
                         expected_duration_s=spec.slo_seconds,
                         segue=False)
 
-    segue_vms = []
+    segue_vms: List = []
     if segue and spec.shortfall_cores > 0:
         delay = segue_at_s
         if delay is None:
             delay = spec.segue_available_s
         if delay is None:
             delay = spec.vm_ready_delay_s
-        delta = spec.shortfall_cores
-
-        def run_segue(env):
-            remaining = delta
-            for itype in fewest_instances_for_cores(delta):
-                vm = runtime.provider.request_vm(itype, boot_delay_s=delay)
-                segue_vms.append(vm)
-                take = min(remaining, itype.vcpus)
-                remaining -= take
-
-                def attach(env, vm=vm, take=take):
-                    yield vm.ready
-                    ss.segueing.segue_to_vm(vm, take)
-
-                env.process(attach(env))
-            return
-            yield  # pragma: no cover
-
-        runtime.env.process(run_segue(runtime.env))
+        scale_out_after(
+            runtime, None, spec.shortfall_cores,
+            boot_delay=lambda itype, delay=delay: delay,
+            on_ready=lambda vm, take: ss.segueing.segue_to_vm(vm, take),
+            vms_out=segue_vms)
 
     _run_until_done(runtime, run.job)
     ss.finish_run(run)
@@ -468,6 +362,7 @@ def _splitserve(workload: Workload, runtime: _Runtime, vm_cores: int,
     for executor in run.launch.fallback_vm_executors:
         runtime.bill_shared_cores(executor.vm, 1, 0.0, end)
     result = _finish(runtime, run.job, scenario, workload, keep_trace)
+    result.lambda_cores_used = run.launch.lambda_cores
     if runtime.recovery is not None:
         result.recovery["lambda_fallback_cores"] = run.launch.fallback_cores
         result.recovery["failed_lambda_invocations"] = (
@@ -487,7 +382,7 @@ def _run_scenario_impl(workload: Workload, scenario: str, seed: int,
     if scenario not in SCENARIO_NAMES:
         raise ValueError(f"unknown scenario {scenario!r}; "
                          f"known: {SCENARIO_NAMES}")
-    runtime = _Runtime(seed, trace_enabled=keep_trace, faults=faults)
+    runtime = ClusterRuntime(seed, trace_enabled=keep_trace, faults=faults)
     conf = conf if conf is not None else SparkConf()
     spec = workload.spec
     if scenario == "spark_r_vm":
@@ -519,49 +414,41 @@ def _run_scenario_impl(workload: Workload, scenario: str, seed: int,
     return result
 
 
-def run_scenario(workload: Union[Workload, "ExperimentSpec"],
-                 scenario: Optional[str] = None, seed: int = 0,
-                 keep_trace: bool = False,
-                 conf: Optional[SparkConf] = None,
-                 segue_at_s: Optional[float] = None) -> ScenarioResult:
+def run_scenario(spec: "ExperimentSpec",
+                 keep_trace: bool = False) -> ScenarioResult:
     """Execute one scenario run and return its result.
 
-    The canonical form takes a single
-    :class:`~repro.experiments.spec.ExperimentSpec`::
+    Takes a single :class:`~repro.experiments.spec.ExperimentSpec`::
 
         run_scenario(ExperimentSpec("kmeans", "ss_R_la", seed=3))
 
-    The legacy ``run_scenario(workload_obj, scenario_name, ...)`` form
-    still works but is deprecated; it cannot always be mapped back to a
-    registry spec (arbitrary workload instances), so it runs directly.
+    ``keep_trace`` retains the run's :class:`TraceRecorder` on the
+    result (a runtime concern, so not part of the spec).
+
+    The old ``run_scenario(workload_obj, scenario_name, ...)`` keyword
+    form has been removed; build a spec (workloads by registry name,
+    parameters via ``workload_params``) or call
+    :func:`run_all_scenarios` for ad-hoc workload instances.
     """
     from repro.experiments.spec import ExperimentSpec
-    if isinstance(workload, ExperimentSpec):
-        spec = workload
-        if scenario is not None:
-            raise TypeError("scenario is implied by the spec; "
-                            "do not pass it separately")
-        result = _run_scenario_impl(spec.make_workload(), spec.scenario,
-                                    spec.seed, keep_trace, spec.conf(),
-                                    spec.segue_at_s, faults=spec.faults)
-        result.experiment = spec
-        return result
-    if scenario is None:
-        raise TypeError("run_scenario(workload, scenario, ...) requires "
-                        "a scenario name")
-    warnings.warn(
-        "run_scenario(workload, scenario, ...) is deprecated; build an "
-        "ExperimentSpec and call run_scenario(spec) (or use "
-        "repro.experiments.ExperimentRunner)",
-        DeprecationWarning, stacklevel=2)
-    return _run_scenario_impl(workload, scenario, seed, keep_trace, conf,
-                              segue_at_s)
+    if not isinstance(spec, ExperimentSpec):
+        raise TypeError(
+            "run_scenario takes an ExperimentSpec, e.g. "
+            "run_scenario(ExperimentSpec('kmeans', 'ss_R_la', seed=3)); "
+            f"got {type(spec).__name__}")
+    result = _run_scenario_impl(spec.make_workload(), spec.scenario,
+                                spec.seed, keep_trace=keep_trace,
+                                conf=spec.conf(),
+                                segue_at_s=spec.segue_at_s,
+                                faults=spec.faults)
+    result.experiment = spec
+    return result
 
 
 def run_all_scenarios(workload: Workload, seed: int = 0,
                       scenarios: Optional[List[str]] = None,
                       **kwargs) -> Dict[str, ScenarioResult]:
-    """Run every (or the given) scenario for one workload."""
+    """Run every (or the given) scenario for one workload instance."""
     names = scenarios if scenarios is not None else SCENARIO_NAMES
     return {name: _run_scenario_impl(workload, name, seed,
                                      kwargs.get("keep_trace", False),

@@ -27,6 +27,7 @@ from repro.experiments.cache import ResultCache, cache_enabled
 from repro.experiments.records import RunRecord
 from repro.experiments.spec import (
     CUSTOM_PREFIX,
+    MULTIJOB_SCENARIO,
     PROFILE_SCENARIOS,
     STREAM_SCENARIO,
     ExperimentSpec,
@@ -64,6 +65,9 @@ def _dispatch(spec: ExperimentSpec) -> RunRecord:
                      "executor_kind": point.executor_kind})
     if scenario == STREAM_SCENARIO:
         return _run_stream(spec)
+    if scenario == MULTIJOB_SCENARIO:
+        from repro.cluster.multijob import run_multijob
+        return run_multijob(spec)
     if scenario.startswith(CUSTOM_PREFIX):
         module_name, func_name = scenario[len(CUSTOM_PREFIX):].split(":")
         fn = getattr(importlib.import_module(module_name), func_name)

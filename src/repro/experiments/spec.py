@@ -35,6 +35,9 @@ from repro.simulation.faults import FaultSpec
 PROFILE_SCENARIOS = ("profile_lambda", "profile_vm")
 #: Scenario name handled by :class:`repro.core.stream.JobStreamSimulator`.
 STREAM_SCENARIO = "stream"
+#: Scenario name handled by :mod:`repro.cluster.multijob` (job-arrival
+#: replay against a shared executor pool; parameters in ``extra``).
+MULTIJOB_SCENARIO = "multijob"
 #: Prefix for ``custom:<module>:<function>`` scenario references.
 CUSTOM_PREFIX = "custom:"
 
@@ -111,7 +114,8 @@ class ExperimentSpec:
 
     def _validate_scenario(self) -> None:
         name = self.scenario
-        if name in PROFILE_SCENARIOS or name == STREAM_SCENARIO:
+        if (name in PROFILE_SCENARIOS or name == STREAM_SCENARIO
+                or name == MULTIJOB_SCENARIO):
             return
         if name.startswith(CUSTOM_PREFIX):
             parts = name[len(CUSTOM_PREFIX):].split(":")
@@ -124,6 +128,7 @@ class ExperimentSpec:
         from repro.core.scenarios import SCENARIO_NAMES
         if name not in SCENARIO_NAMES:
             known = [*SCENARIO_NAMES, *PROFILE_SCENARIOS, STREAM_SCENARIO,
+                     MULTIJOB_SCENARIO,
                      CUSTOM_PREFIX + "<module>:<function>"]
             raise ValueError(f"unknown scenario {name!r}; known: {known}")
 

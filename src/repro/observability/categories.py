@@ -31,6 +31,7 @@ CAT_VM = "vm"                  # repro.cloud.vm / repro.cloud.spot
 CAT_FAULT = "fault"            # repro.simulation.faults
 CAT_LAUNCHING = "launching"    # repro.core.launching.LaunchingFacility
 CAT_SEGUE = "segue"            # repro.core.segue.SegueingFacility
+CAT_CLUSTER = "cluster"        # repro.cluster.apps.AppManager
 
 # ---------------------------------------------------------------------------
 # Event names, grouped by category
@@ -98,6 +99,12 @@ EV_SLOT_UNFILLED = "slot_unfilled"
 EV_SEGUE_TRIGGERED = "triggered"
 EV_SEGUE_VMS_REQUESTED = "vms_requested"
 
+# cluster (multi-application admission)
+EV_APP_SUBMITTED = "app_submitted"
+EV_APP_ADMITTED = "app_admitted"
+EV_APP_COMPLETED = "app_completed"
+EV_APP_FAILED = "app_failed"
+
 
 #: category -> the event names it may emit. ``validate_event`` enforces
 #: membership; the EventBus checks every published record against this.
@@ -136,6 +143,9 @@ EVENTS: Dict[str, FrozenSet[str]] = {
     }),
     CAT_SEGUE: frozenset({
         EV_SEGUE_TRIGGERED, EV_SEGUE_VMS_REQUESTED,
+    }),
+    CAT_CLUSTER: frozenset({
+        EV_APP_SUBMITTED, EV_APP_ADMITTED, EV_APP_COMPLETED, EV_APP_FAILED,
     }),
 }
 

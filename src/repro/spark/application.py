@@ -54,7 +54,7 @@ class JobResult:
         finished = [a for a in job.task_attempts]
         by_kind: Dict[str, int] = {}
         for attempt in finished:
-            kind = "lambda" if attempt.executor_id.startswith("la-") else "vm"
+            kind = "lambda" if "la-exec" in attempt.executor_id else "vm"
             by_kind[kind] = by_kind.get(kind, 0) + 1
         return cls(
             duration=job.duration if job.duration is not None else float("nan"),
@@ -82,30 +82,34 @@ class JobResult:
         )
 
 
-class SparkDriver:
-    """The master: creates executors, submits jobs, tracks results."""
+class ExecutorFactory:
+    """Creates executors and registers them with a task scheduler.
+
+    Extracted from :class:`SparkDriver` so a cluster-level executor pool
+    (many drivers sharing one :class:`TaskScheduler`) can mint executors
+    with the same lifecycle watchers — and unique ids — without going
+    through any one application's driver. ``id_prefix`` namespaces the
+    executor ids (empty for the single-driver case, preserving the
+    historical ``vm-exec-N`` / ``la-exec-N`` names).
+    """
 
     def __init__(
         self,
         env: "Environment",
         conf: SparkConf,
         rng: "RandomStreams",
-        shuffle_backend: ShuffleBackend,
+        scheduler: TaskScheduler,
         trace: Optional["TraceRecorder"] = None,
+        id_prefix: str = "",
     ) -> None:
         self.env = env
         self.conf = conf
         self.rng = rng
+        self.scheduler = scheduler
         self.trace = trace
-        self.task_scheduler = TaskScheduler(
-            env, conf, rng, shuffle_backend, trace=trace)
-        self.dag_scheduler = DAGScheduler(env, self.task_scheduler, trace=trace)
+        self.id_prefix = id_prefix
         self._vm_exec_ids = itertools.count()
         self._lambda_exec_ids = itertools.count()
-
-    # ------------------------------------------------------------------
-    # Executor management
-    # ------------------------------------------------------------------
 
     def add_vm_executor(self, vm: "VirtualMachine",
                         memory_bytes: Optional[float] = None,
@@ -121,17 +125,18 @@ class SparkDriver:
         if memory_bytes is None:
             memory_bytes = vm.itype.memory_bytes / vm.itype.vcpus * cores
         executor = Executor(
-            self.env, f"vm-exec-{next(self._vm_exec_ids)}", HostKind.VM,
-            self.conf, self.rng, vm=vm, memory_bytes=memory_bytes,
-            trace=self.trace, cores=cores)
-        self.task_scheduler.register_executor(executor)
+            self.env,
+            f"{self.id_prefix}vm-exec-{next(self._vm_exec_ids)}",
+            HostKind.VM, self.conf, self.rng, vm=vm,
+            memory_bytes=memory_bytes, trace=self.trace, cores=cores)
+        self.scheduler.register_executor(executor)
         self.env.process(self._watch_vm_stop(executor, vm))
         return executor
 
     def _watch_vm_stop(self, executor: Executor, vm: "VirtualMachine"):
         yield vm.stopped
-        if executor.executor_id in self.task_scheduler.executors:
-            self.task_scheduler.decommission_executor(
+        if executor.executor_id in self.scheduler.executors:
+            self.scheduler.decommission_executor(
                 executor, graceful=False, reason="vm terminated")
 
     def add_lambda_executor(self, instance: "LambdaInstance") -> Executor:
@@ -142,21 +147,82 @@ class SparkDriver:
         dies — exactly the §3 limitation segueing pre-empts).
         """
         executor = Executor(
-            self.env, f"la-exec-{next(self._lambda_exec_ids)}",
+            self.env,
+            f"{self.id_prefix}la-exec-{next(self._lambda_exec_ids)}",
             HostKind.LAMBDA, self.conf, self.rng, lambda_instance=instance,
             trace=self.trace)
-        self.task_scheduler.register_executor(executor)
+        self.scheduler.register_executor(executor)
         self.env.process(self._watch_lambda_expiry(executor, instance))
         return executor
 
     def _watch_lambda_expiry(self, executor: Executor,
                              instance: "LambdaInstance"):
         yield instance.expired
-        if executor.executor_id in self.task_scheduler.executors:
+        if executor.executor_id in self.scheduler.executors:
             # The shared constant keeps this reap non-culpable: the
             # executor's Interrupt handler exempts it from tasks_failed.
-            self.task_scheduler.decommission_executor(
+            self.scheduler.decommission_executor(
                 executor, graceful=False, reason=LAMBDA_EXPIRY_REASON)
+
+
+class SparkDriver:
+    """The master: creates executors, submits jobs, tracks results.
+
+    A driver normally owns its :class:`TaskScheduler` outright (the
+    single-application case). Passing ``task_scheduler`` instead attaches
+    the driver to a shared, cluster-owned scheduler: the driver's DAG
+    scheduler then routes its callbacks per task set rather than claiming
+    the scheduler's primary listener slot, and executor ids are
+    namespaced by ``app_id`` so concurrent drivers never collide.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        conf: SparkConf,
+        rng: "RandomStreams",
+        shuffle_backend: Optional[ShuffleBackend] = None,
+        trace: Optional["TraceRecorder"] = None,
+        task_scheduler: Optional[TaskScheduler] = None,
+        app_id: str = "",
+    ) -> None:
+        self.env = env
+        self.conf = conf
+        self.rng = rng
+        self.trace = trace
+        self.app_id = app_id
+        shared = task_scheduler is not None
+        if task_scheduler is None:
+            if shuffle_backend is None:
+                raise TypeError(
+                    "SparkDriver needs a shuffle_backend (or a shared "
+                    "task_scheduler that already has one)")
+            task_scheduler = TaskScheduler(
+                env, conf, rng, shuffle_backend, trace=trace)
+        self.task_scheduler = task_scheduler
+        self.dag_scheduler = DAGScheduler(env, self.task_scheduler,
+                                          trace=trace, exclusive=not shared)
+        prefix = f"{app_id}:" if app_id else ""
+        self.executor_factory = ExecutorFactory(
+            env, conf, rng, self.task_scheduler, trace=trace,
+            id_prefix=prefix)
+
+    # ------------------------------------------------------------------
+    # Executor management
+    # ------------------------------------------------------------------
+
+    def add_vm_executor(self, vm: "VirtualMachine",
+                        memory_bytes: Optional[float] = None,
+                        cores: int = 1) -> Executor:
+        """Register one executor on a running VM (see
+        :meth:`ExecutorFactory.add_vm_executor`)."""
+        return self.executor_factory.add_vm_executor(
+            vm, memory_bytes=memory_bytes, cores=cores)
+
+    def add_lambda_executor(self, instance: "LambdaInstance") -> Executor:
+        """Register one executor on a started Lambda container (see
+        :meth:`ExecutorFactory.add_lambda_executor`)."""
+        return self.executor_factory.add_lambda_executor(instance)
 
     def executors_of_kind(self, kind: HostKind) -> List[Executor]:
         return [ex for ex in self.task_scheduler.executors.values()

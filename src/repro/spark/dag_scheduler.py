@@ -133,11 +133,17 @@ class DAGScheduler(SchedulerListener):
     """Owns stage construction and drives the task scheduler."""
 
     def __init__(self, env: "Environment", task_scheduler: TaskScheduler,
-                 trace: Optional["TraceRecorder"] = None) -> None:
+                 trace: Optional["TraceRecorder"] = None,
+                 exclusive: bool = True) -> None:
         self.env = env
         self.task_scheduler = task_scheduler
         self.trace = trace
-        task_scheduler.listener = self
+        if exclusive:
+            task_scheduler.listener = self
+        #: App handle for pooled scheduling (set by the cluster layer);
+        #: tagged onto every submitted taskset so a shared scheduler can
+        #: group tasksets by application for fair-share ordering.
+        self.schedulable: Optional[object] = None
         self._stage_ids = itertools.count()
         self._job_ids = itertools.count()
         self._shuffle_stage_by_id: Dict[int, Stage] = {}
@@ -270,8 +276,11 @@ class DAGScheduler(SchedulerListener):
         self._record(EV_STAGE_SUBMITTED, stage=stage.name,
                      stage_id=stage.stage_id,
                      attempt=stage.attempts, tasks=len(specs))
-        self.task_scheduler.submit_taskset(
-            TaskSet(stage.stage_id, stage.attempts - 1, specs, name=stage.name))
+        taskset = TaskSet(stage.stage_id, stage.attempts - 1, specs,
+                          name=stage.name)
+        taskset.listener = self
+        taskset.schedulable = self.schedulable
+        self.task_scheduler.submit_taskset(taskset)
 
     def _build_spec(self, stage: Stage, partition: int) -> TaskSpec:
         pipeline = tuple(

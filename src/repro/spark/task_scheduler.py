@@ -87,6 +87,14 @@ class TaskSet:
         #: A zombie set stops launching tasks (fetch failure or abort) but
         #: lets in-flight tasks finish, exactly like Spark's TaskSetManager.
         self.zombie = False
+        #: Per-taskset listener (multi-application pools): when set, the
+        #: scheduler routes this set's lifecycle callbacks here instead of
+        #: its primary listener. None = single-driver behaviour.
+        self.listener: Optional[SchedulerListener] = None
+        #: Opaque handle grouping the set under one schedulable entity
+        #: (a ClusterApp in pooled mode); scheduler pools read it to
+        #: compute per-application running-task counts.
+        self.schedulable: Optional[object] = None
         self.submit_time: Optional[float] = None
         self.last_launch_time: Optional[float] = None
         #: partition -> sim-time it (re)became runnable; launch reads it
@@ -174,6 +182,10 @@ class TaskScheduler:
             conf.get("spark.blacklist.maxFailedTasksPerExecutor"))
         #: Executor ids barred from receiving tasks (too many failures).
         self.blacklisted: Set[str] = set()
+        #: Pooled schedulers re-sort the taskset order after every launch
+        #: so shares rebalance at task grain; the single-driver scheduler
+        #: keeps its historical greedy inner loop.
+        self._resort_each_launch = False
         #: How source RDD partitions reach executors: a callable
         #: ``(executor, nbytes) -> generator`` the scenario wires to its
         #: input store (worker-local HDFS for vanilla clusters, the
@@ -181,11 +193,21 @@ class TaskScheduler:
         #: fully data-local input via the executor's own disk.
         self.input_reader = None
 
-    def _notify(self, method: str, *args) -> None:
-        """Fan one listener callback out to the primary listener and every
-        observer (observers implementing only part of the protocol are
-        fine)."""
-        getattr(self.listener, method)(*args)
+    def _notify(self, method: str, *args,
+                taskset: Optional[TaskSet] = None) -> None:
+        """Fan one listener callback out to the responsible listener and
+        every observer (observers implementing only part of the protocol
+        are fine).
+
+        Taskset-scoped callbacks go to the set's own listener when one is
+        attached (multi-application pools route each application's
+        callbacks to its own DAG scheduler); otherwise — and for
+        executor-level callbacks — the primary listener receives them.
+        """
+        target = self.listener
+        if taskset is not None and taskset.listener is not None:
+            target = taskset.listener
+        getattr(target, method)(*args)
         for observer in list(self.observers):
             handler = getattr(observer, method, None)
             if handler is not None:
@@ -357,6 +379,12 @@ class TaskScheduler:
                 fallback = partition
         return fallback if locality_relaxed else None
 
+    def _schedulable_tasksets(self) -> List[TaskSet]:
+        """Task sets in offer order. The base scheduler is strict FIFO
+        (submission order); pooled schedulers override this with their
+        FAIR/FIFO pool policy."""
+        return self.tasksets
+
     def _dispatch(self) -> None:
         """Match free executors to pending tasks; defer for locality."""
         launched = True
@@ -366,7 +394,7 @@ class TaskScheduler:
             free = self._free_executors()
             if not free:
                 break
-            for taskset in self.tasksets:
+            for taskset in self._schedulable_tasksets():
                 if not taskset.has_pending:
                     continue
                 reference = (taskset.last_launch_time
@@ -386,6 +414,12 @@ class TaskScheduler:
                     free.remove(ex)
                     self._launch(taskset, partition, ex)
                     launched = True
+                    if self._resort_each_launch:
+                        break
+                if launched and self._resort_each_launch:
+                    # Re-enter the outer loop so running-task counts feed
+                    # back into the pool ordering before the next offer.
+                    break
         if wake_in is not None:
             self._schedule_redispatch(wake_in)
 
@@ -524,19 +558,21 @@ class TaskScheduler:
             taskset.finished.add(partition)
             taskset.finished_durations.append(attempt.metrics.duration)
             self._cancel_losing_copy(taskset, partition, attempt)
-            self._notify("on_task_finished", attempt)
+            self._notify("on_task_finished", attempt, taskset=taskset)
             if taskset.is_complete:
                 self.tasksets.remove(taskset)
-                self._notify("on_taskset_complete", taskset)
+                self._notify("on_taskset_complete", taskset, taskset=taskset)
             return
         if partition in taskset.finished:
             return  # a cancelled speculation loser; not a real failure
-        self._notify("on_task_failed", attempt)
+        self._notify("on_task_failed", attempt, taskset=taskset)
         if isinstance(attempt.failure, FetchFailedError):
             # Stage-level problem: zombify and let the DAG scheduler
             # resubmit (lost map outputs must be recomputed first).
             taskset.zombie = True
-            self._notify("on_fetch_failed", taskset, attempt, attempt.failure)
+            self._invalidate_unreachable_outputs(attempt.failure.shuffle_id)
+            self._notify("on_fetch_failed", taskset, attempt, attempt.failure,
+                         taskset=taskset)
             return
         # Plain failure/kill: retry up to the limit.
         if self._blacklist_enabled:
@@ -564,11 +600,29 @@ class TaskScheduler:
             self._notify("on_taskset_failed",
                 taskset,
                 f"task {attempt.describe()} failed {count} times: "
-                f"{attempt.failure}")
+                f"{attempt.failure}",
+                taskset=taskset)
             return
         if not taskset.zombie:
             taskset.requeue(partition)
             taskset.pending_since[partition] = self.env.now
+
+    def _invalidate_unreachable_outputs(self, shuffle_id: int) -> None:
+        """Spark's ``unregisterMapOutput`` on fetch failure: drop map
+        outputs whose serving executor is gone (drained or lost), so the
+        resubmitted map stage actually recomputes them. Backends whose
+        outputs survive executor loss keep every registration."""
+        if self.shuffle_backend.outputs_survive_executor_loss:
+            return
+        for status in self.map_output_tracker.statuses(shuffle_id):
+            executor = self.executors.get(status.executor_id)
+            if executor is not None and executor.host_alive:
+                continue
+            lost = self.map_output_tracker.remove_outputs_on_executor(
+                status.executor_id)
+            if lost:
+                self._record(EV_MAP_OUTPUTS_LOST,
+                             executor=status.executor_id, count=len(lost))
 
     def _has_other_live_executor(self, executor: Executor) -> bool:
         """True if any *other* registered, alive, non-blacklisted executor

@@ -22,23 +22,26 @@ from repro.baselines.comparison import (
     render_table1,
 )
 from repro.core.scenarios import run_scenario
-from repro.workloads import PageRankWorkload, SparkPiWorkload
+from repro.experiments.spec import ExperimentSpec
 
 
 # ---------------------------------------------------------------------------
 # Profiling (Figure 4 machinery)
 # ---------------------------------------------------------------------------
 
-def test_profile_kind_validation():
+def test_profile_requires_a_spec():
+    with pytest.raises(TypeError, match="ExperimentSpec"):
+        profile_workload("pagerank-small")
     with pytest.raises(ValueError):
-        profile_workload(PageRankWorkload.small(), "container")
+        ExperimentSpec("pagerank-small", "profile_container")
 
 
 def test_profile_lambda_sweep_is_u_shaped():
     """Figure 4(a): 'a classic U-shaped curve' — time falls with
     parallelism, then communication overheads bend it back up."""
-    points = profile_workload(PageRankWorkload.large(), "lambda",
-                              parallelism_sweep=(1, 4, 16, 128))
+    points = profile_workload(
+        ExperimentSpec("pagerank-large", "profile_lambda"),
+        parallelism_sweep=(1, 4, 16, 128))
     durations = [p.duration_s for p in points]
     assert durations[1] < durations[0]  # parallelism helps at first
     assert durations[3] > min(durations)  # and hurts at the extreme
@@ -47,15 +50,19 @@ def test_profile_lambda_sweep_is_u_shaped():
 def test_profile_vm_faster_than_lambda_at_same_parallelism():
     """Figure 4(b): 'the overall execution time is much lower when
     running on VMs'."""
-    w = PageRankWorkload.large()
-    la = profile_workload(w, "lambda", parallelism_sweep=(8,))[0]
-    vm = profile_workload(w, "vm", parallelism_sweep=(8,))[0]
+    la = profile_workload(
+        ExperimentSpec("pagerank-large", "profile_lambda"),
+        parallelism_sweep=(8,))[0]
+    vm = profile_workload(
+        ExperimentSpec("pagerank-large", "profile_vm"),
+        parallelism_sweep=(8,))[0]
     assert vm.duration_s < la.duration_s
 
 
 def test_profile_costs_positive():
-    points = profile_workload(PageRankWorkload.small(), "lambda",
-                              parallelism_sweep=(2, 8))
+    points = profile_workload(
+        ExperimentSpec("pagerank-small", "profile_lambda"),
+        parallelism_sweep=(2, 8))
     assert all(p.cost > 0 for p in points)
 
 
@@ -73,7 +80,8 @@ def test_optimal_parallelism():
 # ---------------------------------------------------------------------------
 
 def test_timeline_reconstructs_executors_and_stages():
-    result = run_scenario(PageRankWorkload(), "ss_hybrid", keep_trace=True)
+    result = run_scenario(ExperimentSpec("pagerank", "ss_hybrid"),
+                          keep_trace=True)
     timeline = build_timeline(result.trace)
     assert len(timeline.executors_of_kind("vm")) == 3
     assert len(timeline.executors_of_kind("lambda")) == 13
@@ -83,7 +91,7 @@ def test_timeline_reconstructs_executors_and_stages():
 
 
 def test_timeline_segue_marker():
-    result = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
+    result = run_scenario(ExperimentSpec("pagerank", "ss_hybrid_segue"),
                           keep_trace=True)
     timeline = build_timeline(result.trace)
     assert timeline.segue_time is not None
@@ -92,20 +100,23 @@ def test_timeline_segue_marker():
 
 
 def test_timeline_no_segue_marker_without_segue():
-    result = run_scenario(SparkPiWorkload(), "ss_R_vm", keep_trace=True)
+    result = run_scenario(ExperimentSpec("sparkpi", "ss_R_vm"),
+                          keep_trace=True)
     timeline = build_timeline(result.trace)
     assert timeline.segue_time is None
 
 
 def test_timeline_render_ascii():
-    result = run_scenario(SparkPiWorkload(), "ss_R_la", keep_trace=True)
+    result = run_scenario(ExperimentSpec("sparkpi", "ss_R_la"),
+                          keep_trace=True)
     text = build_timeline(result.trace).render(width=40)
     assert "#" in text
     assert "stages" in text
 
 
 def test_executor_span_busy_seconds():
-    result = run_scenario(SparkPiWorkload(), "spark_R_vm", keep_trace=True)
+    result = run_scenario(ExperimentSpec("sparkpi", "spark_R_vm"),
+                          keep_trace=True)
     timeline = build_timeline(result.trace)
     busy = sum(e.busy_seconds for e in timeline.executors)
     assert busy > 0

@@ -13,15 +13,16 @@ import pytest
 from repro.analysis.profiling import optimal_parallelism, profile_workload
 from repro.cloud import instance_type
 from repro.core.cost_manager import CostManager
-from repro.workloads import PageRankWorkload
+from repro.experiments.spec import ExperimentSpec
 
 SWEEP = (1, 2, 4, 8, 16, 32)
 
 
 @pytest.fixture(scope="module")
 def lambda_profile():
-    points = profile_workload(PageRankWorkload.large(), "lambda",
-                              parallelism_sweep=SWEEP)
+    points = profile_workload(
+        ExperimentSpec("pagerank-large", "profile_lambda"),
+        parallelism_sweep=SWEEP)
     return {p.parallelism: p.duration_s for p in points}
 
 

@@ -8,7 +8,7 @@ from repro.analysis.stats import (
     summarize,
 )
 from repro.core.scenarios import run_scenario
-from repro.workloads import PageRankWorkload
+from repro.experiments.spec import ExperimentSpec
 
 
 def test_summarize_basics():
@@ -49,8 +49,8 @@ def test_cv_and_relative_change():
 def test_scenario_results_stable_across_seeds():
     """The reproduced factors must not be a lucky seed: across 5 seeds,
     the hybrid scenario's duration varies by only a few percent."""
-    durations = [run_scenario(PageRankWorkload(), "ss_hybrid",
-                              seed=seed).duration_s
+    durations = [run_scenario(ExperimentSpec("pagerank", "ss_hybrid",
+                                             seed=seed)).duration_s
                  for seed in range(5)]
     assert coefficient_of_variation(durations) < 0.05
 
@@ -58,10 +58,10 @@ def test_scenario_results_stable_across_seeds():
 def test_relative_factor_stable_across_seeds():
     ratios = []
     for seed in range(4):
-        base = run_scenario(PageRankWorkload(), "spark_R_vm",
-                            seed=seed).duration_s
-        hybrid = run_scenario(PageRankWorkload(), "ss_hybrid",
-                              seed=seed).duration_s
+        base = run_scenario(ExperimentSpec("pagerank", "spark_R_vm",
+                                           seed=seed)).duration_s
+        hybrid = run_scenario(ExperimentSpec("pagerank", "ss_hybrid",
+                                             seed=seed)).duration_s
         ratios.append(hybrid / base)
     assert coefficient_of_variation(ratios) < 0.05
     assert all(1.05 < r < 1.45 for r in ratios)

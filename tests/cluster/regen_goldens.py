@@ -1,0 +1,38 @@
+"""Regenerate ``golden_scenarios.json`` from the current simulator.
+
+Only run this after an *intentional* simulation-model change, and say so
+in the commit message — the golden file is the regression gate proving
+the ClusterRuntime scenario rebuild preserves behaviour.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.cluster.regen_goldens
+"""
+
+import json
+import pathlib
+
+from repro.core.scenarios import SCENARIO_NAMES
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ExperimentSpec
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_scenarios.json"
+
+#: (workload, seed) pairs x every §5.1 scenario = 16 golden records.
+WORKLOADS = (("sparkpi", 0), ("pagerank", 3))
+
+
+def main() -> None:
+    records = []
+    for workload, seed in WORKLOADS:
+        for scenario in SCENARIO_NAMES:
+            spec = ExperimentSpec(workload, scenario, seed=seed)
+            records.append(run_spec(spec).canonical())
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(records)} records to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

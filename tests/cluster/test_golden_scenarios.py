@@ -1,0 +1,56 @@
+"""Golden regression gate for the ClusterRuntime scenario rebuild.
+
+``golden_scenarios.json`` pins the canonical :class:`RunRecord` of every
+§5.1 scenario for two workloads at fixed seeds, captured from the
+pre-refactor scenario driver. The rebuilt thin-configuration scenarios
+must reproduce each record **byte-identically** — same durations, costs,
+task counts, everything except wall time. Any drift here means the
+refactor changed simulation behaviour, not just structure.
+
+To regenerate after an *intentional* model change::
+
+    PYTHONPATH=src python -m tests.cluster.regen_goldens
+
+(see this test's module docstring history / DESIGN.md before doing so).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.records import RunRecord
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ExperimentSpec
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_scenarios.json"
+
+
+def _golden_records():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+GOLDENS = _golden_records()
+
+
+def _ids():
+    return [f"{g['spec']['workload']}-{g['spec']['scenario']}"
+            f"-s{g['spec']['seed']}" for g in GOLDENS]
+
+
+def test_golden_file_covers_all_scenarios():
+    from repro.core.scenarios import SCENARIO_NAMES
+    covered = {g["spec"]["scenario"] for g in GOLDENS}
+    assert set(SCENARIO_NAMES) <= covered
+
+
+@pytest.mark.parametrize("golden", GOLDENS, ids=_ids())
+def test_scenario_matches_golden(golden):
+    spec = ExperimentSpec(**golden["spec"])
+    record = run_spec(spec)
+    assert isinstance(record, RunRecord)
+    # Compare via the JSON round-trip so float representation rules are
+    # identical on both sides of the comparison.
+    fresh = json.loads(json.dumps(record.canonical(), sort_keys=True))
+    assert fresh == golden

@@ -4,18 +4,19 @@ import pytest
 
 from repro.analysis.timeline import build_timeline
 from repro.core.scenarios import run_scenario
-from repro.spark import SparkConf
-from repro.workloads import PageRankWorkload, SparkPiWorkload
+from repro.experiments.spec import ExperimentSpec
+
+SPECULATION = {"spark.speculation": True,
+               "spark.speculation.quantile": 0.5,
+               "spark.speculation.multiplier": 1.3,
+               "spark.speculation.interval": 0.5}
 
 
 def test_custom_conf_reaches_the_engine():
     """Speculation enabled through the scenario conf produces
     speculative launches on the skewed PageRank job."""
-    conf = SparkConf({"spark.speculation": True,
-                      "spark.speculation.quantile": 0.5,
-                      "spark.speculation.multiplier": 1.3,
-                      "spark.speculation.interval": 0.5})
-    result = run_scenario(PageRankWorkload(), "spark_R_vm", conf=conf,
+    result = run_scenario(ExperimentSpec("pagerank", "spark_R_vm",
+                                         conf_overrides=SPECULATION),
                           keep_trace=True)
     assert not result.failed
     assert result.trace.select(category="scheduler",
@@ -23,12 +24,9 @@ def test_custom_conf_reaches_the_engine():
 
 
 def test_speculation_tames_pagerank_hot_partition():
-    plain = run_scenario(PageRankWorkload(), "spark_R_vm")
-    conf = SparkConf({"spark.speculation": True,
-                      "spark.speculation.quantile": 0.5,
-                      "spark.speculation.multiplier": 1.3,
-                      "spark.speculation.interval": 0.5})
-    speculative = run_scenario(PageRankWorkload(), "spark_R_vm", conf=conf)
+    plain = run_scenario(ExperimentSpec("pagerank", "spark_R_vm"))
+    speculative = run_scenario(ExperimentSpec(
+        "pagerank", "spark_R_vm", conf_overrides=SPECULATION))
     # Copies of the inherently hot partition are just as slow — the skew
     # is data, not a slow host — so speculation must not *hurt* much and
     # the job must stay correct.
@@ -37,10 +35,10 @@ def test_speculation_tames_pagerank_hot_partition():
 
 
 def test_segue_at_override_moves_the_segue():
-    early = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
-                         segue_at_s=20.0, keep_trace=True)
-    late = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
-                        segue_at_s=80.0, keep_trace=True)
+    early = run_scenario(ExperimentSpec("pagerank", "ss_hybrid_segue",
+                                        segue_at_s=20.0), keep_trace=True)
+    late = run_scenario(ExperimentSpec("pagerank", "ss_hybrid_segue",
+                                       segue_at_s=80.0), keep_trace=True)
     t_early = build_timeline(early.trace).segue_time
     t_late = build_timeline(late.trace).segue_time
     assert 18.0 < t_early < 35.0
@@ -48,10 +46,10 @@ def test_segue_at_override_moves_the_segue():
 
 
 def test_earlier_segue_cuts_lambda_cost_further():
-    early = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
-                         segue_at_s=20.0)
-    late = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
-                        segue_at_s=80.0)
+    early = run_scenario(ExperimentSpec("pagerank", "ss_hybrid_segue",
+                                        segue_at_s=20.0))
+    late = run_scenario(ExperimentSpec("pagerank", "ss_hybrid_segue",
+                                       segue_at_s=80.0))
     assert (early.cost_breakdown.get("lambda", 0)
             < late.cost_breakdown.get("lambda", 0))
 
@@ -59,9 +57,10 @@ def test_earlier_segue_cuts_lambda_cost_further():
 def test_lambda_timeout_knob_via_scenario_conf():
     """The §4.3 knob flows through: a short timeout drains Lambdas and
     the trace shows their decommissioning mid-job."""
-    conf = SparkConf({"spark.lambda.executor.timeout": 30.0})
-    result = run_scenario(PageRankWorkload(), "ss_hybrid_segue",
-                          conf=conf, segue_at_s=25.0, keep_trace=True)
+    result = run_scenario(
+        ExperimentSpec("pagerank", "ss_hybrid_segue", segue_at_s=25.0,
+                       conf_overrides={"spark.lambda.executor.timeout": 30.0}),
+        keep_trace=True)
     assert not result.failed
     drains = result.trace.select(category="executor", name="draining")
     assert drains
@@ -70,6 +69,6 @@ def test_lambda_timeout_knob_via_scenario_conf():
 def test_sparkpi_segue_scenario_harmless_when_job_too_short():
     """Segue VMs arriving after completion must not distort results —
     the paper skipped segue for SparkPi for exactly this reason."""
-    plain = run_scenario(SparkPiWorkload(), "ss_hybrid")
-    segue = run_scenario(SparkPiWorkload(), "ss_hybrid_segue")
+    plain = run_scenario(ExperimentSpec("sparkpi", "ss_hybrid"))
+    segue = run_scenario(ExperimentSpec("sparkpi", "ss_hybrid_segue"))
     assert segue.duration_s == pytest.approx(plain.duration_s, rel=0.02)

@@ -15,18 +15,18 @@ from repro.core.scenarios import (
     run_all_scenarios,
     run_scenario,
 )
-from repro.workloads import (
-    KMeansWorkload,
-    PageRankWorkload,
-    SparkPiWorkload,
-    SyntheticWorkload,
-    TPCDSWorkload,
-)
+from repro.experiments.spec import ExperimentSpec
+from repro.workloads import PageRankWorkload, SyntheticWorkload
 
 
 def test_unknown_scenario_rejected():
     with pytest.raises(ValueError, match="unknown scenario"):
-        run_scenario(SparkPiWorkload(), "nope")
+        ExperimentSpec("sparkpi", "nope")
+
+
+def test_run_scenario_requires_a_spec():
+    with pytest.raises(TypeError, match="ExperimentSpec"):
+        run_scenario("sparkpi")
 
 
 def test_run_all_scenarios_returns_every_name():
@@ -40,7 +40,7 @@ def test_run_all_scenarios_returns_every_name():
 
 def test_result_label_formats_paper_style():
     w = PageRankWorkload()
-    r = run_scenario(w, "ss_hybrid", keep_trace=False)
+    r = run_scenario(ExperimentSpec("pagerank", "ss_hybrid"))
     assert r.label(w.spec) == "SS 3 VM / 13 La"
 
 
@@ -50,7 +50,8 @@ def test_result_label_formats_paper_style():
 
 @pytest.fixture(scope="module")
 def sparkpi_results():
-    return run_all_scenarios(SparkPiWorkload())
+    return {name: run_scenario(ExperimentSpec("sparkpi", name))
+            for name in SCENARIO_NAMES}
 
 
 def test_sparkpi_under_provisioned_takes_more_than_twice(sparkpi_results):
@@ -74,7 +75,8 @@ def test_sparkpi_all_substrates_near_baseline(sparkpi_results):
 
 @pytest.fixture(scope="module")
 def kmeans_results():
-    return run_all_scenarios(KMeansWorkload())
+    return {name: run_scenario(ExperimentSpec("kmeans", name))
+            for name in SCENARIO_NAMES}
 
 
 def test_kmeans_baseline_meets_two_minute_slo(kmeans_results):
@@ -185,7 +187,8 @@ def test_pagerank_segue_cuts_lambda_spend(pagerank_results):
 
 @pytest.fixture(scope="module")
 def q16_results():
-    return run_all_scenarios(TPCDSWorkload("q16"))
+    return {name: run_scenario(ExperimentSpec("tpcds-q16", name))
+            for name in SCENARIO_NAMES}
 
 
 def test_tpcds_baseline_in_paper_band(q16_results):
@@ -228,7 +231,7 @@ def test_tpcds_qubole_order_of_magnitude_slower(q16_results):
 
 def test_tpcds_q5_fails_on_qubole():
     """Paper footnote 11: Qubole's prototype hits fatal errors on Q5."""
-    result = run_scenario(TPCDSWorkload("q5"), "qubole_R_la")
+    result = run_scenario(ExperimentSpec("tpcds-q5", "qubole_R_la"))
     assert result.failed
     assert math.isnan(result.duration_s)
     assert "fatal error" in result.failure_reason
@@ -262,23 +265,21 @@ def test_qubole_pays_s3_request_costs(q16_results):
 
 
 def test_deterministic_given_seed():
-    w = SparkPiWorkload()
-    a = run_scenario(w, "ss_hybrid", seed=11)
-    b = run_scenario(w, "ss_hybrid", seed=11)
+    a = run_scenario(ExperimentSpec("sparkpi", "ss_hybrid", seed=11))
+    b = run_scenario(ExperimentSpec("sparkpi", "ss_hybrid", seed=11))
     assert a.duration_s == b.duration_s
     assert a.cost == b.cost
 
 
 def test_seed_changes_durations():
-    w = SparkPiWorkload()
-    a = run_scenario(w, "ss_hybrid", seed=1)
-    b = run_scenario(w, "ss_hybrid", seed=2)
+    a = run_scenario(ExperimentSpec("sparkpi", "ss_hybrid", seed=1))
+    b = run_scenario(ExperimentSpec("sparkpi", "ss_hybrid", seed=2))
     assert a.duration_s != b.duration_s
 
 
 def test_trace_kept_only_on_request():
-    w = SparkPiWorkload()
-    with_trace = run_scenario(w, "ss_hybrid", keep_trace=True)
-    without = run_scenario(w, "ss_hybrid", keep_trace=False)
+    spec = ExperimentSpec("sparkpi", "ss_hybrid")
+    with_trace = run_scenario(spec, keep_trace=True)
+    without = run_scenario(spec, keep_trace=False)
     assert with_trace.trace is not None and len(with_trace.trace) > 0
     assert without.trace is None

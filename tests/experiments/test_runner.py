@@ -104,25 +104,17 @@ def test_profile_specs_through_runner_match_direct_calls():
     assert record.cost == point.cost
 
 
-# -- deprecated kwargs-soup wrappers ---------------------------------------
+# -- the removed kwargs-soup forms must fail loudly, pointing at specs -----
 
-def test_legacy_run_scenario_warns_and_matches_spec_path():
+def test_legacy_run_scenario_form_rejected():
     workload = SyntheticWorkload(**TINY)
-    with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
-        legacy = run_scenario(workload, "ss_hybrid", seed=1)
-    via_spec = run_scenario(ExperimentSpec("synthetic", "ss_hybrid", seed=1,
-                                           workload_params=TINY))
-    assert legacy.duration_s == via_spec.duration_s
-    assert legacy.cost == via_spec.cost
+    with pytest.raises(TypeError, match="ExperimentSpec"):
+        run_scenario(workload, "ss_hybrid")
+    with pytest.raises(TypeError, match="ExperimentSpec"):
+        run_scenario("synthetic")
 
 
-def test_legacy_profile_workload_warns_and_matches_spec_path():
+def test_legacy_profile_workload_form_rejected():
     workload = SyntheticWorkload(**TINY)
-    with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
-        legacy = profile_workload(workload, "lambda",
-                                  parallelism_sweep=(2, 4))
-    spec = ExperimentSpec("synthetic", "profile_lambda",
-                          workload_params=TINY)
-    via_spec = profile_workload(spec, parallelism_sweep=(2, 4))
-    assert [(p.parallelism, p.duration_s, p.cost) for p in legacy] == \
-        [(p.parallelism, p.duration_s, p.cost) for p in via_spec]
+    with pytest.raises(TypeError, match="ExperimentSpec"):
+        profile_workload(workload, parallelism_sweep=(2, 4))

@@ -3,6 +3,7 @@
 import json
 
 from repro.core.scenarios import run_scenario
+from repro.experiments.spec import ExperimentSpec
 from repro.observability.export import (
     chrome_trace,
     event_log_dicts,
@@ -11,11 +12,11 @@ from repro.observability.export import (
     save_event_log,
 )
 from repro.simulation import TraceRecorder
-from repro.workloads import SparkPiWorkload
 
 
 def _small_run():
-    return run_scenario(SparkPiWorkload(), "ss_R_la", keep_trace=True)
+    return run_scenario(ExperimentSpec("sparkpi", "ss_R_la"),
+                        keep_trace=True)
 
 
 def test_event_log_dicts_envelope_shape():
@@ -48,8 +49,8 @@ def test_event_log_accepts_record_iterables(tmp_path):
 def test_same_seed_event_logs_are_byte_identical(tmp_path):
     paths = []
     for n in range(2):
-        result = run_scenario(SparkPiWorkload(), "ss_hybrid", seed=7,
-                              keep_trace=True)
+        result = run_scenario(ExperimentSpec("sparkpi", "ss_hybrid",
+                                             seed=7), keep_trace=True)
         path = tmp_path / f"events-{n}.jsonl"
         save_event_log(result.trace, str(path))
         paths.append(path)

@@ -3,8 +3,8 @@
 import json
 
 from repro.core.scenarios import run_scenario
+from repro.experiments.spec import ExperimentSpec
 from repro.simulation import TraceRecorder
-from repro.workloads import SparkPiWorkload
 
 
 def test_trace_to_dicts():
@@ -29,7 +29,8 @@ def test_trace_to_dicts_payload_cannot_clobber_envelope():
 
 
 def test_trace_save_jsonl_roundtrip(tmp_path):
-    result = run_scenario(SparkPiWorkload(), "ss_R_la", keep_trace=True)
+    result = run_scenario(ExperimentSpec("sparkpi", "ss_R_la"),
+                          keep_trace=True)
     path = tmp_path / "trace.jsonl"
     count = result.trace.save_jsonl(str(path))
     assert count == len(result.trace)
@@ -43,7 +44,7 @@ def test_trace_save_jsonl_roundtrip(tmp_path):
 
 
 def test_scenario_result_to_dict_is_json_serializable():
-    result = run_scenario(SparkPiWorkload(), "ss_hybrid")
+    result = run_scenario(ExperimentSpec("sparkpi", "ss_hybrid"))
     payload = result.to_dict()
     text = json.dumps(payload)  # must not raise
     loaded = json.loads(text)
@@ -53,9 +54,7 @@ def test_scenario_result_to_dict_is_json_serializable():
 
 
 def test_failed_scenario_to_dict():
-    from repro.workloads import TPCDSWorkload
-
-    result = run_scenario(TPCDSWorkload("q5"), "qubole_R_la")
+    result = run_scenario(ExperimentSpec("tpcds-q5", "qubole_R_la"))
     payload = result.to_dict()
     assert payload["failed"]
     assert "tasks" not in payload

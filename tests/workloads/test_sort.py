@@ -4,6 +4,7 @@ import pytest
 
 from repro.cloud.constants import GB
 from repro.core.scenarios import run_scenario
+from repro.experiments.spec import ExperimentSpec
 from repro.workloads import SortWorkload
 
 
@@ -53,7 +54,8 @@ def test_record_count_is_terasort_layout():
 
 
 def test_sort_runs_under_splitserve():
-    result = run_scenario(SortWorkload(dataset_gb=8), "ss_hybrid")
+    result = run_scenario(ExperimentSpec(
+        "sort", "ss_hybrid", workload_params={"dataset_gb": 8}))
     assert not result.failed
     assert result.duration_s > 0
     # Shuffle-dominated: fetch+write time is a large share of compute.
@@ -65,6 +67,8 @@ def test_sort_is_io_bound_not_core_bound():
     """Sort's defining property: the dataset-sized shuffle through the
     shared EBS channel dominates, so quartering the cores barely hurts
     (unlike the compute-bound workloads)."""
-    base = run_scenario(SortWorkload(dataset_gb=8), "spark_R_vm")
-    starved = run_scenario(SortWorkload(dataset_gb=8), "spark_r_vm")
+    base = run_scenario(ExperimentSpec(
+        "sort", "spark_R_vm", workload_params={"dataset_gb": 8}))
+    starved = run_scenario(ExperimentSpec(
+        "sort", "spark_r_vm", workload_params={"dataset_gb": 8}))
     assert base.duration_s < starved.duration_s < 1.6 * base.duration_s
