@@ -1,7 +1,8 @@
 # Convenience targets for the SplitServe reproduction.
 
 .PHONY: install test bench bench-smoke bench-resilience-smoke \
-	bench-multijob-smoke report-smoke examples figures clean
+	bench-multijob-smoke bench-plan-smoke report-smoke examples \
+	figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +29,12 @@ bench-resilience-smoke:
 bench-multijob-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_multijob_arrivals.py -m smoke -q
+
+# One planned split through the planner's probe/predict/enforce loop —
+# smoke-tests the repro.planner subsystem (see DESIGN.md, "Planner").
+bench-plan-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_planner_slo.py -m smoke -q
 
 # One seeded scenario through event-log/trace export and `repro report`,
 # asserting same-seed event logs are byte-identical (see DESIGN.md,

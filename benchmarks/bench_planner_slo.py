@@ -1,0 +1,96 @@
+"""Planner SLO sweep: the split planner vs the pure baselines.
+
+The planner's pitch is conditional: when the deadline is loose it
+should never pay more than the cheaper of the pure-VM and pure-Lambda
+shapes, and when the deadline is tighter than VM startup allows it
+should beat the best pure-VM latency by bridging with Lambdas. This
+bench sweeps one workload (pagerank: r=3 cores free, R=16 wanted,
+120 s VM readiness) across three SLOs — loose, the paper's, and one
+below what any VM-procurement plan can reach — executes the planner's
+chosen split plus every pure candidate, and checks both claims against
+*simulated* (not predicted) runtimes and costs.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.experiments import ExperimentRunner
+from repro.experiments.runner import run_spec
+
+WORKLOAD = "pagerank"
+#: SLO labels -> seconds (None = the workload's own slo_seconds).
+SLOS = {"loose (600s)": 600.0, "paper (240s)": None, "tight (120s)": 120.0}
+#: The pure shapes the planner must justify itself against.
+PURE = ("vm_now", "vm_scaleout", "lambda_all")
+
+
+def run_sweep():
+    from repro.planner import SplitPlanner
+
+    planner = SplitPlanner(seed=0)
+    results = {}
+    for label, slo in SLOS.items():
+        plan = planner.plan(WORKLOAD, slo_s=slo)
+        chosen = run_spec(planner.spec_for(plan))
+        pure = {}
+        for entry in plan.candidates:
+            if entry.candidate.name in PURE:
+                pure[entry.candidate.name] = run_spec(
+                    planner.spec_for(plan, candidate=entry))
+        results[label] = (plan, chosen, pure)
+    return results
+
+
+def test_planner_slo_sweep(benchmark, emit):
+    results = run_once(benchmark, run_sweep)
+    rows = []
+    for label, (plan, chosen, pure) in results.items():
+        vm_time = min(pure[n].duration_s for n in ("vm_now", "vm_scaleout"))
+        pure_cost = min(r.cost for r in pure.values())
+        rows.append([
+            label, plan.chosen.candidate.name,
+            f"{chosen.duration_s:.1f}s", f"${chosen.cost:.4f}",
+            f"{vm_time:.1f}s", f"${pure_cost:.4f}",
+            "yes" if chosen.metrics["planner.slo_met"] else "NO"])
+    emit(f"planner SLO sweep: {WORKLOAD}",
+         format_table(
+             ["SLO", "chosen", "time", "cost", "best pure-VM time",
+              "cheapest pure cost", "SLO met"], rows))
+
+    loose_plan, loose_rec, loose_pure = results["loose (600s)"]
+    cheapest_pure = min(r.cost for r in loose_pure.values())
+    # Loose SLO: picking a hybrid only makes sense if it saves money.
+    assert loose_rec.cost <= cheapest_pure * 1.005, (
+        f"loose-SLO planner cost {loose_rec.cost:.4f} exceeds the "
+        f"cheaper pure baseline {cheapest_pure:.4f}")
+    assert loose_rec.metrics["planner.slo_met"]
+
+    tight_plan, tight_rec, tight_pure = results["tight (120s)"]
+    best_vm = min(tight_pure[n].duration_s
+                  for n in ("vm_now", "vm_scaleout"))
+    # Tight SLO: VM procurement alone (120 s readiness) cannot get
+    # there; the planner must beat it by bridging with Lambdas.
+    assert best_vm > tight_plan.slo_s, (
+        "bench premise broken: a pure-VM shape met the tight SLO")
+    assert tight_rec.duration_s < best_vm
+    assert tight_rec.metrics["planner.slo_met"]
+
+
+@pytest.mark.smoke
+def test_smoke_one_planned_run(tmp_path):
+    """One planned spec through the ExperimentRunner: the plan is
+    feasible, the record carries the calibration-loop metrics, and the
+    calibration error is within the model's accuracy budget."""
+    from repro.planner import SplitPlanner
+
+    planner = SplitPlanner(seed=0)
+    plan = planner.plan("sparkpi")
+    assert plan.feasible
+    runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+    [record] = runner.run([planner.spec_for(plan)])
+    assert not record.failed
+    m = record.metrics
+    assert m["planner.candidate"] == plan.chosen.candidate.name
+    assert m["planner.slo_met"]
+    assert m["planner.error_runtime_frac"] <= 0.15

@@ -2,9 +2,12 @@
 
 Commands:
 
-- ``list`` — available workloads and scenarios;
+- ``list`` — available workloads, scenarios, and policies;
 - ``run`` — one (workload, scenario) execution, optionally with the
   Figure 7-style executor timeline;
+- ``plan`` — rank FaaS/IaaS split candidates against an SLO with the
+  calibrated planner, then execute the chosen split and report
+  predicted-vs-actual;
 - ``profile`` — a §5.1 offline-profiling sweep (the Figure 4 curves);
 - ``stream`` — the §4.1 day-of-jobs simulation under a chosen policy.
 
@@ -90,6 +93,8 @@ def _export_json(path: Optional[str], records) -> None:
 # ---------------------------------------------------------------------------
 
 def cmd_list(_args: argparse.Namespace) -> int:
+    from repro.core.policies import known_policies, policy_entry
+
     print("workloads:")
     for name in sorted(WORKLOADS):
         print(f"  {name}")
@@ -97,6 +102,10 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print("\nscenarios (paper §5.1):")
     for name in SCENARIO_NAMES:
         print(f"  {name}")
+    print("\npolicies:")
+    for name in known_policies():
+        entry = policy_entry(name)
+        print(f"  {name} ({entry.kind}): {entry.description}")
     return 0
 
 
@@ -169,9 +178,17 @@ def _run_multijob(args: argparse.Namespace) -> int:
                          "single-job options; multijob reports pool "
                          "metrics instead")
     faults = _parse_faults(args.faults)
+    policy = {}
+    if args.mj_split_policy != "none":
+        from repro.core.policies import SPLIT, known_policies
+        if args.mj_split_policy not in known_policies(SPLIT):
+            raise SystemExit(
+                f"unknown split policy {args.mj_split_policy!r}; known: "
+                f"{', '.join(known_policies(SPLIT))}")
+        policy = {"name": args.mj_split_policy}
     spec = ExperimentSpec(
         workload="multijob", scenario="multijob", seed=args.seed,
-        faults=faults,
+        faults=faults, policy=policy,
         extra={"mix": args.mj_mix, "n_jobs": args.mj_jobs,
                "mean_interarrival_s": args.mj_interarrival,
                "pool_cores": args.mj_pool_cores,
@@ -188,6 +205,7 @@ def _run_multijob(args: argparse.Namespace) -> int:
         [["pool", f"{args.mj_pool_style} ({args.mj_mode}, "
                   f"{args.mj_pool_cores} VM + "
                   f"{args.mj_lambda_cores} La cores)"],
+         ["split policy", args.mj_split_policy],
          ["jobs", m["jobs"]],
          ["jobs failed", m["jobs_failed"]],
          ["p50 / p95 latency", f"{m['p50_latency_s']:.1f}s / "
@@ -200,6 +218,77 @@ def _run_multijob(args: argparse.Namespace) -> int:
         title=f"multijob: {args.mj_mix} x{args.mj_jobs} "
               f"(seed {args.seed})"))
     _export_json(args.json, [record])
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """``repro plan``: rank split candidates for one or more workloads
+    against an SLO, then (unless ``--dry-run``) execute each chosen
+    split and score the prediction (the planner's calibration loop)."""
+    from repro.planner import SplitPlanner
+    from repro.planner.planner import DEFAULT_SLO_MARGIN
+
+    if args.margin is None:
+        args.margin = DEFAULT_SLO_MARGIN
+    if args.workload == "all":
+        names = sorted(WORKLOADS)
+    else:
+        names = [n.strip() for n in args.workload.split(",") if n.strip()]
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise SystemExit(f"unknown workload(s): {', '.join(unknown)}; "
+                         f"see `repro list`")
+
+    planner = SplitPlanner(seed=args.seed, slo_margin=args.margin)
+    runner = ExperimentRunner(workers=args.workers)
+    records, plans = [], []
+    for name in names:
+        plan = planner.plan(name, slo_s=args.slo)
+        plans.append(plan)
+        rows = []
+        for rank, entry in enumerate(plan.candidates, start=1):
+            c = entry.candidate
+            rows.append([
+                rank, c.name, c.vm_cores, c.lambda_cores,
+                (f"{c.segue_cores}@{c.segue_at_s:g}s"
+                 if c.segue_cores else "-"),
+                f"{entry.predicted_runtime_s:.1f}s",
+                f"${entry.predicted_cost:.4f}",
+                "yes" if entry.meets_slo else "NO"])
+        print()
+        print(format_table(
+            ["rank", "candidate", "vm", "lambda", "segue", "pred time",
+             "pred cost", "SLO"],
+            rows,
+            title=f"{name}: ranked split plan "
+                  f"(SLO {plan.slo_s:g}s, seed {args.seed})"))
+        if not plan.feasible:
+            best = plan.chosen
+            print(f"INFEASIBLE: no candidate is predicted to meet the "
+                  f"{plan.slo_s:g}s SLO; fastest is "
+                  f"{best.candidate.name} at "
+                  f"{best.predicted_runtime_s:.1f}s")
+        if args.dry_run:
+            continue
+        [record] = runner.run([planner.spec_for(plan)])
+        if record.failed:
+            raise SystemExit(record.failure_reason or record.error
+                             or f"planned run failed for {name}")
+        records.append(record)
+        m = record.metrics
+        print(f"executed {m['planner.candidate']}: "
+              f"{record.duration_s:.1f}s actual vs "
+              f"{m['planner.predicted_runtime_s']:.1f}s predicted "
+              f"({m['planner.error_runtime_frac']:.1%} error), "
+              f"${record.cost:.4f} — "
+              f"SLO {'met' if m['planner.slo_met'] else 'MISSED'}")
+    if args.dry_run and args.json:
+        payload = [plan.to_dict() for plan in plans]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {len(payload)} plan(s) to {args.json}")
+    else:
+        _export_json(args.json, records)
     return 0
 
 
@@ -227,10 +316,19 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
+    extra = {"hours": args.hours, "k": args.k, "bridge": args.bridge,
+             "base_cores": args.base_cores, "peak_cores": args.peak_cores}
+    if args.policy != "ksigma":
+        # Only non-default policies enter the spec, so pre-registry
+        # stream specs keep their hashes (and cached records).
+        from repro.core.policies import PROVISIONING, known_policies
+        if args.policy not in known_policies(PROVISIONING):
+            raise SystemExit(
+                f"unknown provisioning policy {args.policy!r}; known: "
+                f"{', '.join(known_policies(PROVISIONING))}")
+        extra["policy"] = args.policy
     spec = ExperimentSpec(
-        workload="diurnal", scenario="stream", seed=args.seed,
-        extra={"hours": args.hours, "k": args.k, "bridge": args.bridge,
-               "base_cores": args.base_cores, "peak_cores": args.peak_cores})
+        workload="diurnal", scenario="stream", seed=args.seed, extra=extra)
     # One simulation: --workers is accepted for flag-set consistency but
     # a single spec always runs in-process.
     [record] = ExperimentRunner(workers=args.workers).run([spec])
@@ -327,6 +425,32 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="admission bound on concurrent apps "
                          "(0 = unlimited)")
+    mj.add_argument("--mj-split-policy", default="none",
+                    metavar="NAME",
+                    help="admission-time split policy (a registered "
+                         "'split' policy, e.g. planner); 'none' keeps "
+                         "the fixed --mj-* pool shape")
+
+    plan_p = sub.add_parser(
+        "plan", help="rank FaaS/IaaS split candidates against an SLO, "
+                     "execute the chosen split, and report "
+                     "predicted-vs-actual",
+        parents=[common])
+    plan_p.add_argument("--workload", default="all",
+                        metavar="NAME[,NAME...]|all",
+                        help="registry workload(s) to plan for "
+                             "(default: every registry workload)")
+    plan_p.add_argument("--slo", type=float, default=None,
+                        metavar="SECONDS",
+                        help="deadline to plan against (default: each "
+                             "workload's own slo_seconds)")
+    plan_p.add_argument("--margin", type=float, default=None,
+                        metavar="FRAC",
+                        help="prediction-risk headroom as a fraction of "
+                             "the SLO (default 0.1)")
+    plan_p.add_argument("--dry-run", action="store_true",
+                        help="print (and with --json, export) the "
+                             "ranked plans without executing them")
 
     prof_p = sub.add_parser("profile", help="Figure 4-style sweep",
                             parents=[common])
@@ -340,7 +464,12 @@ def build_parser() -> argparse.ArgumentParser:
                               parents=[common])
     stream_p.add_argument("--hours", type=float, default=1.0)
     stream_p.add_argument("--k", type=float, default=0.0,
-                          help="provision at m(t)+k*sigma(t)")
+                          help="provision at m(t)+k*sigma(t) "
+                               "(with --policy ksigma)")
+    stream_p.add_argument("--policy", default="ksigma", metavar="NAME",
+                          help="registered provisioning policy "
+                               "(ksigma, mean, 1sigma, 2sigma, 3sigma; "
+                               "see `repro list`)")
     stream_p.add_argument("--bridge", choices=["lambda", "none"],
                           default="lambda")
     stream_p.add_argument("--base-cores", type=float, default=20.0)
@@ -361,8 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"list": cmd_list, "run": cmd_run, "profile": cmd_profile,
-                "stream": cmd_stream, "report": cmd_report}
+    handlers = {"list": cmd_list, "run": cmd_run, "plan": cmd_plan,
+                "profile": cmd_profile, "stream": cmd_stream,
+                "report": cmd_report}
     return handlers[args.command](args)
 
 

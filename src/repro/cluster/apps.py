@@ -13,14 +13,17 @@ latency, and completion events are recorded per application under the
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, List, Optional, Set
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
 
 from repro.observability.categories import (
     CAT_CLUSTER,
+    CAT_PLANNER,
     EV_APP_ADMITTED,
     EV_APP_COMPLETED,
     EV_APP_FAILED,
     EV_APP_SUBMITTED,
+    EV_BRIDGE_DRAINED,
+    EV_SPLIT_DECIDED,
 )
 from repro.spark.application import SparkDriver
 from repro.spark.dag_scheduler import JobFailedError
@@ -29,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.pool import ExecutorPool
     from repro.cluster.pools import SchedulerPools
     from repro.cluster.runtime import ClusterRuntime
+    from repro.planner.policy import PlannerPolicy
     from repro.workloads.base import Workload
 
 
@@ -39,11 +43,16 @@ class ClusterApp:
     def __init__(self, app_id: str, index: int, workload: "Workload",
                  pool: str = "default", weight: int = 1,
                  min_share: int = 0,
-                 parallelism: Optional[int] = None) -> None:
+                 parallelism: Optional[int] = None,
+                 registry_name: Optional[str] = None) -> None:
         self.app_id = app_id
         #: Admission-order tiebreak for the fair comparator.
         self.index = index
         self.workload = workload
+        #: Registry name the workload was built from (instance names
+        #: like ``pagerank-25000`` embed parameters; the planner
+        #: profiles by registry name).
+        self.registry_name = registry_name or workload.name
         self.pool = pool
         self.weight = weight
         self.min_share = min_share
@@ -92,18 +101,33 @@ class ClusterApp:
 
 
 class AppManager:
-    """FIFO admission of applications onto one shared executor pool."""
+    """FIFO admission of applications onto one shared executor pool.
+
+    With a ``split_policy`` (see :mod:`repro.core.policies`, kind
+    ``split``), each admission first asks the policy how the app should
+    cover its parallelism given the pool's uncommitted VM slots; the
+    manager then enforces the decision — invoking bridge Lambdas and/or
+    starting a segue — and drains the app's bridge Lambdas when it
+    completes, so a burst's Lambda bill ends with the burst.
+    """
 
     def __init__(self, runtime: "ClusterRuntime", pool: "ExecutorPool",
                  pools: "SchedulerPools",
-                 max_concurrent: Optional[int] = None) -> None:
+                 max_concurrent: Optional[int] = None,
+                 split_policy: Optional["PlannerPolicy"] = None) -> None:
         self.runtime = runtime
         self.pool = pool
         self.pools = pools
         self.max_concurrent = max_concurrent
+        self.split_policy = split_policy
         self.queue: Deque[ClusterApp] = deque()
         self.running: Set[str] = set()
         self.finished: List[ClusterApp] = []
+        self.decisions: List[object] = []
+        #: VM slots committed to running apps / bridge Lambdas invoked
+        #: per app, maintained only when a split policy is active.
+        self._vm_committed: Dict[str, int] = {}
+        self._bridged: Dict[str, int] = {}
         self._completion_target: Optional[int] = None
         self._completion_event = None
 
@@ -130,6 +154,8 @@ class AppManager:
                      queued_s=app.queueing_delay_s)
         self.runtime.metrics.histogram("cluster.queueing_delay_s").observe(
             app.queueing_delay_s)
+        if self.split_policy is not None:
+            self._enforce_split(app)
         self.pools.register(app)
         driver = SparkDriver(env, self.pool.conf, self.runtime.rng,
                              trace=self.runtime.trace,
@@ -139,6 +165,30 @@ class AppManager:
         app.driver = driver
         app.job = driver.submit(app.workload.build(app.parallelism))
         env.process(self._watch(app))
+
+    def _enforce_split(self, app: ClusterApp) -> None:
+        """Consult the split policy for one admission and act on it."""
+        free = max(0, self.pool.vm_capacity
+                   - sum(self._vm_committed.values()))
+        decision = self.split_policy.decide(app.workload, free,
+                                            registry_name=app.registry_name)
+        self.decisions.append(decision)
+        self._vm_committed[app.app_id] = decision.vm_cores
+        self.runtime.trace.record(
+            self.runtime.env.now, CAT_PLANNER, EV_SPLIT_DECIDED,
+            app=app.app_id, workload=app.registry_name,
+            choice=decision.choice, free_cores=free,
+            vm_cores=decision.vm_cores,
+            lambda_cores=decision.lambda_cores,
+            segue_cores=decision.segue_cores,
+            predicted_runtime_s=decision.predicted_runtime_s,
+            slo_s=decision.slo_s, meets_slo=decision.meets_slo)
+        if decision.lambda_cores > 0:
+            self.pool.invoke_lambda_executors(decision.lambda_cores)
+            self._bridged[app.app_id] = decision.lambda_cores
+        if decision.segue_cores > 0:
+            self.pool.segue_to_vms(decision.segue_cores,
+                                   decision.segue_at_s)
 
     def _watch(self, app: ClusterApp):
         try:
@@ -152,6 +202,8 @@ class AppManager:
         app.finish_time = self.runtime.env.now
         self.running.discard(app.app_id)
         self.pools.unregister(app)
+        self._vm_committed.pop(app.app_id, None)
+        self._drain_bridge(app)
         self.finished.append(app)
         if app.failed:
             self._record(EV_APP_FAILED, app=app.app_id,
@@ -169,6 +221,24 @@ class AppManager:
                 and not self._completion_event.triggered
                 and len(self.finished) >= self._completion_target):
             self._completion_event.succeed(self)
+
+    def _drain_bridge(self, app: ClusterApp) -> None:
+        """Release the bridge Lambdas invoked for ``app``, keeping
+        hands off slots still claimed by other running apps. Segued
+        bridges drain through the segue instead; by completion their
+        claim finds no live Lambda executor and drains zero."""
+        claim = self._bridged.pop(app.app_id, 0)
+        if claim <= 0:
+            return
+        reserved = sum(self._bridged.get(other, 0)
+                       for other in self.running)
+        drainable = max(0, min(claim,
+                               self.pool.live_lambda_executors - reserved))
+        drained = (self.pool.drain_lambda_executors(drainable)
+                   if drainable > 0 else 0)
+        self.runtime.trace.record(
+            self.runtime.env.now, CAT_PLANNER, EV_BRIDGE_DRAINED,
+            app=app.app_id, claimed=claim, drained=drained)
 
     # ------------------------------------------------------------------
 

@@ -26,6 +26,14 @@ Parameters come through ``ExperimentSpec.extra``:
 ``worker_itype``        instance type for pool VMs (default from the first
                         workload in the mix)
 ======================  =====================================================
+
+An admission-time split policy rides in ``ExperimentSpec.policy``
+(``{"name": "planner", ...}``, resolved through
+:mod:`repro.core.policies`): each arriving app then gets a per-job
+FaaS/IaaS decision — queue on free VM slots, bridge the shortfall with
+Lambdas, or bridge and segue — and the record grows ``planner.*``
+metrics summarizing the decisions. Without a policy the run is
+byte-identical to pre-planner records.
 """
 
 from __future__ import annotations
@@ -85,6 +93,19 @@ def _params(spec: "ExperimentSpec") -> Dict[str, object]:
     }
 
 
+def _split_policy(spec: "ExperimentSpec"):
+    """Build the admission-time split policy named in ``spec.policy``
+    (``{"name": ..., **params}``); None when the spec carries no policy
+    — that path must stay byte-identical to pre-planner records."""
+    cfg = dict(spec.policy)
+    if not cfg:
+        return None
+    from repro.core.policies import SPLIT, make_policy
+    name = str(cfg.pop("name", "planner"))
+    cfg.setdefault("seed", spec.seed)
+    return make_policy(name, expect_kind=SPLIT, **cfg)
+
+
 def run_multijob(spec: "ExperimentSpec") -> "RunRecord":
     """Execute one multijob arrival replay and return its record."""
     from repro.experiments.records import RunRecord
@@ -99,12 +120,13 @@ def run_multijob(spec: "ExperimentSpec") -> "RunRecord":
     worker_itype = (params["worker_itype"]
                     or workloads[0].spec.worker_itype)
 
+    split_policy = _split_policy(spec)
     pools = SchedulerPools([PoolConfig("default", mode=params["mode"])])
     hybrid = (params["pool_style"] == "hybrid_segue"
               and params["lambda_cores"] > 0)
     shuffle_backend = None
     storages = []
-    if hybrid:
+    if hybrid or split_policy is not None:
         # SplitServe shape (§4.3): shuffle flows through HDFS colocated
         # with the master VM, so outputs survive Lambda executors being
         # drained at segue time.
@@ -118,7 +140,7 @@ def run_multijob(spec: "ExperimentSpec") -> "RunRecord":
         storages.append(hdfs)
     pool = ExecutorPool(runtime, conf, pools,
                         shuffle_backend=shuffle_backend)
-    if hybrid:
+    if hybrid or split_policy is not None:
         pool.dedicated_vms.append(master_vm)
     pool.provision_vm_cores(params["pool_cores"], worker_itype)
     if hybrid:
@@ -128,12 +150,14 @@ def run_multijob(spec: "ExperimentSpec") -> "RunRecord":
         pool.segue_to_vms(params["lambda_cores"], ready_delay)
 
     manager = AppManager(runtime, pool, pools,
-                         max_concurrent=params["max_concurrent"])
+                         max_concurrent=params["max_concurrent"],
+                         split_policy=split_policy)
     runtime.arm_faults(None, scheduler=pool.scheduler,
                        storages=storages)
 
     n_jobs = params["n_jobs"]
-    apps = [ClusterApp(f"app{i}", i, workloads[i % len(workloads)])
+    apps = [ClusterApp(f"app{i}", i, workloads[i % len(workloads)],
+                       registry_name=params["mix"][i % len(workloads)])
             for i in range(n_jobs)]
 
     def arrivals(env):
@@ -202,6 +226,16 @@ def _build_record(spec, record_cls, runtime: ClusterRuntime,
     if runtime.recovery is not None:
         metrics.update(runtime.recovery.metrics())
         metrics["faults_injected"] = len(runtime.injector.injected)
+    if manager.split_policy is not None:
+        decisions = manager.decisions
+        metrics["planner.split_decisions"] = len(decisions)
+        metrics["planner.choices"] = ",".join(d.choice for d in decisions)
+        metrics["planner.bridged_lambda_cores"] = sum(
+            d.lambda_cores for d in decisions)
+        metrics["planner.segue_cores"] = sum(
+            d.segue_cores for d in decisions)
+        metrics["planner.predicted_slo_met"] = sum(
+            1 for d in decisions if d.meets_slo)
 
     failed = bool(manager.finished) and all(app.failed
                                             for app in manager.finished)

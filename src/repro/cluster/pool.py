@@ -149,6 +149,19 @@ class ExecutorPool(SchedulerListener):
         self.lambdas: List["LambdaInstance"] = []
         self.failed_invocations = 0
 
+    @property
+    def vm_capacity(self) -> int:
+        """Pre-provisioned VM slots (the capacity an admission-time
+        split policy divides between applications)."""
+        return sum(self._shared_cores.values())
+
+    @property
+    def live_lambda_executors(self) -> int:
+        """Registered (drainable) Lambda-backed executors right now."""
+        return sum(1 for e in self.scheduler.executors.values()
+                   if e.kind is HostKind.LAMBDA
+                   and e.state is ExecutorState.REGISTERED)
+
     # ------------------------------------------------------------------
     # Capacity
     # ------------------------------------------------------------------
@@ -193,14 +206,24 @@ class ExecutorPool(SchedulerListener):
 
     def _segue_ready(self, vm: "VirtualMachine", take: int) -> None:
         add_executors_on_vms(self.factory, [vm], take)
+        self.drain_lambda_executors(take)
+
+    def drain_lambda_executors(self, count: int) -> int:
+        """Gracefully decommission up to ``count`` registered
+        Lambda-backed executors (each finishes its in-flight task, then
+        its container is released and billed via
+        :meth:`on_executor_drained`). Returns how many were told to
+        drain — fewer than ``count`` when the pool holds fewer live
+        Lambda executors."""
         drained = 0
         for executor in list(self.scheduler.executors.values()):
-            if drained == take:
+            if drained == count:
                 break
             if (executor.kind is HostKind.LAMBDA
                     and executor.state is ExecutorState.REGISTERED):
                 self.scheduler.decommission_executor(executor, graceful=True)
                 drained += 1
+        return drained
 
     # ------------------------------------------------------------------
     # SchedulerListener (primary, executor-level callbacks)

@@ -1,0 +1,128 @@
+"""Named-policy registry: one lookup for every pluggable policy.
+
+Two policy families exist in the repo and, before this module, each was
+wired differently: the §4.1 k·σ provisioning policies were built inline
+from a ``k`` float, while the planner's split policy would have needed
+its own flag plumbing. Here both are registered under stable names and
+constructed the same way — from a name plus keyword params — whether the
+caller is a CLI flag (``repro stream --policy 2sigma``), an
+:class:`~repro.experiments.spec.ExperimentSpec` ``extra``/``policy``
+payload, or a benchmark.
+
+A policy's *kind* says where it plugs in:
+
+``provisioning``
+    ``cores_at(DemandPoint) -> int`` objects (the
+    :class:`~repro.core.autoscaler.ProvisioningPolicy` protocol)
+    consumed by :class:`~repro.core.stream.JobStreamSimulator` and
+    :class:`~repro.core.autoscaler.InterJobAutoscaler`.
+``split``
+    ``decide(workload, free_cores) -> SplitDecision`` objects (the
+    :class:`~repro.planner.policy.PlannerPolicy` protocol) consulted by
+    :class:`~repro.cluster.apps.AppManager` at admission.
+
+Callers pass ``expect_kind`` so a spec naming a provisioning policy
+where a split policy belongs fails loudly instead of duck-typing its
+way into nonsense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Policy kinds.
+PROVISIONING = "provisioning"
+SPLIT = "split"
+POLICY_KINDS = (PROVISIONING, SPLIT)
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered policy: how to build it and where it plugs in."""
+
+    name: str
+    kind: str
+    factory: Callable[..., Any]
+    description: str
+
+
+_REGISTRY: Dict[str, PolicyEntry] = {}
+
+
+def register_policy(name: str, kind: str, factory: Callable[..., Any],
+                    description: str) -> None:
+    """Register ``factory`` under ``name``. Re-registering a name is an
+    error — policies are part of spec hashes and must stay stable."""
+    if kind not in POLICY_KINDS:
+        raise ValueError(f"policy kind must be one of {POLICY_KINDS}, "
+                         f"got {kind!r}")
+    if name in _REGISTRY:
+        raise ValueError(f"policy {name!r} is already registered")
+    _REGISTRY[name] = PolicyEntry(name, kind, factory, description)
+
+
+def known_policies(kind: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered policy names (optionally one kind), sorted."""
+    return tuple(sorted(name for name, entry in _REGISTRY.items()
+                        if kind is None or entry.kind == kind))
+
+
+def policy_entry(name: str) -> PolicyEntry:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown policy {name!r}; known: {', '.join(known_policies())}")
+    return _REGISTRY[name]
+
+
+def make_policy(name: str, expect_kind: Optional[str] = None,
+                **params: Any) -> Any:
+    """Build the policy registered as ``name`` with ``params``.
+
+    ``expect_kind`` asserts where the caller intends to plug the policy
+    in; a mismatch raises instead of returning an object with the wrong
+    interface.
+    """
+    entry = policy_entry(name)
+    if expect_kind is not None and entry.kind != expect_kind:
+        raise ValueError(
+            f"policy {name!r} is a {entry.kind} policy, not {expect_kind}")
+    return entry.factory(**params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in provisioning policies (§4.1: provision m(t) + k·σ(t)).
+# ---------------------------------------------------------------------------
+
+def _ksigma(k: float = 0.0):
+    from repro.core.autoscaler import ProvisioningPolicy
+    return ProvisioningPolicy(k=float(k))
+
+
+def _fixed_sigma(k: float) -> Callable[..., Any]:
+    def factory():
+        return _ksigma(k)
+    return factory
+
+
+register_policy("ksigma", PROVISIONING, _ksigma,
+                "provision m(t) + k*sigma(t); pass k explicitly")
+register_policy("mean", PROVISIONING, _fixed_sigma(0.0),
+                "provision exactly m(t) (k=0)")
+for _k in (1, 2, 3):
+    register_policy(f"{_k}sigma", PROVISIONING, _fixed_sigma(float(_k)),
+                    f"provision m(t) + {_k}*sigma(t)")
+
+
+# ---------------------------------------------------------------------------
+# Built-in split policy (the planner, imported lazily so loading the
+# registry never drags the profiling machinery in).
+# ---------------------------------------------------------------------------
+
+def _planner(**params: Any):
+    from repro.planner.policy import PlannerPolicy
+    return PlannerPolicy(**params)
+
+
+register_policy("planner", SPLIT, _planner,
+                "model-based FaaS/IaaS split chosen per job at admission")

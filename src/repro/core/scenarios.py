@@ -83,6 +83,9 @@ SCENARIO_LABELS = {
     "ss_R_la": "SS {R} La",
     "ss_hybrid": "SS {r} VM / {d} La",
     "ss_hybrid_segue": "SS {r} VM / {d} La Segue",
+    # Not part of SCENARIO_NAMES (never run by ``--scenario all``): the
+    # planner-enforced split, dispatched via ExperimentSpec.policy.
+    "ss_planned": "SS planned split",
 }
 
 #: Effective single-prefix S3 request rate under Qubole's shuffle flood.
@@ -306,8 +309,15 @@ def _qubole(workload: Workload, runtime: ClusterRuntime, scenario: str,
 def _splitserve(workload: Workload, runtime: ClusterRuntime, vm_cores: int,
                 segue: bool, scenario: str, keep_trace: bool,
                 conf: SparkConf,
-                segue_at_s: Optional[float]) -> ScenarioResult:
+                segue_at_s: Optional[float],
+                total_cores: Optional[int] = None,
+                segue_cores: Optional[int] = None) -> ScenarioResult:
     spec = workload.spec
+    # The §5.1 scenarios always assemble R slots and (on segue) procure
+    # the Δ = R − r shortfall; planned runs pass both explicitly.
+    total = total_cores if total_cores is not None else spec.required_cores
+    procure = (segue_cores if segue_cores is not None
+               else spec.shortfall_cores)
     master = runtime.provider.request_vm(spec.master_itype, name="master",
                                          already_running=True)
     # The master VM hosts the driver + HDFS; its cores are not executor
@@ -329,20 +339,20 @@ def _splitserve(workload: Workload, runtime: ClusterRuntime, vm_cores: int,
                                                     spec.worker_itype)
 
     run = ss.submit_job(workload.build(spec.required_cores),
-                        required_cores=spec.required_cores,
+                        required_cores=total,
                         max_vm_cores=vm_cores,
                         expected_duration_s=spec.slo_seconds,
                         segue=False)
 
     segue_vms: List = []
-    if segue and spec.shortfall_cores > 0:
+    if segue and procure > 0:
         delay = segue_at_s
         if delay is None:
             delay = spec.segue_available_s
         if delay is None:
             delay = spec.vm_ready_delay_s
         scale_out_after(
-            runtime, None, spec.shortfall_cores,
+            runtime, None, procure,
             boot_delay=lambda itype, delay=delay: delay,
             on_ready=lambda vm, take: ss.segueing.segue_to_vm(vm, take),
             vms_out=segue_vms)
@@ -443,6 +453,32 @@ def run_scenario(spec: "ExperimentSpec",
                                 faults=spec.faults)
     result.experiment = spec
     return result
+
+
+def run_split(workload: Workload, runtime: ClusterRuntime, *,
+              vm_cores: int, lambda_cores: int,
+              segue_cores: int = 0, segue_at_s: Optional[float] = None,
+              conf: Optional[SparkConf] = None, keep_trace: bool = False,
+              scenario: str = "ss_planned") -> ScenarioResult:
+    """Execute one SplitServe run under an explicit split decision.
+
+    ``vm_cores`` pre-provisioned VM slots plus ``lambda_cores`` Lambda
+    slots are assembled at submission; ``segue_cores`` VM cores are
+    procured in the background and, once ready at ``segue_at_s``, take
+    over from (up to as many) Lambda executors via segueing — with no
+    Lambdas to drain this degrades to plain scale-out. Billing matches
+    the §5.1 scenarios (shared per-core VM share, whole procured VMs,
+    Lambda GB-seconds). Used by :mod:`repro.planner` to enforce a
+    :class:`~repro.planner.model.SplitCandidate`; the eight fixed
+    scenarios keep their byte-identical paths through ``run_scenario``.
+    """
+    if vm_cores + lambda_cores <= 0:
+        raise ValueError("a split needs at least one VM or Lambda slot")
+    conf = conf if conf is not None else SparkConf()
+    return _splitserve(workload, runtime, vm_cores, segue_cores > 0,
+                       scenario, keep_trace, conf, segue_at_s,
+                       total_cores=vm_cores + lambda_cores,
+                       segue_cores=segue_cores)
 
 
 def run_all_scenarios(workload: Workload, seed: int = 0,

@@ -28,6 +28,7 @@ from repro.experiments.records import RunRecord
 from repro.experiments.spec import (
     CUSTOM_PREFIX,
     MULTIJOB_SCENARIO,
+    PLANNED_SCENARIO,
     PROFILE_SCENARIOS,
     STREAM_SCENARIO,
     ExperimentSpec,
@@ -68,6 +69,9 @@ def _dispatch(spec: ExperimentSpec) -> RunRecord:
     if scenario == MULTIJOB_SCENARIO:
         from repro.cluster.multijob import run_multijob
         return run_multijob(spec)
+    if scenario == PLANNED_SCENARIO:
+        from repro.planner.planned import run_planned
+        return run_planned(spec)
     if scenario.startswith(CUSTOM_PREFIX):
         module_name, func_name = scenario[len(CUSTOM_PREFIX):].split(":")
         fn = getattr(importlib.import_module(module_name), func_name)
@@ -81,8 +85,10 @@ def _dispatch(spec: ExperimentSpec) -> RunRecord:
 
 def _run_stream(spec: ExperimentSpec) -> RunRecord:
     """The §4.1 day-of-jobs simulation, parameterized via ``spec.extra``
-    (hours, k, bridge, base_cores, peak_cores)."""
-    from repro.core.autoscaler import ProvisioningPolicy
+    (hours, k, policy, bridge, base_cores, peak_cores). ``policy`` names
+    a registered provisioning policy (default ``ksigma``, which consumes
+    ``k``); named fixed policies like ``2sigma`` ignore ``k``."""
+    from repro.core.policies import PROVISIONING, make_policy
     from repro.core.stream import JobStreamSimulator
     from repro.workloads.traces import DiurnalTrace
 
@@ -92,8 +98,13 @@ def _run_stream(spec: ExperimentSpec) -> RunRecord:
                           peak_cores=float(params.get("peak_cores", 80.0)),
                           sigma_fraction=float(params.get("sigma_fraction", 0.2)),
                           seed=spec.seed).generate(hours=hours + 1)
+    policy_name = str(params.get("policy", "ksigma"))
+    policy_params = ({"k": float(params.get("k", 0.0))}
+                     if policy_name == "ksigma" else {})
     sim = JobStreamSimulator(demand,
-                             ProvisioningPolicy(k=float(params.get("k", 0.0))),
+                             make_policy(policy_name,
+                                         expect_kind=PROVISIONING,
+                                         **policy_params),
                              bridge=str(params.get("bridge", "lambda")),
                              seed=spec.seed)
     report = sim.run(hours * 3600.0)

@@ -13,6 +13,8 @@ Scenario names accepted:
 - ``profile_lambda`` / ``profile_vm`` — one Figure 4 profiling point at
   ``parallelism`` executors;
 - ``stream`` — the §4.1 day-of-jobs simulation (parameters in ``extra``);
+- ``ss_planned`` — one SplitServe run whose FaaS/IaaS split is dictated
+  by the ``policy`` field (written by :mod:`repro.planner`);
 - ``custom:<module>:<function>`` — a dotted reference to a module-level
   function taking the spec and returning a record (or a dict of record
   fields); used by ablation benches whose setup is not a §5.1 scenario.
@@ -38,6 +40,9 @@ STREAM_SCENARIO = "stream"
 #: Scenario name handled by :mod:`repro.cluster.multijob` (job-arrival
 #: replay against a shared executor pool; parameters in ``extra``).
 MULTIJOB_SCENARIO = "multijob"
+#: Scenario name handled by :mod:`repro.planner.planned` (one SplitServe
+#: run under an explicit split decision carried in ``policy``).
+PLANNED_SCENARIO = "ss_planned"
 #: Prefix for ``custom:<module>:<function>`` scenario references.
 CUSTOM_PREFIX = "custom:"
 
@@ -95,6 +100,13 @@ class ExperimentSpec:
     #: Declarative fault plan injected during the run (scenario runs
     #: only); accepts FaultSpec values or plain dicts at construction.
     faults: Tuple[FaultSpec, ...] = ()
+    #: Split-policy configuration. For ``ss_planned`` runs this is the
+    #: enforced :class:`~repro.planner.model.SplitCandidate` (written by
+    #: the planner); for ``multijob``/``stream`` runs it names a
+    #: registered policy (``{"name": ...}`` plus its parameters). Part
+    #: of the canonical hash whenever non-empty, so the result cache can
+    #: never serve a record produced under a different split policy.
+    policy: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workload_params",
@@ -103,6 +115,7 @@ class ExperimentSpec:
                            _freeze(self.conf_overrides))
         object.__setattr__(self, "extra", _freeze(self.extra))
         object.__setattr__(self, "faults", _freeze_faults(self.faults))
+        object.__setattr__(self, "policy", _freeze(self.policy))
         self._validate_scenario()
         if self.parallelism is not None:
             if self.scenario not in PROFILE_SCENARIOS:
@@ -115,7 +128,7 @@ class ExperimentSpec:
     def _validate_scenario(self) -> None:
         name = self.scenario
         if (name in PROFILE_SCENARIOS or name == STREAM_SCENARIO
-                or name == MULTIJOB_SCENARIO):
+                or name == MULTIJOB_SCENARIO or name == PLANNED_SCENARIO):
             return
         if name.startswith(CUSTOM_PREFIX):
             parts = name[len(CUSTOM_PREFIX):].split(":")
@@ -128,7 +141,7 @@ class ExperimentSpec:
         from repro.core.scenarios import SCENARIO_NAMES
         if name not in SCENARIO_NAMES:
             known = [*SCENARIO_NAMES, *PROFILE_SCENARIOS, STREAM_SCENARIO,
-                     MULTIJOB_SCENARIO,
+                     MULTIJOB_SCENARIO, PLANNED_SCENARIO,
                      CUSTOM_PREFIX + "<module>:<function>"]
             raise ValueError(f"unknown scenario {name!r}; known: {known}")
 
@@ -151,7 +164,7 @@ class ExperimentSpec:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "workload": self.workload,
             "scenario": self.scenario,
             "seed": self.seed,
@@ -162,6 +175,12 @@ class ExperimentSpec:
             "extra": dict(self.extra),
             "faults": [fault.to_dict() for fault in self.faults],
         }
+        # Only serialized when set: policy-less specs keep their
+        # pre-planner canonical form (and hence their cache keys), while
+        # any policy at all lands in the hash.
+        if self.policy:
+            data["policy"] = dict(self.policy)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -175,6 +194,7 @@ class ExperimentSpec:
             segue_at_s=data.get("segue_at_s"),
             extra=data.get("extra") or (),
             faults=data.get("faults") or (),
+            policy=data.get("policy") or (),
         )
 
     def spec_hash(self) -> str:

@@ -32,6 +32,7 @@ CAT_FAULT = "fault"            # repro.simulation.faults
 CAT_LAUNCHING = "launching"    # repro.core.launching.LaunchingFacility
 CAT_SEGUE = "segue"            # repro.core.segue.SegueingFacility
 CAT_CLUSTER = "cluster"        # repro.cluster.apps.AppManager
+CAT_PLANNER = "planner"        # repro.planner (split planning + enforcement)
 
 # ---------------------------------------------------------------------------
 # Event names, grouped by category
@@ -105,6 +106,14 @@ EV_APP_ADMITTED = "app_admitted"
 EV_APP_COMPLETED = "app_completed"
 EV_APP_FAILED = "app_failed"
 
+# planner (model-based split planning and its online enforcement)
+EV_PLAN_REQUESTED = "plan_requested"
+EV_PLAN_CHOSEN = "plan_chosen"
+EV_PLAN_INFEASIBLE = "plan_infeasible"
+EV_PLAN_ENFORCED = "plan_enforced"
+EV_SPLIT_DECIDED = "split_decided"
+EV_BRIDGE_DRAINED = "bridge_drained"
+
 
 #: category -> the event names it may emit. ``validate_event`` enforces
 #: membership; the EventBus checks every published record against this.
@@ -146,6 +155,10 @@ EVENTS: Dict[str, FrozenSet[str]] = {
     }),
     CAT_CLUSTER: frozenset({
         EV_APP_SUBMITTED, EV_APP_ADMITTED, EV_APP_COMPLETED, EV_APP_FAILED,
+    }),
+    CAT_PLANNER: frozenset({
+        EV_PLAN_REQUESTED, EV_PLAN_CHOSEN, EV_PLAN_INFEASIBLE,
+        EV_PLAN_ENFORCED, EV_SPLIT_DECIDED, EV_BRIDGE_DRAINED,
     }),
 }
 

@@ -123,6 +123,36 @@ def render_run_report(record: Mapping[str, Any]) -> str:
     lines.append("cost split ($):")
     lines.extend(_table(["component", "cost", "share"], rows))
 
+    # -- planner: predicted vs actual ----------------------------------
+    planner = {name[len("planner."):]: metrics[name]
+               for name in metrics if name.startswith("planner.")}
+    if planner:
+        lines.append("")
+        lines.append("planner (predicted vs actual):")
+        if "candidate" in planner:
+            # Single planned run: the full calibration loop.
+            rows = [["candidate", planner.get("candidate", "?"), ""],
+                    ["SLO", planner.get("slo_s", "?"),
+                     ("met" if planner.get("slo_met") else "MISSED")],
+                    ["runtime (s)",
+                     planner.get("predicted_runtime_s", float("nan")),
+                     planner.get("actual_runtime_s", float("nan"))],
+                    ["cost ($)",
+                     planner.get("predicted_cost", float("nan")),
+                     planner.get("actual_cost", float("nan"))],
+                    ["runtime error",
+                     _share(float(planner.get("error_runtime_frac", 0.0)),
+                            1.0), ""],
+                    ["cost error",
+                     _share(float(planner.get("error_cost_frac", 0.0)),
+                            1.0), ""]]
+            lines.extend(_table(["", "predicted", "actual"], rows))
+        else:
+            # Multijob: per-admission decision summary.
+            lines.extend(_table(
+                ["metric", "value"],
+                [[k, planner[k]] for k in sorted(planner)]))
+
     # -- per-stage breakdown + critical path ---------------------------
     stages = _nested(metrics, "stage")
     if stages:

@@ -1,0 +1,42 @@
+"""Model-based FaaS/IaaS split planning (the §6 open control problem).
+
+The paper fixes each scenario's Lambda/VM split by hand; this package
+turns that split into a decision made by a calibrated model:
+
+- :mod:`repro.planner.model` — per-workload stage profiles measured
+  from two cheap probe simulations, fitted into an analytical runtime
+  predictor over (vm_cores, lambda_cores, segue point);
+- :mod:`repro.planner.cost` — prices any candidate split with the real
+  billing rules (60 s VM minimum, GB-second Lambda rounding);
+- :mod:`repro.planner.planner` — searches candidate splits against an
+  SLO and returns a ranked :class:`~repro.planner.planner.SplitPlan`;
+- :mod:`repro.planner.planned` — executes a chosen split as an
+  ``ss_planned`` :class:`~repro.experiments.spec.ExperimentSpec` and
+  closes the calibration loop (``planner.predicted_*`` vs
+  ``planner.actual_*`` in ``RunRecord.metrics``);
+- :mod:`repro.planner.policy` — the online ``PlannerPolicy`` consulted
+  by :class:`~repro.cluster.apps.AppManager` at job admission.
+"""
+
+from repro.planner.cost import CostModel
+from repro.planner.model import (
+    PerformanceModel,
+    SplitCandidate,
+    StageProfile,
+    WorkloadProfile,
+    build_profile,
+)
+from repro.planner.planner import PlanOutcome, PlannedCandidate, SplitPlan, SplitPlanner
+
+__all__ = [
+    "CostModel",
+    "PerformanceModel",
+    "PlanOutcome",
+    "PlannedCandidate",
+    "SplitCandidate",
+    "SplitPlan",
+    "SplitPlanner",
+    "StageProfile",
+    "WorkloadProfile",
+    "build_profile",
+]

@@ -1,0 +1,126 @@
+"""The planner's cost model: price any candidate split before running it.
+
+Mirrors the marginal-cost accounting of :mod:`repro.core.scenarios`
+with the real billing rules from :mod:`repro.cloud.pricing`:
+
+- pre-provisioned VM slots bill their per-core share of the workload's
+  worker instances for the whole run (per-second, 60 s minimum);
+- background-procured (segue / scale-out) VMs bill whole, from
+  readiness to job end, on the fewest instances covering the cores;
+- Lambda slots bill GB-seconds in 100 ms increments plus the
+  per-invocation fee; segued-away Lambdas stop billing at the segue
+  point (plus the in-flight task they finish).
+
+Like the runtime model, the raw formula is calibrated against the two
+probe runs: the per-kind residual (master-side effects, settle time)
+measured at each probe endpoint is blended into hybrid estimates, so
+pure-VM and pure-Lambda candidates price exactly what their probes
+billed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cloud.instance_types import fewest_instances_for_cores, instance_type
+from repro.cloud.pricing import VMPricing, lambda_cost
+from repro.planner.model import SplitCandidate, WorkloadProfile
+
+#: Memory size of every executor Lambda (the LaunchingFacility default,
+#: itself the paper's 1536 MB figure-1 configuration).
+LAMBDA_MEMORY_MB = 1536
+
+
+@dataclass
+class CostModel:
+    """Prices a :class:`SplitCandidate` for one profiled workload."""
+
+    profile: WorkloadProfile
+
+    def predict_cost(self, candidate: SplitCandidate,
+                     runtime_s: float) -> float:
+        total, _ = self.predict_cost_breakdown(candidate, runtime_s)
+        return total
+
+    def predict_cost_breakdown(
+            self, candidate: SplitCandidate,
+            runtime_s: float) -> Tuple[float, Dict[str, float]]:
+        """(total, breakdown) for ``candidate`` finishing at
+        ``runtime_s``."""
+        breakdown = {
+            "vm": self._shared_vm_cost(candidate.vm_cores, runtime_s)
+            + self._procured_vm_cost(candidate, runtime_s),
+            "lambda": self._lambda_cost(candidate, runtime_s),
+        }
+        breakdown = {k: v for k, v in breakdown.items() if v > 0}
+        calibration = self._calibration(candidate)
+        if calibration:
+            breakdown["calibration"] = calibration
+        return sum(breakdown.values()), breakdown
+
+    # -- components -------------------------------------------------------
+
+    def _shared_vm_cost(self, cores: int, runtime_s: float) -> float:
+        """Per-core share of the pre-provisioned worker instances."""
+        if cores <= 0 or runtime_s <= 0:
+            return 0.0
+        itype = instance_type(self.profile.worker_itype)
+        pricing = VMPricing(itype.price_per_hour)
+        cost, remaining = 0.0, cores
+        while remaining > 0:
+            used = min(remaining, itype.vcpus)
+            cost += pricing.cost(runtime_s) * used / itype.vcpus
+            remaining -= used
+        return cost
+
+    def _procured_vm_cost(self, candidate: SplitCandidate,
+                          runtime_s: float) -> float:
+        """Whole-instance billing for background-procured cores."""
+        if candidate.segue_cores <= 0:
+            return 0.0
+        ready = float(candidate.segue_at_s)
+        if ready >= runtime_s:
+            return 0.0  # job finished before the VMs came up: no bill
+        cost = 0.0
+        for itype in fewest_instances_for_cores(candidate.segue_cores):
+            cost += VMPricing(itype.price_per_hour).cost(runtime_s - ready)
+        return cost
+
+    def _lambda_cost(self, candidate: SplitCandidate,
+                     runtime_s: float) -> float:
+        if candidate.lambda_cores <= 0:
+            return 0.0
+        end = runtime_s
+        converted = min(candidate.lambda_cores, candidate.segue_cores)
+        if converted > 0 and candidate.segue_at_s < runtime_s:
+            # Drained Lambdas run until the segue point plus the task
+            # they were mid-way through.
+            end = min(runtime_s, float(candidate.segue_at_s)
+                      + self.profile.mean_lambda_task_s)
+        per_fn = lambda_cost(LAMBDA_MEMORY_MB, end, invocations=1)
+        cost = converted * per_fn
+        survivors = candidate.lambda_cores - converted
+        if survivors:
+            cost += survivors * lambda_cost(LAMBDA_MEMORY_MB, runtime_s,
+                                            invocations=1)
+        return cost
+
+    def _calibration(self, candidate: SplitCandidate) -> float:
+        """Probe-corner residual, blended by the initial slot mix (the
+        VM residual interpolated between the r- and R-core probes)."""
+        p = self.profile
+        resid_full = p.probe_vm_cost - self._shared_vm_cost(
+            p.required_cores, p.probe_vm_duration_s)
+        resid_avail = p.probe_vm_avail_cost - self._shared_vm_cost(
+            p.available_cores, p.probe_vm_avail_duration_s)
+        resid_la = p.probe_lambda_cost - p.required_cores * lambda_cost(
+            LAMBDA_MEMORY_MB, p.probe_lambda_duration_s, invocations=1)
+        vm, la = candidate.vm_cores, candidate.lambda_cores
+        lo, hi = p.available_cores, p.required_cores
+        if hi > lo:
+            frac = min(1.0, max(0.0, (vm + la - lo) / (hi - lo)))
+            resid_vm = resid_avail + (resid_full - resid_avail) * frac
+        else:
+            resid_vm = resid_full
+        return (vm * resid_vm + la * resid_la) / (vm + la)

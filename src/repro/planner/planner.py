@@ -1,0 +1,223 @@
+"""Search candidate splits against an SLO and rank them.
+
+The :class:`SplitPlanner` composes the calibrated
+:class:`~repro.planner.model.PerformanceModel` and
+:class:`~repro.planner.cost.CostModel` over a small, fully-executable
+candidate set:
+
+``vm_now``          run on the r cores available immediately
+``lambda_all``      all R slots Lambda-backed (the ``ss_R_la`` shape)
+``hybrid``          r VM cores + Δ Lambdas, no segue (``ss_hybrid``)
+``hybrid_segue@t``  same, plus Δ VM cores procured at t that take over
+                    from the Lambdas (``ss_hybrid_segue``), for a few
+                    deferred t — procuring later trims the 60 s-minimum
+                    VM bill when the job is nearly done
+``vm_scaleout``     r VM cores now + Δ VM cores procured for the job
+
+Ranking: candidates predicted to meet the SLO with a risk margin to
+spare (``slo_margin``, default 10% — predictions carry error, and a
+candidate forecast to land within a hair of the deadline is a bad bet)
+come first, cheapest first; then candidates that only meet the raw SLO;
+if none fits at all, the fastest candidate leads and the plan is marked
+infeasible. Every candidate maps 1:1 onto an executable ``ss_planned``
+:class:`~repro.experiments.spec.ExperimentSpec`, which closes the
+calibration loop (:class:`PlanOutcome`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.planner.cost import CostModel
+from repro.planner.model import (
+    PerformanceModel,
+    SplitCandidate,
+    WorkloadProfile,
+    build_profile,
+)
+
+#: Multiples of the nominal segue-ready delay at which deferred
+#: hybrid_segue candidates are generated (1.0 = procure immediately).
+SEGUE_DEFERRALS = (1.0, 1.5, 2.0)
+
+#: Default fraction of the SLO held back as prediction-risk headroom.
+DEFAULT_SLO_MARGIN = 0.1
+
+
+@dataclass(frozen=True)
+class PlannedCandidate:
+    """One scored entry of a :class:`SplitPlan`."""
+
+    candidate: SplitCandidate
+    predicted_runtime_s: float
+    predicted_cost: float
+    meets_slo: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {**self.candidate.to_policy(),
+                "predicted_runtime_s": self.predicted_runtime_s,
+                "predicted_cost": self.predicted_cost,
+                "meets_slo": self.meets_slo}
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """A ranked set of split candidates for one (workload, SLO)."""
+
+    workload: str
+    seed: int
+    slo_s: float
+    #: Ranked best-first: feasible by cost, then infeasible by runtime.
+    candidates: Tuple[PlannedCandidate, ...]
+
+    @property
+    def chosen(self) -> PlannedCandidate:
+        return self.candidates[0]
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any candidate is predicted to meet the SLO."""
+        return self.chosen.meets_slo
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"workload": self.workload, "seed": self.seed,
+                "slo_s": self.slo_s, "feasible": self.feasible,
+                "chosen": self.chosen.candidate.name,
+                "candidates": [c.to_dict() for c in self.candidates]}
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """Predicted vs simulated truth for one executed plan."""
+
+    workload: str
+    candidate: str
+    slo_s: float
+    predicted_runtime_s: float
+    predicted_cost: float
+    actual_runtime_s: float
+    actual_cost: float
+
+    @property
+    def error_runtime_frac(self) -> float:
+        if not self.actual_runtime_s:
+            return float("nan")
+        return (abs(self.predicted_runtime_s - self.actual_runtime_s)
+                / self.actual_runtime_s)
+
+    @property
+    def error_cost_frac(self) -> float:
+        if not self.actual_cost:
+            return float("nan")
+        return abs(self.predicted_cost - self.actual_cost) / self.actual_cost
+
+    @property
+    def slo_met(self) -> bool:
+        return self.actual_runtime_s <= self.slo_s
+
+    def to_metrics(self) -> Dict[str, object]:
+        """The ``planner.*`` entries merged into ``RunRecord.metrics``."""
+        return {
+            "planner.candidate": self.candidate,
+            "planner.slo_s": self.slo_s,
+            "planner.predicted_runtime_s": self.predicted_runtime_s,
+            "planner.predicted_cost": self.predicted_cost,
+            "planner.actual_runtime_s": self.actual_runtime_s,
+            "planner.actual_cost": self.actual_cost,
+            "planner.error_runtime_frac": self.error_runtime_frac,
+            "planner.error_cost_frac": self.error_cost_frac,
+            "planner.slo_met": self.slo_met,
+        }
+
+
+def default_candidates(profile: WorkloadProfile) -> List[SplitCandidate]:
+    """The executable candidate set for one profiled workload."""
+    r = profile.available_cores
+    big_r = profile.required_cores
+    delta = profile.shortfall_cores
+    candidates = [SplitCandidate("vm_now", r, 0),
+                  SplitCandidate("lambda_all", 0, big_r)]
+    if delta > 0:
+        ready = profile.segue_ready_s
+        candidates.append(SplitCandidate("hybrid", r, delta))
+        for deferral in SEGUE_DEFERRALS:
+            at = ready * deferral
+            suffix = "" if deferral == 1.0 else f"@{at:g}s"
+            candidates.append(SplitCandidate(
+                f"hybrid_segue{suffix}", r, delta,
+                segue_cores=delta, segue_at_s=at))
+        candidates.append(SplitCandidate(
+            "vm_scaleout", r, 0, segue_cores=delta,
+            segue_at_s=profile.vm_ready_delay_s))
+    return candidates
+
+
+class SplitPlanner:
+    """Plan (and optionally execute) FaaS/IaaS splits per workload.
+
+    Profiles are memoized per (workload, params) for the planner's
+    seed, so planning many SLOs for one workload probes it once.
+    """
+
+    def __init__(self, seed: int = 0,
+                 slo_margin: float = DEFAULT_SLO_MARGIN) -> None:
+        self.seed = seed
+        self.slo_margin = slo_margin
+        self._profiles: Dict[Tuple[str, Tuple], WorkloadProfile] = {}
+
+    def profile(self, workload: str,
+                workload_params: Optional[Mapping[str, object]] = None
+                ) -> WorkloadProfile:
+        params = tuple(sorted((workload_params or {}).items()))
+        key = (workload, params)
+        if key not in self._profiles:
+            self._profiles[key] = build_profile(
+                workload, seed=self.seed, workload_params=dict(params))
+        return self._profiles[key]
+
+    def plan(self, workload: str, slo_s: Optional[float] = None,
+             workload_params: Optional[Mapping[str, object]] = None
+             ) -> SplitPlan:
+        """Rank all candidates for ``workload`` against ``slo_s``
+        (default: the workload's own SLO)."""
+        profile = self.profile(workload, workload_params)
+        slo = float(slo_s) if slo_s is not None else profile.slo_seconds
+        perf = PerformanceModel(profile)
+        cost = CostModel(profile)
+        scored = []
+        for candidate in default_candidates(profile):
+            runtime = perf.predict_runtime(candidate)
+            scored.append(PlannedCandidate(
+                candidate=candidate,
+                predicted_runtime_s=runtime,
+                predicted_cost=cost.predict_cost(candidate, runtime),
+                meets_slo=runtime <= slo))
+        safe_slo = slo * (1.0 - self.slo_margin)
+
+        def rank(c: PlannedCandidate):
+            if c.predicted_runtime_s <= safe_slo:
+                return (0, c.predicted_cost)
+            if c.meets_slo:
+                return (1, c.predicted_cost)
+            return (2, c.predicted_runtime_s)
+
+        scored.sort(key=rank)
+        return SplitPlan(workload=workload, seed=self.seed, slo_s=slo,
+                         candidates=tuple(scored))
+
+    def spec_for(self, plan: SplitPlan,
+                 candidate: Optional[PlannedCandidate] = None,
+                 workload_params: Optional[Mapping[str, object]] = None):
+        """The ``ss_planned`` spec executing a plan's (chosen) split."""
+        from repro.experiments.spec import PLANNED_SCENARIO, ExperimentSpec
+        entry = candidate if candidate is not None else plan.chosen
+        policy = dict(entry.candidate.to_policy())
+        policy["slo_s"] = plan.slo_s
+        # None is droppable, not meaningful, in a policy payload.
+        policy = {k: v for k, v in policy.items() if v is not None}
+        return ExperimentSpec(workload=plan.workload,
+                              scenario=PLANNED_SCENARIO,
+                              seed=plan.seed,
+                              workload_params=workload_params or {},
+                              policy=policy)

@@ -1,0 +1,113 @@
+"""The planner as an *online* split policy consulted at admission.
+
+The offline :class:`~repro.planner.planner.SplitPlanner` answers "how
+should this job run, given the cluster shape in its spec". A shared
+cluster answers a harder question per arrival: the free VM cores vary
+with whatever else is running. :class:`PlannerPolicy` adapts the same
+calibrated models to that setting — at admission the
+:class:`~repro.cluster.apps.AppManager` reports how many VM slots are
+uncommitted, and the policy ranks three executable ways to cover the
+rest:
+
+``queue``         run on the free cores alone (possibly fewer than R)
+``bridge``        free cores + Lambdas for the shortfall
+``bridge_segue``  same, plus procured VMs that drain the Lambdas
+
+against the job's SLO with the planner's usual risk margin. Profiles
+are memoized per workload, so a mixed arrival stream probes each
+workload once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.planner.model import PerformanceModel, SplitCandidate
+from repro.planner.planner import DEFAULT_SLO_MARGIN, SplitPlanner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """What the policy tells the cluster to do for one admitted job."""
+
+    choice: str  # queue | bridge | bridge_segue
+    vm_cores: int  # free VM slots the job will use
+    lambda_cores: int  # Lambda slots to invoke for it
+    segue_cores: int  # VM cores to procure in the background
+    segue_at_s: Optional[float]
+    predicted_runtime_s: float
+    slo_s: float
+
+    @property
+    def meets_slo(self) -> bool:
+        return self.predicted_runtime_s <= self.slo_s
+
+
+class PlannerPolicy:
+    """Model-based split decisions, one per admitted application.
+
+    :param seed: planner seed for the probe runs backing each profile.
+    :param slo_margin: prediction-risk headroom (see
+        :class:`~repro.planner.planner.SplitPlanner`).
+    :param slo_s: override every job's SLO; default uses each
+        workload's own ``slo_seconds``.
+    """
+
+    kind = "split"
+
+    def __init__(self, seed: int = 0,
+                 slo_margin: float = DEFAULT_SLO_MARGIN,
+                 slo_s: Optional[float] = None) -> None:
+        self.planner = SplitPlanner(seed=seed, slo_margin=slo_margin)
+        self.slo_s = slo_s
+
+    def decide(self, workload: "Workload", free_cores: int,
+               registry_name: Optional[str] = None) -> SplitDecision:
+        """Choose how ``workload`` should run given ``free_cores``
+        uncommitted VM slots on the shared pool. ``registry_name`` is
+        the name to profile under when the workload instance's own name
+        embeds parameters (e.g. ``pagerank-25000``)."""
+        profile = self.planner.profile(registry_name or workload.name)
+        required = workload.spec.required_cores
+        slo = float(self.slo_s if self.slo_s is not None
+                    else workload.spec.slo_seconds)
+        vm = max(0, min(free_cores, required))
+        shortfall = required - vm
+        perf = PerformanceModel(profile)
+
+        options = []
+        if vm > 0:
+            options.append(("queue", SplitCandidate("queue", vm, 0)))
+        if shortfall > 0:
+            options.append(("bridge",
+                            SplitCandidate("bridge", vm, shortfall)))
+            options.append(("bridge_segue", SplitCandidate(
+                "bridge_segue", vm, shortfall, segue_cores=shortfall,
+                segue_at_s=profile.segue_ready_s)))
+        scored: Dict[str, Tuple[SplitCandidate, float]] = {
+            choice: (cand, perf.predict_runtime(cand))
+            for choice, cand in options}
+
+        safe_slo = slo * (1.0 - self.planner.slo_margin)
+
+        def rank(item):
+            choice, (cand, runtime) = item
+            # Cheaper first within a tier: queueing is free, bridging
+            # pays Lambda rates, segueing adds 60s-minimum VMs.
+            order = ("queue", "bridge", "bridge_segue").index(choice)
+            if runtime <= safe_slo:
+                return (0, order)
+            if runtime <= slo:
+                return (1, order)
+            return (2, runtime)
+
+        choice, (cand, runtime) = min(scored.items(), key=rank)
+        return SplitDecision(
+            choice=choice, vm_cores=cand.vm_cores,
+            lambda_cores=cand.lambda_cores,
+            segue_cores=cand.segue_cores, segue_at_s=cand.segue_at_s,
+            predicted_runtime_s=runtime, slo_s=slo)

@@ -121,3 +121,52 @@ def test_trace_sample_spacing():
     points = DiurnalTrace(sample_minutes=5.0).generate(hours=1.0)
     assert len(points) == 12
     assert points[1].time_s - points[0].time_s == pytest.approx(300.0)
+
+
+# ---------------------------------------------------------------------------
+# Edge cases: degenerate traces the replay must handle sensibly
+# ---------------------------------------------------------------------------
+
+def test_zero_sigma_trace_makes_every_policy_coincide():
+    """With sigma(t)=0 the k knob is inert: m(t)+k*0 = m(t), so a lean
+    and a very conservative policy provision identically."""
+    trace = flat_trace(sigma=0.0)
+    scaler = InterJobAutoscaler()
+    lean = scaler.replay(trace, ProvisioningPolicy(k=0))
+    conservative = scaler.replay(trace, ProvisioningPolicy(k=3))
+    assert conservative.provisioned == lean.provisioned
+    assert conservative.vm_core_hours == lean.vm_core_hours
+    assert conservative.shortfall == lean.shortfall
+
+
+def test_zero_sigma_trace_still_bridges_real_excursions():
+    """Zero predicted variance does not mean zero shortfall — if the
+    actual demand runs above the mean, every sample is a t1 moment."""
+    trace = flat_trace(sigma=0.0, actual=12.0)  # mean stays 10.0
+    report = InterJobAutoscaler().replay(trace, ProvisioningPolicy(k=2))
+    assert report.shortfall_events == len(trace)
+    assert report.idle_core_hours == 0.0
+
+
+def test_demand_permanently_above_capacity():
+    """A trace whose demand never fits under the provisioned line:
+    every sample is a shortfall, nothing idles, and the Lambda bridge
+    carries the whole gap."""
+    trace = flat_trace(mean=10.0, sigma=1.0, actual=100.0)
+    report = InterJobAutoscaler().replay(trace, ProvisioningPolicy(k=3))
+    assert report.shortfall_events == len(trace)
+    assert all(s > 0 for s in report.shortfall)
+    assert report.idle_core_hours == 0.0
+    # 9 intervals of 1 minute at a constant gap of 100-13=87 cores.
+    assert report.shortfall_core_hours == pytest.approx(87.0 * 9 / 60.0)
+    assert report.lambda_bridge_cost() > 0
+
+
+def test_single_sample_trace_is_rejected():
+    """One sample has no duration to integrate over; the replay refuses
+    rather than silently reporting zero core-hours."""
+    with pytest.raises(ValueError, match="two samples"):
+        InterJobAutoscaler().replay(flat_trace(n=1),
+                                    ProvisioningPolicy(k=1))
+    with pytest.raises(ValueError, match="two samples"):
+        InterJobAutoscaler().replay([], ProvisioningPolicy(k=1))

@@ -82,3 +82,59 @@ def test_unknown_workload_surfaces_at_build_time():
     spec = ExperimentSpec("mapreduce-2004", "ss_R_la")
     with pytest.raises(ValueError, match="unknown workload"):
         spec.make_workload()
+
+
+# ---------------------------------------------------------------------------
+# Split policy in the spec hash (and therefore the result cache key)
+# ---------------------------------------------------------------------------
+
+def test_policy_folds_into_spec_hash():
+    base = ExperimentSpec("sparkpi", "ss_planned",
+                          policy={"vm_cores": 4, "lambda_cores": 60})
+    other = base.with_(policy={"vm_cores": 0, "lambda_cores": 64})
+    named = base.with_(policy={"name": "planner"})
+    assert base.spec_hash() != other.spec_hash()
+    assert base.spec_hash() != named.spec_hash()
+    assert base != other
+
+
+def test_policy_is_order_insensitive_and_round_trips():
+    a = ExperimentSpec("sparkpi", "ss_planned",
+                       policy={"vm_cores": 4, "lambda_cores": 60,
+                               "slo_s": 60.0})
+    b = ExperimentSpec("sparkpi", "ss_planned",
+                       policy={"slo_s": 60.0, "lambda_cores": 60,
+                               "vm_cores": 4})
+    assert a == b
+    assert a.spec_hash() == b.spec_hash()
+    clone = ExperimentSpec.from_dict(a.to_dict())
+    assert clone == a
+    assert clone.spec_hash() == a.spec_hash()
+
+
+def test_policyless_spec_serialization_unchanged():
+    """Pre-planner specs must keep their canonical form (and hence
+    their cache keys and golden hashes): ``policy`` is only serialized
+    when set."""
+    spec = ExperimentSpec("sparkpi", "ss_R_vm")
+    assert "policy" not in spec.to_dict()
+    assert spec.with_(policy={}).spec_hash() == spec.spec_hash()
+
+
+def test_cache_never_cross_serves_split_policies(tmp_path):
+    """A record produced under one split decision must never satisfy a
+    lookup for a different decision — the regression the ``policy``
+    hash field exists to prevent."""
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.records import RunRecord
+
+    cache = ResultCache(str(tmp_path))
+    spec_a = ExperimentSpec("sparkpi", "ss_planned",
+                            policy={"vm_cores": 4, "lambda_cores": 60})
+    spec_b = spec_a.with_(policy={"vm_cores": 0, "lambda_cores": 64})
+    record = RunRecord(spec=spec_a, workload="sparkpi", duration_s=1.0)
+    cache.put(spec_a, record)
+    assert cache.get(spec_a) is not None
+    assert cache.get(spec_b) is None
+    # The same shape under a policy never collides with no policy.
+    assert cache.get(spec_a.with_(policy={})) is None

@@ -1,0 +1,36 @@
+"""Planner event taxonomy: registration and emission."""
+
+from repro.observability.categories import (
+    CAT_PLANNER,
+    EV_BRIDGE_DRAINED,
+    EV_PLAN_CHOSEN,
+    EV_PLAN_ENFORCED,
+    EV_PLAN_INFEASIBLE,
+    EV_PLAN_REQUESTED,
+    EV_SPLIT_DECIDED,
+    EVENTS,
+    validate_event,
+)
+
+
+def test_planner_category_registered():
+    assert CAT_PLANNER in EVENTS
+    for name in (EV_PLAN_REQUESTED, EV_PLAN_CHOSEN, EV_PLAN_INFEASIBLE,
+                 EV_PLAN_ENFORCED, EV_SPLIT_DECIDED, EV_BRIDGE_DRAINED):
+        validate_event(CAT_PLANNER, name)  # must not raise
+
+
+def test_planned_run_publishes_valid_enforcement_event():
+    """The EventBus validates every publish against the taxonomy, so a
+    successful planned run is proof the EV_PLAN_ENFORCED emission uses
+    a registered (category, name) pair — an unregistered pair would
+    raise at publish time."""
+    from repro.planner import SplitPlanner
+    from repro.planner.planned import run_planned
+
+    planner = SplitPlanner(seed=0)
+    plan = planner.plan("sparkpi")
+    record = run_planned(planner.spec_for(plan))
+    assert not record.failed
+    assert record.metrics["planner.candidate"] == \
+        plan.chosen.candidate.name

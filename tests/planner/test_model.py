@@ -1,0 +1,95 @@
+"""Tests for the planner's calibrated performance and cost models."""
+
+import pytest
+
+from repro.planner import CostModel, PerformanceModel, SplitCandidate
+from repro.planner.model import ProfileError, build_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    """One profiled workload shared by the module (three probe runs)."""
+    return build_profile("sparkpi", seed=0)
+
+
+def test_profile_shape(profile):
+    assert profile.workload == "sparkpi"
+    assert profile.required_cores > profile.available_cores > 0
+    assert profile.stages, "profile must carry per-stage data"
+    for stage in profile.stages:
+        assert stage.tasks > 0
+        assert stage.vm_task_s(profile.required_cores) > 0
+        assert stage.lambda_task_s() > 0
+    assert profile.probe_vm_duration_s > 0
+    assert profile.probe_lambda_duration_s > 0
+    assert profile.probe_vm_avail_duration_s > 0
+
+
+def test_model_exact_at_probe_corners(profile):
+    """The three probe configurations anchor the calibration: the model
+    must reproduce each probe's measured duration and cost exactly."""
+    perf = PerformanceModel(profile)
+    cost = CostModel(profile)
+    corners = [
+        (SplitCandidate("r_vm", profile.available_cores, 0),
+         profile.probe_vm_avail_duration_s, profile.probe_vm_avail_cost),
+        (SplitCandidate("R_vm", profile.required_cores, 0),
+         profile.probe_vm_duration_s, profile.probe_vm_cost),
+        (SplitCandidate("R_la", 0, profile.required_cores),
+         profile.probe_lambda_duration_s, profile.probe_lambda_cost),
+    ]
+    for candidate, duration, dollars in corners:
+        predicted = perf.predict_runtime(candidate)
+        assert predicted == pytest.approx(duration, rel=1e-9), candidate
+        assert cost.predict_cost(candidate, predicted) == pytest.approx(
+            dollars, rel=1e-9), candidate
+
+
+def test_hybrid_prediction_between_extremes(profile):
+    """A hybrid at full parallelism should not be predicted slower than
+    the starved pure-VM run on r cores."""
+    perf = PerformanceModel(profile)
+    hybrid = SplitCandidate("hybrid", profile.available_cores,
+                            profile.shortfall_cores)
+    assert (perf.predict_runtime(hybrid)
+            < perf.predict_runtime(
+                SplitCandidate("vm", profile.available_cores, 0)))
+
+
+def test_segue_shrinks_lambda_bill(profile):
+    """Draining Lambdas onto VMs at t must never increase the Lambda
+    component of the bill relative to keeping them to the end."""
+    cost = CostModel(profile)
+    runtime = 100.0
+    keep = SplitCandidate("hybrid", profile.available_cores,
+                          profile.shortfall_cores)
+    segue = SplitCandidate("segue", profile.available_cores,
+                           profile.shortfall_cores,
+                           segue_cores=profile.shortfall_cores,
+                           segue_at_s=30.0)
+    _, keep_parts = cost.predict_cost_breakdown(keep, runtime)
+    _, segue_parts = cost.predict_cost_breakdown(segue, runtime)
+    assert segue_parts["lambda"] < keep_parts["lambda"]
+    # ... in exchange for a VM component for the procured instances.
+    assert segue_parts["vm"] > keep_parts.get("vm", 0.0)
+
+
+def test_candidate_validation():
+    with pytest.raises(ValueError):
+        SplitCandidate("bad", -1, 4)
+    with pytest.raises(ValueError):
+        SplitCandidate("bad", 0, 0)
+    with pytest.raises(ValueError):
+        SplitCandidate("bad", 2, 2, segue_cores=2)  # needs segue_at_s
+
+
+def test_candidate_policy_round_trip():
+    candidate = SplitCandidate("hybrid_segue", 4, 12, segue_cores=12,
+                               segue_at_s=60.0)
+    clone = SplitCandidate.from_policy(candidate.to_policy())
+    assert clone == candidate
+
+
+def test_unknown_workload_raises_profile_error():
+    with pytest.raises(ProfileError):
+        build_profile("no-such-workload", seed=0)

@@ -1,0 +1,59 @@
+"""Planner-policy multijob runs: metrics, events, and determinism."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, ExperimentSpec
+from repro.experiments.runner import run_spec
+
+ARRIVALS = {"mix": "sparkpi,pagerank-small", "n_jobs": 3,
+            "mean_interarrival_s": 20.0, "pool_cores": 8}
+
+
+def _spec(seed=0, policy=None):
+    return ExperimentSpec(workload="multijob", scenario="multijob",
+                          seed=seed, extra=dict(ARRIVALS),
+                          policy=policy or {})
+
+
+@pytest.fixture(scope="module")
+def planned_record():
+    return run_spec(_spec(policy={"name": "planner"}))
+
+
+def test_policy_multijob_carries_planner_metrics(planned_record):
+    assert not planned_record.failed
+    m = planned_record.metrics
+    assert m["planner.split_decisions"] == ARRIVALS["n_jobs"]
+    assert m["planner.choices"].count(",") == ARRIVALS["n_jobs"] - 1
+    assert m["planner.bridged_lambda_cores"] >= 0
+
+
+def test_policyless_multijob_has_no_planner_metrics():
+    record = run_spec(_spec())
+    assert not record.failed
+    assert not any(k.startswith("planner.") for k in record.metrics)
+
+
+def test_policy_improves_latency_on_contended_pool(planned_record):
+    """Three jobs wanting 64/16/64 cores on an 8-core pool: bridging
+    with Lambdas must collapse the queue-bound tail latency."""
+    base = run_spec(_spec())
+    assert (planned_record.metrics["p95_latency_s"]
+            < base.metrics["p95_latency_s"])
+
+
+def test_policy_and_policyless_specs_never_share_cache_keys():
+    assert _spec().spec_hash() != _spec(policy={"name": "planner"}).spec_hash()
+
+
+def test_planned_multijob_serial_parallel_bit_identical():
+    """The satellite guarantee: a planner-policy multijob batch yields
+    bit-identical records whether it runs in-process or across worker
+    processes (each worker rebuilds the policy and its profiles from
+    the spec alone)."""
+    specs = [_spec(seed=s, policy={"name": "planner"}) for s in (0, 1)]
+    serial = ExperimentRunner(workers=1, cache=False).run(specs)
+    parallel = ExperimentRunner(workers=2, cache=False).run(specs)
+    assert all(not r.failed for r in serial)
+    assert [r.canonical() for r in serial] == \
+        [r.canonical() for r in parallel]

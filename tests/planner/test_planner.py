@@ -1,0 +1,114 @@
+"""Tests for plan ranking, feasibility, and the calibration loop."""
+
+import pytest
+
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import PLANNED_SCENARIO
+from repro.planner import SplitPlanner
+from repro.planner.planner import default_candidates
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return SplitPlanner(seed=0)
+
+
+@pytest.fixture(scope="module")
+def plan(planner):
+    return planner.plan("sparkpi")
+
+
+def test_candidate_set_covers_the_paper_shapes(planner):
+    profile = planner.profile("sparkpi")
+    names = {c.name for c in default_candidates(profile)}
+    assert {"vm_now", "lambda_all", "hybrid", "hybrid_segue",
+            "vm_scaleout"} <= names
+
+
+def test_feasible_plan_ranked_cheapest_first(plan):
+    """Within the SLO-meeting tier the ranking is by predicted cost."""
+    assert plan.feasible
+    margin = 1.0 - SplitPlanner().slo_margin
+    safe = [c for c in plan.candidates
+            if c.predicted_runtime_s <= plan.slo_s * margin]
+    assert plan.chosen in safe
+    costs = [c.predicted_cost for c in safe]
+    assert costs == sorted(costs)
+
+
+def test_slo_margin_excludes_knife_edge_candidates(planner):
+    """A candidate predicted just under the SLO only wins if nothing
+    lands inside the safety margin; here the margin must push the
+    planner off the knife edge onto a comfortably-feasible split."""
+    plan = planner.plan("sparkpi")
+    chosen = plan.chosen
+    assert (chosen.predicted_runtime_s
+            <= plan.slo_s * (1.0 - planner.slo_margin))
+
+
+def test_impossible_slo_reports_infeasible(planner):
+    plan = planner.plan("sparkpi", slo_s=0.001)
+    assert not plan.feasible
+    assert not any(c.meets_slo for c in plan.candidates)
+    # Infeasible tier ranks fastest-first: the least-bad plan leads.
+    runtimes = [c.predicted_runtime_s for c in plan.candidates]
+    assert runtimes == sorted(runtimes)
+
+
+def test_plan_to_dict_is_json_shaped(plan):
+    data = plan.to_dict()
+    assert data["workload"] == "sparkpi"
+    assert data["feasible"] is True
+    assert data["chosen"] == plan.chosen.candidate.name
+    assert len(data["candidates"]) == len(plan.candidates)
+    assert all("predicted_runtime_s" in c for c in data["candidates"])
+
+
+def test_spec_for_builds_executable_planned_spec(planner, plan):
+    spec = planner.spec_for(plan)
+    assert spec.scenario == PLANNED_SCENARIO
+    policy = dict(spec.policy)
+    assert policy["vm_cores"] == plan.chosen.candidate.vm_cores
+    assert policy["lambda_cores"] == plan.chosen.candidate.lambda_cores
+    assert policy["slo_s"] == plan.slo_s
+    assert "segue_at_s" not in policy or policy["segue_at_s"] is not None
+
+
+def test_calibration_loop_metrics_on_record(planner, plan):
+    record = run_spec(planner.spec_for(plan))
+    assert not record.failed
+    m = record.metrics
+    for key in ("planner.candidate", "planner.slo_s",
+                "planner.predicted_runtime_s", "planner.predicted_cost",
+                "planner.actual_runtime_s", "planner.actual_cost",
+                "planner.error_runtime_frac", "planner.error_cost_frac",
+                "planner.slo_met"):
+        assert key in m, key
+    assert m["planner.actual_runtime_s"] == record.duration_s
+    assert m["planner.actual_cost"] == record.cost
+
+
+@pytest.mark.parametrize("workload", ["sparkpi", "synthetic", "kmeans"])
+def test_prediction_error_within_budget(planner, workload):
+    """The acceptance budget: executing the chosen plan lands within
+    15% of the predicted runtime (most workloads are far tighter)."""
+    plan = planner.plan(workload)
+    record = run_spec(planner.spec_for(plan))
+    assert not record.failed
+    assert record.metrics["planner.error_runtime_frac"] <= 0.15
+    if plan.feasible:
+        assert record.metrics["planner.slo_met"]
+
+
+def test_planned_run_is_deterministic(planner, plan):
+    spec = planner.spec_for(plan)
+    a, b = run_spec(spec), run_spec(spec)
+    assert a.canonical() == b.canonical()
+
+
+def test_planned_spec_requires_split_policy():
+    from repro.experiments.spec import ExperimentSpec
+    from repro.planner.planned import run_planned
+
+    with pytest.raises(ValueError, match="vm_cores"):
+        run_planned(ExperimentSpec("sparkpi", PLANNED_SCENARIO))

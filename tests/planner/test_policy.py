@@ -1,0 +1,114 @@
+"""Tests for the named-policy registry and the online PlannerPolicy."""
+
+import pytest
+
+from repro.core.policies import (
+    PROVISIONING,
+    SPLIT,
+    known_policies,
+    make_policy,
+    policy_entry,
+    register_policy,
+)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_builtin_policies_registered():
+    assert {"ksigma", "mean", "1sigma", "2sigma", "3sigma"} <= set(
+        known_policies(PROVISIONING))
+    assert "planner" in known_policies(SPLIT)
+    # Kind filtering partitions the namespace.
+    assert set(known_policies()) == (set(known_policies(PROVISIONING))
+                                     | set(known_policies(SPLIT)))
+
+
+def test_ksigma_and_fixed_sigma_agree():
+    from repro.core.autoscaler import DemandPoint
+    point = DemandPoint(0.0, mean=10.0, sigma=2.0, actual=10.0)
+    assert (make_policy("ksigma", k=2.0).cores_at(point)
+            == make_policy("2sigma").cores_at(point) == 14)
+
+
+def test_expect_kind_mismatch_raises():
+    with pytest.raises(ValueError, match="provisioning"):
+        make_policy("2sigma", expect_kind=SPLIT)
+    with pytest.raises(ValueError, match="split"):
+        make_policy("planner", expect_kind=PROVISIONING)
+
+
+def test_unknown_policy_raises_with_known_names():
+    with pytest.raises(KeyError, match="ksigma"):
+        make_policy("no-such-policy")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_policy("ksigma", PROVISIONING, lambda: None, "dup")
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError, match="kind"):
+        register_policy("brand-new", "steering", lambda: None, "x")
+
+
+def test_entries_carry_descriptions():
+    for name in known_policies():
+        entry = policy_entry(name)
+        assert entry.name == name
+        assert entry.description
+
+
+# ---------------------------------------------------------------------------
+# Online PlannerPolicy decisions
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def split_policy():
+    return make_policy("planner", expect_kind=SPLIT, seed=0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.workloads.registry import make_workload
+    return make_workload("sparkpi")
+
+
+def test_ample_free_cores_queue(split_policy, workload):
+    required = workload.spec.required_cores
+    decision = split_policy.decide(workload, required,
+                                   registry_name="sparkpi")
+    assert decision.choice == "queue"
+    assert decision.vm_cores == required
+    assert decision.lambda_cores == 0
+    assert decision.meets_slo
+
+
+def test_no_free_cores_bridges_with_lambdas(split_policy, workload):
+    decision = split_policy.decide(workload, 0, registry_name="sparkpi")
+    assert decision.choice in ("bridge", "bridge_segue")
+    assert decision.vm_cores == 0
+    assert decision.lambda_cores == workload.spec.required_cores
+    assert decision.meets_slo
+
+
+def test_scarce_cores_cover_shortfall(split_policy, workload):
+    free = workload.spec.available_cores
+    decision = split_policy.decide(workload, free,
+                                   registry_name="sparkpi")
+    assert decision.vm_cores + decision.lambda_cores == \
+        workload.spec.required_cores
+    assert decision.predicted_runtime_s > 0
+    assert decision.slo_s == workload.spec.slo_seconds
+
+
+def test_decision_prefers_free_capacity_within_slo(split_policy, workload):
+    """sparkpi's SLO is generous enough for a full-width bridge; the
+    policy must never bridge *more* than the shortfall."""
+    free = workload.spec.required_cores // 2
+    decision = split_policy.decide(workload, free,
+                                   registry_name="sparkpi")
+    assert decision.lambda_cores <= workload.spec.required_cores - \
+        min(free, workload.spec.required_cores)

@@ -32,9 +32,11 @@ def test_link_conserves_bytes_and_respects_capacity(capacity, sizes):
     total = sum(sizes)
     # Conservation: every byte crossed the link.
     assert link.bytes_moved >= total - 1e-3
-    # Capacity: the aggregate can never beat capacity * elapsed.
+    # Capacity: the aggregate can never beat capacity * elapsed — modulo
+    # the link's own float slack (_EPS bytes per transfer finish free).
     if total > 0:
-        assert env.now * capacity >= total * (1 - 1e-9)
+        slack = FairShareLink._EPS * len(sizes)
+        assert env.now * capacity >= total * (1 - 1e-9) - slack
 
 
 @given(
