@@ -1,8 +1,8 @@
 # Convenience targets for the SplitServe reproduction.
 
 .PHONY: install test bench bench-smoke bench-resilience-smoke \
-	bench-multijob-smoke bench-plan-smoke report-smoke examples \
-	figures clean
+	bench-multijob-smoke bench-plan-smoke bench-core-smoke \
+	serve-smoke report-smoke examples figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -35,6 +35,19 @@ bench-multijob-smoke:
 bench-plan-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_planner_slo.py -m smoke -q
+
+# One small multijob replay timed end to end — smoke-tests the kernel
+# throughput figures behind BENCH_core.json (see benchmarks/bench_core_speed.py).
+bench-core-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_core_speed.py -m smoke -q
+
+# One open-loop burst against an in-process ServeRuntime plus the ASGI
+# test suite — smoke-tests the `repro serve` control plane
+# (see DESIGN.md, "Control plane").
+serve-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest tests/api benchmarks/bench_serve_load.py -m smoke -q
 
 # One seeded scenario through event-log/trace export and `repro report`,
 # asserting same-seed event logs are byte-identical (see DESIGN.md,

@@ -1,0 +1,225 @@
+"""The control-plane HTTP application: routes over a ServeRuntime.
+
+:func:`create_app` builds the ASGI app ``repro serve`` exposes. Every
+response rides in a :class:`~repro.api.schemas.ResponseEnvelope`; the
+route table is the control-plane contract:
+
+- ``GET  /``           — service info (version, uptime, endpoints);
+- ``POST /jobs``       — submit a :class:`~repro.api.schemas.JobRequest`
+  (202 accepted; 400 on schema errors; 503 + ``Retry-After`` with a
+  structured :class:`~repro.api.schemas.ErrorBody` when the admission
+  queue is saturated);
+- ``GET  /jobs``       — all jobs, submission order;
+- ``GET  /jobs/{id}``  — one job's status/result; ``?wait=<seconds>``
+  blocks until the job finishes (or the wait times out);
+- ``GET  /executors``  — live executors of the shared pool;
+- ``GET  /pools``      — scheduler pools, AppManager and admission
+  queue depths, pool capacity;
+- ``GET  /plan``       — dry-run SplitPlanner ranking
+  (``?workload=…&slo_s=…``);
+- ``GET  /events``     — Server-Sent Events off the EventBus
+  (``?follow=0`` returns a JSON snapshot instead; ``?replay=N`` seeds
+  the stream with the last N buffered events, ``?max_events=N`` /
+  ``?idle_timeout_s=S`` bound the stream, for curl and tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import queue
+from typing import Any, AsyncIterator, Dict, Optional
+
+from repro.api import schemas
+from repro.api.asgi import (
+    ApiError,
+    App,
+    JSONResponse,
+    Request,
+    SSEResponse,
+    sse_frame,
+)
+from repro.api.service import (
+    BackpressureError,
+    ServeConfig,
+    ServeRuntime,
+    UnknownJobError,
+)
+
+__all__ = ["create_app"]
+
+
+def _float_param(request: Request, name: str,
+                 default: Optional[float] = None) -> Optional[float]:
+    raw = request.query.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ApiError(400, schemas.ERR_INVALID_REQUEST,
+                       f"query parameter {name!r} must be a number, "
+                       f"got {raw!r}")
+
+
+def _int_param(request: Request, name: str, default: int) -> int:
+    value = _float_param(request, name)
+    return default if value is None else int(value)
+
+
+def create_app(config: Optional[ServeConfig] = None,
+               runtime: Optional[ServeRuntime] = None) -> App:
+    """Build the control-plane ASGI app.
+
+    Pass a pre-built ``runtime`` to share one across apps (tests);
+    otherwise one is created from ``config`` and owned by the app's
+    lifespan (started on lifespan/first request, closed on shutdown).
+    """
+    serve = runtime if runtime is not None else ServeRuntime(config)
+    app = App(on_startup=serve.start, on_shutdown=serve.close)
+    #: The runtime behind the routes (tests and the CLI reach through).
+    app.runtime = serve
+
+    @app.get("/")
+    async def service_info(request: Request) -> JSONResponse:
+        return JSONResponse(schemas.KIND_SERVICE_INFO, serve.service_info())
+
+    # -- jobs --------------------------------------------------------------
+
+    @app.post("/jobs")
+    async def submit_job(request: Request) -> JSONResponse:
+        payload = await request.json()
+        if not isinstance(payload, dict):
+            raise ApiError(400, schemas.ERR_INVALID_REQUEST,
+                           "request body must be a JSON object "
+                           "(a JobRequest)")
+        try:
+            status = serve.submit(payload)
+        except schemas.SchemaError as exc:
+            raise ApiError(400, schemas.ERR_INVALID_REQUEST, str(exc))
+        except BackpressureError as exc:
+            raise ApiError(503, schemas.ERR_BACKPRESSURE, str(exc),
+                           detail=exc.detail,
+                           retry_after_s=exc.retry_after_s)
+        return JSONResponse(schemas.KIND_JOB_STATUS, status, status=202)
+
+    @app.get("/jobs")
+    async def list_jobs(request: Request) -> JSONResponse:
+        statuses = serve.jobs()
+        return JSONResponse(schemas.KIND_JOB_LIST, {
+            "jobs": [s.to_dict() for s in statuses],
+            "admission": serve.admission_stats(),
+        })
+
+    @app.get("/jobs/{job_id}")
+    async def job_status(request: Request) -> JSONResponse:
+        job_id = request.path_params["job_id"]
+        wait_s = _float_param(request, "wait")
+        try:
+            if wait_s is not None and wait_s > 0:
+                loop = asyncio.get_running_loop()
+                status = await loop.run_in_executor(
+                    None, functools.partial(serve.wait_for, job_id,
+                                            timeout=wait_s))
+            else:
+                status = serve.job(job_id)
+        except UnknownJobError:
+            raise ApiError(404, schemas.ERR_NOT_FOUND,
+                           f"no such job {job_id!r}")
+        return JSONResponse(schemas.KIND_JOB_STATUS, status)
+
+    # -- cluster surfaces --------------------------------------------------
+
+    @app.get("/executors")
+    async def executors(request: Request) -> JSONResponse:
+        return JSONResponse(schemas.KIND_EXECUTORS,
+                            {"executors": serve.executors()})
+
+    @app.get("/pools")
+    async def pools(request: Request) -> JSONResponse:
+        return JSONResponse(schemas.KIND_POOL_STATS, serve.pool_stats())
+
+    # -- planner -----------------------------------------------------------
+
+    @app.get("/plan")
+    async def plan(request: Request) -> JSONResponse:
+        workload = request.query.get("workload")
+        if not workload:
+            raise ApiError(400, schemas.ERR_INVALID_REQUEST,
+                           "query parameter 'workload' is required, "
+                           "e.g. /plan?workload=pagerank&slo_s=120")
+        try:
+            payload = serve.plan(
+                workload,
+                slo_s=_float_param(request, "slo_s"),
+                margin=_float_param(request, "margin"),
+                seed=(int(request.query["seed"])
+                      if "seed" in request.query else None))
+        except (KeyError, ValueError) as exc:
+            raise ApiError(400, schemas.ERR_INVALID_REQUEST, str(exc))
+        return JSONResponse(schemas.KIND_PLAN, payload)
+
+    # -- events ------------------------------------------------------------
+
+    @app.get("/events")
+    async def events(request: Request):
+        follow = request.query.get("follow", "1") not in ("0", "false", "no")
+        category = request.query.get("category") or None
+        if not follow:
+            limit = _int_param(request, "limit", -1)
+            items = serve.hub.snapshot(
+                limit=None if limit < 0 else limit, category=category)
+            return JSONResponse(schemas.KIND_EVENTS, {"events": items})
+        replay = _int_param(request, "replay", 0)
+        max_events = _int_param(request, "max_events", 0)
+        idle_timeout_s = _float_param(request, "idle_timeout_s", 30.0)
+        return SSEResponse(_event_stream(serve, replay=replay,
+                                         category=category,
+                                         max_events=max_events,
+                                         idle_timeout_s=idle_timeout_s))
+
+    return app
+
+
+async def _event_stream(serve: ServeRuntime, replay: int,
+                        category: Optional[str], max_events: int,
+                        idle_timeout_s: float) -> AsyncIterator[bytes]:
+    """SSE frames off the hub: replayed ring items, then live events.
+
+    Bounded by ``max_events`` (0 = unbounded) and by ``idle_timeout_s``
+    of silence, so a curl without ``--max-time`` still terminates.
+    """
+    sub, backlog = serve.hub.subscribe(replay=replay)
+    loop = asyncio.get_running_loop()
+    sent = 0
+    try:
+        for item in backlog:
+            if category and item["category"] != category:
+                continue
+            yield _frame(item)
+            sent += 1
+            if max_events and sent >= max_events:
+                return
+        idle = 0.0
+        poll_s = 0.1
+        while idle < idle_timeout_s:
+            try:
+                item = await loop.run_in_executor(
+                    None, functools.partial(sub.get, timeout=poll_s))
+            except queue.Empty:
+                idle += poll_s
+                continue
+            idle = 0.0
+            if category and item["category"] != category:
+                continue
+            yield _frame(item)
+            sent += 1
+            if max_events and sent >= max_events:
+                return
+    finally:
+        serve.hub.unsubscribe(sub)
+
+
+def _frame(item: Dict[str, Any]) -> bytes:
+    return sse_frame(item, event=item["category"],
+                     event_id=str(item["seq"]))

@@ -1,0 +1,621 @@
+"""The service runtime behind ``repro serve``: a long-lived cluster
+serving many concurrent job submissions.
+
+Every CLI invocation so far has been batch: build a ClusterRuntime, run
+one spec, throw the world away. :class:`ServeRuntime` inverts that —
+one process owns a shared simulated cluster for its whole lifetime and
+serves traffic against it:
+
+- **Admission control.** Submissions pass a bounded FIFO admission
+  queue: at most ``max_concurrent`` jobs run at once, up to
+  ``max_queue`` more wait in FIFO order (queued, never dropped), and
+  beyond that the submission is rejected with structured backpressure
+  (:class:`BackpressureError` → HTTP 503 + ``Retry-After``).
+- **Spec jobs** (``mode="spec"``, the default) execute one isolated
+  :class:`~repro.experiments.spec.ExperimentSpec` on a worker thread
+  via :func:`~repro.experiments.runner.run_spec` — deterministic, so a
+  served job's metrics byte-match the same spec run through
+  ``repro run --json``.
+- **Pooled jobs** (``mode="pooled"``) join the long-lived
+  ClusterRuntime/AppManager as :class:`~repro.cluster.apps.ClusterApp`
+  arrivals competing for the shared FIFO/FAIR executor pool. A single
+  driver thread owns all simulation state and advances simulated time
+  in small steps, so new arrivals interleave with running apps at
+  ``sim_step_s`` granularity.
+- **Telemetry.** An :class:`EventHub` subscribes to the shared
+  cluster's EventBus and additionally publishes control-plane lifecycle
+  events (``serve.job_queued/started/finished/rejected``, registered in
+  the closed taxonomy); ``GET /events`` streams it over SSE.
+
+Thread-safety contract: all simulation objects are touched only by the
+driver thread under ``_sim_lock``; HTTP readers take the same lock for
+snapshots. The admission table has its own lock and never blocks on
+the simulation, which is what keeps admission latency flat under load
+(see ``benchmarks/bench_serve_load.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from queue import Empty, Full, Queue
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.api import schemas
+from repro.api.schemas import (
+    JOB_COMPLETED,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    MODE_POOLED,
+    MODE_SPEC,
+    JobRequest,
+    JobStatus,
+)
+from repro.observability.categories import (
+    CAT_SERVE,
+    EV_JOB_FINISHED,
+    EV_JOB_QUEUED,
+    EV_JOB_REJECTED,
+    EV_JOB_STARTED,
+    validate_event,
+)
+
+__all__ = [
+    "ServeConfig", "ServeRuntime", "EventHub",
+    "BackpressureError", "UnknownJobError",
+]
+
+
+class BackpressureError(Exception):
+    """Admission queue saturated — the HTTP layer maps this to 503
+    with a structured :class:`~repro.api.schemas.ErrorBody`."""
+
+    def __init__(self, message: str, detail: Dict[str, Any],
+                 retry_after_s: float) -> None:
+        super().__init__(message)
+        self.detail = detail
+        self.retry_after_s = retry_after_s
+
+
+class UnknownJobError(KeyError):
+    """No such job id (HTTP 404)."""
+
+
+# ---------------------------------------------------------------------------
+# Event hub
+# ---------------------------------------------------------------------------
+
+class EventHub:
+    """Fan-in/fan-out for the served event stream.
+
+    Exposes the ``record(time, category, name, **fields)`` duck type,
+    so the shared cluster's EventBus treats it as one more subscriber;
+    the ServeRuntime publishes its own lifecycle events through the
+    same method. Events land in a bounded ring (for replay/snapshots)
+    and are pushed to every live SSE subscription queue; a slow
+    consumer drops events rather than stalling the simulation.
+    """
+
+    def __init__(self, maxlen: int = 4096,
+                 subscriber_depth: int = 10000) -> None:
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
+        self._subs: List[Queue] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._subscriber_depth = subscriber_depth
+        self.dropped = 0
+
+    def record(self, time: float, category: str, name: str,
+               **fields: Any) -> None:
+        validate_event(category, name)
+        item = {"time": time, "category": category, "name": name,
+                "fields": dict(fields)}
+        with self._lock:
+            self._seq += 1
+            item["seq"] = self._seq
+            self._ring.append(item)
+            subs = list(self._subs)
+        for sub in subs:
+            try:
+                sub.put_nowait(item)
+            except Full:
+                self.dropped += 1
+
+    def snapshot(self, limit: Optional[int] = None,
+                 category: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            items = list(self._ring)
+        if category:
+            items = [i for i in items if i["category"] == category]
+        if limit is not None and limit >= 0:
+            items = items[-limit:]
+        return items
+
+    def subscribe(self, replay: int = 0
+                  ) -> Tuple[Queue, List[Dict[str, Any]]]:
+        """A live queue plus the last ``replay`` ring items (atomically,
+        so no event is missed or duplicated between replay and live)."""
+        sub: Queue = Queue(maxsize=self._subscriber_depth)
+        with self._lock:
+            items = list(self._ring)[-replay:] if replay > 0 else []
+            self._subs.append(sub)
+        return sub, items
+
+    def unsubscribe(self, sub: Queue) -> None:
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServeConfig:
+    """Control-plane and shared-cluster knobs for one server."""
+
+    #: Jobs allowed to run concurrently (admission bound).
+    max_concurrent: int = 8
+    #: Submissions allowed to wait beyond the running set; the next one
+    #: is rejected with 503 backpressure.
+    max_queue: int = 256
+    #: Seed of the shared cluster's RandomStreams.
+    seed: int = 0
+    #: Shared executor pool shape (the multijob vocabulary).
+    pool_cores: int = 8
+    lambda_cores: int = 0
+    pool_style: str = "vm"              # "vm" | "hybrid_segue"
+    mode: str = "fair"                  # scheduler-pool ordering
+    #: AppManager bound on concurrently *admitted* pooled apps inside
+    #: the simulation (None = unlimited; service admission still holds).
+    pool_max_concurrent: Optional[int] = None
+    #: Simulated seconds advanced per driver step — the granularity at
+    #: which new pooled arrivals interleave with running apps.
+    sim_step_s: float = 1.0
+    #: Event-ring capacity for replay/snapshots.
+    events_buffer: int = 4096
+    #: Workload whose worker instance type sizes the pool VMs.
+    worker_itype: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+        if self.max_queue < 0:
+            raise ValueError("max_queue cannot be negative")
+        if self.sim_step_s <= 0:
+            raise ValueError("sim_step_s must be positive")
+        if self.pool_style not in ("vm", "hybrid_segue"):
+            raise ValueError(f"pool_style must be vm or hybrid_segue, "
+                             f"got {self.pool_style!r}")
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+
+class _Job:
+    """Internal job state; :meth:`status` renders the public model."""
+
+    def __init__(self, job_id: str, request: JobRequest, spec) -> None:
+        self.id = job_id
+        self.request = request
+        self.spec = spec                      # None for pooled jobs
+        self.state = JOB_QUEUED
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.record = None                    # RunRecord (spec jobs)
+        self.app = None                       # ClusterApp (pooled jobs)
+        self.metrics: Dict[str, Any] = {}
+        self.plan: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.done = threading.Event()
+
+    def status(self, queue_position: Optional[int] = None) -> JobStatus:
+        duration = cost = None
+        record_dict = None
+        slo_met = None
+        if self.record is not None:
+            duration = self.record.duration_s
+            cost = self.record.cost
+            record_dict = self.record.to_dict()
+        elif self.app is not None and self.app.latency_s is not None:
+            duration = self.app.latency_s
+        if (self.request.slo_s is not None and duration is not None
+                and duration == duration):  # not NaN
+            slo_met = duration <= self.request.slo_s
+        return JobStatus(
+            job_id=self.id, state=self.state, request=self.request,
+            spec_hash=self.spec.spec_hash() if self.spec is not None
+            else None,
+            queue_position=queue_position,
+            submitted_at=self.submitted_at, started_at=self.started_at,
+            finished_at=self.finished_at,
+            duration_s=duration, cost=cost, slo_met=slo_met,
+            metrics=dict(self.metrics), plan=self.plan,
+            record=record_dict, error=self.error)
+
+
+# ---------------------------------------------------------------------------
+# The service runtime
+# ---------------------------------------------------------------------------
+
+class ServeRuntime:
+    """One long-lived cluster + admission layer behind the HTTP app."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.hub = EventHub(maxlen=self.config.events_buffer)
+        self.started_at = time.time()
+        self._t0 = time.monotonic()
+
+        # Admission state (its own lock; never blocks on the sim).
+        self._lock = threading.RLock()
+        self._idle = threading.Condition(self._lock)
+        self._jobs: Dict[str, _Job] = {}
+        self._order: List[str] = []
+        self._pending: Deque[_Job] = deque()
+        self._running: set = set()
+        self._ids = itertools.count(1)
+        self._admitted = 0
+        self._rejected = 0
+
+        # Shared simulated cluster (built in start(); owned by the
+        # driver thread under _sim_lock).
+        self._sim_lock = threading.RLock()
+        self._sim_wakeup = threading.Condition(self._sim_lock)
+        self._staged: Deque[Tuple[_Job, Any]] = deque()
+        self._active: Dict[str, _Job] = {}
+        self._app_index = itertools.count(0)
+        self.cluster = None
+        self.pool = None
+        self.pools = None
+        self.manager = None
+
+        self._planners: Dict[Tuple[int, Optional[float]], Any] = {}
+        self._workers = None
+        self._driver: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ServeRuntime":
+        """Build the shared cluster and start worker/driver threads.
+        Idempotent; called by the app's lifespan/startup hook."""
+        if self._started:
+            return self
+        self._started = True
+        from concurrent.futures import ThreadPoolExecutor
+        self._build_cluster()
+        self._workers = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="repro-serve-job")
+        self._driver = threading.Thread(target=self._drive,
+                                        name="repro-serve-driver",
+                                        daemon=True)
+        self._driver.start()
+        return self
+
+    def close(self) -> None:
+        """Stop threads; the cluster object stays readable."""
+        if not self._started:
+            return
+        self._started = False
+        self._stop.set()
+        with self._sim_wakeup:
+            self._sim_wakeup.notify_all()
+        if self._driver is not None:
+            self._driver.join(timeout=5.0)
+        if self._workers is not None:
+            self._workers.shutdown(wait=True)
+
+    def _build_cluster(self) -> None:
+        from repro.cluster.apps import AppManager
+        from repro.cluster.pool import ExecutorPool
+        from repro.cluster.pools import PoolConfig, SchedulerPools
+        from repro.cluster.runtime import ClusterRuntime
+        from repro.spark.config import SparkConf
+
+        cfg = self.config
+        self.cluster = ClusterRuntime(cfg.seed, trace_enabled=False)
+        self.cluster.bus.subscribe(self.hub)
+        self.pools = SchedulerPools([PoolConfig("default", mode=cfg.mode)])
+        self.pool = ExecutorPool(self.cluster, SparkConf(), self.pools)
+        itype = cfg.worker_itype or self._default_itype()
+        self.pool.provision_vm_cores(cfg.pool_cores, itype)
+        if cfg.pool_style == "hybrid_segue" and cfg.lambda_cores > 0:
+            self.pool.invoke_lambda_executors(cfg.lambda_cores)
+        self.manager = AppManager(self.cluster, self.pool, self.pools,
+                                  max_concurrent=cfg.pool_max_concurrent)
+
+    @staticmethod
+    def _default_itype() -> str:
+        from repro.workloads.registry import make_workload
+        return make_workload("sparkpi").spec.worker_itype
+
+    def _now(self) -> float:
+        """Wall seconds since server start (the serve-event clock)."""
+        return round(time.monotonic() - self._t0, 6)
+
+    # -- submission / admission -------------------------------------------
+
+    def submit(self, payload: Mapping[str, Any]) -> JobStatus:
+        """Validate, admission-check, and enqueue one submission.
+
+        O(1) and simulation-free: this is the path whose p99 latency
+        the load bench reports. Raises
+        :class:`~repro.api.schemas.SchemaError` on a bad payload and
+        :class:`BackpressureError` when saturated.
+        """
+        request = JobRequest.from_dict(payload)
+        if request.mode == MODE_SPEC:
+            spec = request.to_spec()
+        else:
+            spec = None
+            self._validate_pooled(request)
+
+        with self._lock:
+            if (len(self._running) >= self.config.max_concurrent
+                    and len(self._pending) >= self.config.max_queue):
+                self._rejected += 1
+                detail = {"running": len(self._running),
+                          "queued": len(self._pending),
+                          "max_concurrent": self.config.max_concurrent,
+                          "max_queue": self.config.max_queue}
+                self.hub.record(self._now(), CAT_SERVE, EV_JOB_REJECTED,
+                                workload=request.workload,
+                                mode=request.mode, **detail)
+                raise BackpressureError(
+                    "admission queue saturated "
+                    f"({len(self._running)} running, "
+                    f"{len(self._pending)} queued)",
+                    detail=detail, retry_after_s=1.0)
+            job = _Job(f"job-{next(self._ids):06d}", request, spec)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._pending.append(job)
+            self._admitted += 1
+            self.hub.record(self._now(), CAT_SERVE, EV_JOB_QUEUED,
+                            job=job.id, workload=request.workload,
+                            mode=request.mode,
+                            depth=len(self._pending),
+                            running=len(self._running))
+            position = len(self._pending) - 1
+            self._pump_locked()
+            return job.status(queue_position=(
+                position if job.state == JOB_QUEUED else None))
+
+    def _validate_pooled(self, request: JobRequest) -> None:
+        from repro.workloads.registry import WORKLOADS
+        if request.workload not in WORKLOADS:
+            raise schemas.SchemaError(
+                f"unknown workload {request.workload!r} for a pooled "
+                f"job; known: {', '.join(sorted(WORKLOADS))}")
+        if self.pools is not None and request.pool not in self.pools.pools:
+            raise schemas.SchemaError(
+                f"unknown scheduler pool {request.pool!r}; "
+                f"known: {sorted(self.pools.pools)}")
+
+    def _pump_locked(self) -> None:
+        """Admit queued jobs while running slots are free (FIFO)."""
+        while (self._pending
+               and len(self._running) < self.config.max_concurrent):
+            job = self._pending.popleft()
+            self._running.add(job.id)
+            job.state = JOB_RUNNING
+            job.started_at = time.time()
+            self.hub.record(self._now(), CAT_SERVE, EV_JOB_STARTED,
+                            job=job.id, mode=job.request.mode,
+                            queued_s=round(job.started_at
+                                           - job.submitted_at, 6))
+            if job.request.mode == MODE_SPEC:
+                self._workers.submit(self._run_spec_job, job)
+            else:
+                self._stage_pooled(job)
+
+    # -- spec jobs ---------------------------------------------------------
+
+    def _run_spec_job(self, job: _Job) -> None:
+        from repro.experiments.runner import run_spec
+        try:
+            record = run_spec(job.spec)
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            self._finish(job, error=f"{type(exc).__name__}: {exc}")
+            return
+        job.record = record
+        job.metrics = dict(record.metrics)
+        planner = {k: v for k, v in record.metrics.items()
+                   if k.startswith("planner.")}
+        if planner:
+            job.plan = planner
+        self._finish(job, error=(record.failure_reason or record.error
+                                 if record.failed else None))
+
+    # -- pooled jobs -------------------------------------------------------
+
+    def _stage_pooled(self, job: _Job) -> None:
+        from repro.cluster.apps import ClusterApp
+        from repro.workloads.registry import make_workload
+        workload = make_workload(job.request.workload,
+                                 **job.request.workload_params)
+        with self._sim_wakeup:
+            app = ClusterApp(job.id, next(self._app_index), workload,
+                             pool=job.request.pool,
+                             parallelism=job.request.parallelism,
+                             registry_name=job.request.workload)
+            job.app = app
+            self._staged.append((job, app))
+            self._sim_wakeup.notify_all()
+
+    def _drive(self) -> None:
+        """The driver thread: sole owner of simulated time."""
+        while not self._stop.is_set():
+            with self._sim_wakeup:
+                while (not self._staged and not self._active
+                       and not self._stop.is_set()):
+                    self._sim_wakeup.wait(timeout=0.5)
+                if self._stop.is_set():
+                    return
+            self._step_sim()
+
+    def _step_sim(self) -> None:
+        """Inject staged arrivals, advance one step, reap completions."""
+        finished: List[_Job] = []
+        with self._sim_lock:
+            env = self.cluster.env
+            while self._staged:
+                job, app = self._staged.popleft()
+                self._active[job.id] = job
+                self.manager.submit(app)
+            if self._active:
+                env.run(until=env.timeout(self.config.sim_step_s))
+            for job_id in list(self._active):
+                job = self._active[job_id]
+                if job.app.finish_time is not None:
+                    del self._active[job_id]
+                    finished.append(job)
+        for job in finished:
+            self._finish_pooled(job)
+
+    def _finish_pooled(self, job: _Job) -> None:
+        app = job.app
+        job.metrics = {
+            "workload": app.workload.name,
+            "latency_s": app.latency_s,
+            "queueing_delay_s": app.queueing_delay_s,
+            "duration_s": app.run_duration_s,
+            "busy_seconds": app.busy_seconds(),
+        }
+        self._finish(job, error=app.failure_reason if app.failed else None)
+
+    # -- completion --------------------------------------------------------
+
+    def _finish(self, job: _Job, error: Optional[str] = None) -> None:
+        with self._lock:
+            self._running.discard(job.id)
+            job.finished_at = time.time()
+            job.error = error
+            job.state = JOB_FAILED if error is not None else JOB_COMPLETED
+            duration = (job.record.duration_s
+                        if job.record is not None else
+                        job.metrics.get("latency_s"))
+            self.hub.record(self._now(), CAT_SERVE, EV_JOB_FINISHED,
+                            job=job.id, state=job.state,
+                            duration_s=duration,
+                            cost=(job.record.cost
+                                  if job.record is not None else None))
+            job.done.set()
+            self._pump_locked()
+            self._idle.notify_all()
+
+    # -- queries -----------------------------------------------------------
+
+    def job(self, job_id: str) -> JobStatus:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job.status(queue_position=self._position_locked(job))
+
+    def jobs(self) -> List[JobStatus]:
+        with self._lock:
+            return [self._jobs[jid].status(
+                queue_position=self._position_locked(self._jobs[jid]))
+                for jid in self._order]
+
+    def _position_locked(self, job: _Job) -> Optional[int]:
+        if job.state != JOB_QUEUED:
+            return None
+        for pos, queued in enumerate(self._pending):
+            if queued.id == job.id:
+                return pos
+        return None
+
+    def admission_stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "running": len(self._running),
+                "queued": len(self._pending),
+                "finished": sum(1 for j in self._jobs.values() if j.done.is_set()),
+                "submitted": self._admitted,
+                "rejected": self._rejected,
+                "max_concurrent": self.config.max_concurrent,
+                "max_queue": self.config.max_queue,
+            }
+
+    def executors(self) -> List[Dict[str, Any]]:
+        with self._sim_lock:
+            return self.pool.executor_infos()
+
+    def pool_stats(self) -> Dict[str, Any]:
+        with self._sim_lock:
+            pools = self.pools.stats(self.pool.scheduler.tasksets)
+            manager = self.manager.snapshot()
+            sim_now = self.cluster.env.now
+            capacity = {
+                "vm_cores": self.pool.vm_capacity,
+                "lambda_executors": self.pool.live_lambda_executors,
+                "style": self.config.pool_style,
+            }
+        return {"pools": pools, "manager": manager,
+                "capacity": capacity, "sim_time_s": sim_now,
+                "admission": self.admission_stats()}
+
+    def plan(self, workload: str, slo_s: Optional[float] = None,
+             margin: Optional[float] = None,
+             seed: Optional[int] = None) -> Dict[str, Any]:
+        """Dry-run SplitPlanner ranking (memoized per seed+margin, so
+        repeated queries for one workload probe it once)."""
+        from repro.planner import SplitPlanner
+        from repro.planner.planner import DEFAULT_SLO_MARGIN
+        use_seed = self.config.seed if seed is None else int(seed)
+        use_margin = DEFAULT_SLO_MARGIN if margin is None else float(margin)
+        key = (use_seed, use_margin)
+        with self._lock:
+            planner = self._planners.get(key)
+            if planner is None:
+                planner = SplitPlanner(seed=use_seed, slo_margin=use_margin)
+                self._planners[key] = planner
+        plan = planner.plan(workload, slo_s=slo_s)
+        return schemas.plan_payload(plan)
+
+    def service_info(self) -> Dict[str, Any]:
+        from repro import __version__
+        return {
+            "service": "repro-serve",
+            "version": __version__,
+            "schema_version": schemas.SCHEMA_VERSION,
+            "started_at": self.started_at,
+            "uptime_s": self._now(),
+            "seed": self.config.seed,
+            "endpoints": ["/", "/jobs", "/jobs/{id}", "/executors",
+                          "/pools", "/plan", "/events"],
+        }
+
+    # -- synchronization helpers (tests, benches, graceful shutdown) ------
+
+    def drain(self, timeout: float = 120.0) -> bool:
+        """Block until every submitted job finished; True on success."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._pending or self._running:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=min(remaining, 0.25))
+        return True
+
+    def wait_for(self, job_id: str, timeout: float = 120.0) -> JobStatus:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        job.done.wait(timeout=timeout)
+        return self.job(job_id)

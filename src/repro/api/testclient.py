@@ -1,0 +1,181 @@
+"""An in-process ASGI test client (no sockets, no new dependencies).
+
+Drives any ASGI 3.0 app — in practice the control plane from
+:func:`repro.api.app.create_app` — over a private event loop, speaking
+the real ASGI protocol: lifespan startup/shutdown around the ``with``
+block, one ``http`` scope per request, a connected-client ``receive``
+(so SSE responses stream until their own bounds), and full capture of
+the response messages. The surface mirrors the common
+``client.get(...)`` / ``client.post(..., json=...)`` shape so tests read
+like httpx/TestClient code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as _json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib.parse import urlencode, urlsplit
+
+from repro.api import schemas
+
+__all__ = ["TestClient", "TestResponse"]
+
+
+class TestResponse:
+    """One captured HTTP response."""
+
+    def __init__(self, messages: List[Dict[str, Any]]) -> None:
+        start = messages[0]
+        assert start["type"] == "http.response.start", start
+        self.status = start["status"]
+        self.headers: Dict[str, str] = {
+            k.decode("latin-1").lower(): v.decode("latin-1")
+            for k, v in start.get("headers", [])}
+        self.body = b"".join(m.get("body", b"") for m in messages[1:]
+                             if m["type"] == "http.response.body")
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self) -> Any:
+        return _json.loads(self.text)
+
+    def envelope(self) -> schemas.ResponseEnvelope:
+        """The response parsed as a versioned envelope (asserts the
+        contract every JSON endpoint promises)."""
+        return schemas.ResponseEnvelope.from_dict(self.json())
+
+    @property
+    def data(self) -> Any:
+        """The envelope's payload."""
+        return self.envelope().data
+
+    def sse_events(self) -> List[Dict[str, Any]]:
+        """Parse a ``text/event-stream`` body into event dicts with
+        ``id``/``event`` strings and JSON-decoded ``data``."""
+        events = []
+        for block in self.text.split("\n\n"):
+            fields: Dict[str, List[str]] = {}
+            for line in block.splitlines():
+                if ":" not in line:
+                    continue
+                key, _, value = line.partition(":")
+                fields.setdefault(key.strip(), []).append(value.lstrip())
+            if "data" not in fields:
+                continue
+            events.append({
+                "id": fields.get("id", [None])[0],
+                "event": fields.get("event", [None])[0],
+                "data": _json.loads("\n".join(fields["data"])),
+            })
+        return events
+
+    def __repr__(self) -> str:
+        return f"<TestResponse {self.status} {len(self.body)}B>"
+
+
+class TestClient:
+    """Synchronous in-process client for an ASGI app.
+
+    Use as a context manager to run the app's lifespan protocol::
+
+        with TestClient(create_app(config)) as client:
+            r = client.post("/jobs", json={"workload": "sparkpi"})
+            assert r.status == 202
+    """
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(self, app) -> None:
+        self.app = app
+        self._loop = asyncio.new_event_loop()
+        self._lifespan_in: Optional[asyncio.Queue] = None
+        self._lifespan_out: Optional[asyncio.Queue] = None
+        self._lifespan_task: Optional[asyncio.Task] = None
+
+    # -- lifespan ----------------------------------------------------------
+
+    def __enter__(self) -> "TestClient":
+        self._lifespan_in = asyncio.Queue()
+        self._lifespan_out = asyncio.Queue()
+        scope = {"type": "lifespan", "asgi": {"version": "3.0",
+                                              "spec_version": "2.0"}}
+        self._lifespan_task = asyncio.ensure_future(
+            self.app(scope, self._lifespan_in.get, self._lifespan_out.put),
+            loop=self._loop)
+        self._lifespan_in.put_nowait({"type": "lifespan.startup"})
+        message = self._loop.run_until_complete(self._lifespan_out.get())
+        if message["type"] != "lifespan.startup.complete":
+            raise RuntimeError(f"app failed to start: {message}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._lifespan_task is not None:
+            self._lifespan_in.put_nowait({"type": "lifespan.shutdown"})
+            self._loop.run_until_complete(self._lifespan_task)
+            self._lifespan_task = None
+        self.close()
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+        self._loop.run_until_complete(self._loop.shutdown_default_executor())
+        self._loop.close()
+
+    # -- requests ----------------------------------------------------------
+
+    def request(self, method: str, url: str, json: Any = None,
+                params: Optional[Dict[str, Any]] = None) -> TestResponse:
+        parts = urlsplit(url)
+        query = parts.query
+        if params:
+            extra = urlencode({k: str(v) for k, v in params.items()})
+            query = f"{query}&{extra}" if query else extra
+        body = b"" if json is None else schemas.dumps(json).encode("utf-8")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": parts.path or "/",
+            "raw_path": (parts.path or "/").encode("utf-8"),
+            "query_string": query.encode("latin-1"),
+            "root_path": "",
+            "headers": [(b"host", b"testserver"),
+                        (b"content-type", b"application/json"),
+                        (b"content-length",
+                         str(len(body)).encode("latin-1"))],
+            "client": ("testclient", 50000),
+            "server": ("testserver", 80),
+        }
+        messages: List[Dict[str, Any]] = []
+        delivered = False
+
+        async def receive() -> Dict[str, Any]:
+            nonlocal delivered
+            if not delivered:
+                delivered = True
+                return {"type": "http.request", "body": body,
+                        "more_body": False}
+            # The client stays connected; SSE streams end on their own
+            # bounds, and the pending watcher task is cancelled then.
+            await asyncio.get_running_loop().create_future()
+
+        async def send(message: Dict[str, Any]) -> None:
+            messages.append(message)
+
+        self._loop.run_until_complete(self.app(scope, receive, send))
+        return TestResponse(messages)
+
+    def get(self, url: str,
+            params: Optional[Dict[str, Any]] = None) -> TestResponse:
+        return self.request("GET", url, params=params)
+
+    def post(self, url: str, json: Any = None,
+             params: Optional[Dict[str, Any]] = None) -> TestResponse:
+        return self.request("POST", url, json=json, params=params)

@@ -9,12 +9,18 @@ Commands:
   calibrated planner, then execute the chosen split and report
   predicted-vs-actual;
 - ``profile`` — a §5.1 offline-profiling sweep (the Figure 4 curves);
-- ``stream`` — the §4.1 day-of-jobs simulation under a chosen policy.
+- ``stream`` — the §4.1 day-of-jobs simulation under a chosen policy;
+- ``serve`` — the long-lived control plane: a shared simulated cluster
+  behind an HTTP API (``POST /jobs``, ``GET /jobs/{id}``, ``GET
+  /executors``, ``GET /pools``, ``GET /plan``, ``GET /events`` SSE);
+- ``report`` — render a breakdown from any export: RunRecord JSONL,
+  event logs, or a ``GET /jobs/{id}`` JobStatus document.
 
 Every command shares the same flag set: ``--seed`` picks the RNG seed,
 ``--workers N`` fans independent runs out over N processes (default:
-all cores), and ``--json PATH`` exports the results as RunRecord JSONL
-— one schema for every command. Runs go through
+all cores), and ``--json PATH`` exports the results as JSONL — each
+line a versioned :class:`repro.api.schemas.ResponseEnvelope`, the same
+shape the serve API returns. Runs go through
 :class:`repro.experiments.ExperimentRunner`, so repeated invocations
 hit the on-disk result cache (``.repro_cache``; see README).
 
@@ -283,10 +289,13 @@ def cmd_plan(args: argparse.Namespace) -> int:
               f"${record.cost:.4f} — "
               f"SLO {'met' if m['planner.slo_met'] else 'MISSED'}")
     if args.dry_run and args.json:
-        payload = [plan.to_dict() for plan in plans]
+        from repro.api import schemas
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-        print(f"\nwrote {len(payload)} plan(s) to {args.json}")
+            for plan in plans:
+                handle.write(schemas.envelope(
+                    schemas.KIND_PLAN,
+                    schemas.plan_payload(plan)).dumps() + "\n")
+        print(f"\nwrote {len(plans)} plan(s) to {args.json}")
     else:
         _export_json(args.json, records)
     return 0
@@ -349,6 +358,38 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: start the control plane over a long-lived
+    shared cluster (see DESIGN.md, "Control plane"). Uses uvicorn when
+    the ``[serve]`` extra is installed, a stdlib HTTP server
+    otherwise."""
+    from repro.api.app import create_app
+    from repro.api.server import run
+    from repro.api.service import ServeConfig
+
+    try:
+        config = ServeConfig(
+            max_concurrent=args.max_concurrent,
+            max_queue=args.max_queue,
+            seed=args.seed,
+            pool_cores=args.pool_cores,
+            lambda_cores=args.lambda_cores,
+            pool_style=args.pool_style,
+            mode=args.mode,
+            sim_step_s=args.sim_step)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    app = create_app(config)
+    print(f"repro serve on http://{args.host}:{args.port} "
+          f"(pool: {args.pool_cores} VM + {args.lambda_cores} La cores, "
+          f"{args.mode}; admission: {args.max_concurrent} running / "
+          f"{args.max_queue} queued; seed {args.seed})")
+    print(f"try: curl -s http://{args.host}:{args.port}/ | python -m "
+          f"json.tool")
+    run(app, host=args.host, port=args.port)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.observability.report import render_report_file
 
@@ -380,7 +421,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for independent runs "
                              "(default: all cores)")
     common.add_argument("--json", default=None, metavar="PATH",
-                        help="export results as RunRecord JSONL to PATH")
+                        help="export results as JSONL to PATH (one "
+                             "versioned run_record envelope per line)")
 
     sub.add_parser("list", help="list workloads and scenarios")
 
@@ -475,12 +517,44 @@ def build_parser() -> argparse.ArgumentParser:
     stream_p.add_argument("--base-cores", type=float, default=20.0)
     stream_p.add_argument("--peak-cores", type=float, default=80.0)
 
+    serve_p = sub.add_parser(
+        "serve", help="start the HTTP control plane over a long-lived "
+                      "shared cluster")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8000)
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="RNG seed of the shared cluster")
+    serve_p.add_argument("--max-concurrent", type=int, default=8,
+                         metavar="N",
+                         help="jobs allowed to run at once (admission "
+                              "bound)")
+    serve_p.add_argument("--max-queue", type=int, default=256, metavar="N",
+                         help="submissions allowed to queue beyond the "
+                              "running set before 503 backpressure")
+    serve_p.add_argument("--pool-cores", type=int, default=8, metavar="N",
+                         help="VM executor slots in the shared pool")
+    serve_p.add_argument("--lambda-cores", type=int, default=0,
+                         metavar="N",
+                         help="extra Lambda-backed slots (hybrid_segue "
+                              "pool)")
+    serve_p.add_argument("--pool-style", choices=["vm", "hybrid_segue"],
+                         default="vm")
+    serve_p.add_argument("--mode", choices=["fifo", "fair"],
+                         default="fair",
+                         help="scheduler-pool ordering for pooled jobs")
+    serve_p.add_argument("--sim-step", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="simulated seconds advanced per driver "
+                              "step (pooled-job arrival granularity)")
+
     report_p = sub.add_parser(
         "report", help="render a per-run breakdown from a RunRecord "
-                       "JSONL (repro run --json) or an event log "
-                       "(repro run --events-out)")
+                       "JSONL (repro run --json), an event log "
+                       "(repro run --events-out), or a JobStatus "
+                       "document (curl of GET /jobs/{id})")
     report_p.add_argument("path", metavar="PATH",
-                          help="RunRecord JSONL or event-log JSONL file")
+                          help="RunRecord JSONL, event-log JSONL, or "
+                               "JobStatus JSON file")
     report_p.add_argument("--index", type=int, default=None,
                           help="render only the Nth record of a "
                                "RunRecord file (0-based)")
@@ -492,7 +566,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "plan": cmd_plan,
                 "profile": cmd_profile, "stream": cmd_stream,
-                "report": cmd_report}
+                "serve": cmd_serve, "report": cmd_report}
     return handlers[args.command](args)
 
 

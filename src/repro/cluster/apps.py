@@ -246,6 +246,20 @@ class AppManager:
     def all_done(self) -> bool:
         return not self.queue and not self.running
 
+    def snapshot(self) -> Dict[str, object]:
+        """Live admission stats (the ``repro serve`` control plane's
+        ``GET /pools`` view of this manager)."""
+        failed = sum(1 for app in self.finished if app.failed)
+        return {
+            "queued": len(self.queue),
+            "queued_apps": [app.app_id for app in self.queue],
+            "running": len(self.running),
+            "running_apps": sorted(self.running),
+            "finished": len(self.finished),
+            "failed": failed,
+            "max_concurrent": self.max_concurrent,
+        }
+
     def completion_event(self, total: int):
         """An event that fires once ``total`` applications have finished
         (run the environment until it to drain a fixed arrival batch)."""

@@ -209,6 +209,7 @@ def _build_record(spec, record_cls, runtime: ClusterRuntime,
 
     metrics.update(runtime.metrics.snapshot())
     metrics.update({
+        "events_processed": runtime.env.events_processed,
         "jobs": n_jobs,
         "jobs_failed": sum(1 for app in manager.finished if app.failed),
         "p50_latency_s": percentile(latencies, 0.50),

@@ -162,6 +162,22 @@ class ExecutorPool(SchedulerListener):
                    if e.kind is HostKind.LAMBDA
                    and e.state is ExecutorState.REGISTERED)
 
+    def executor_infos(self) -> List[Dict[str, object]]:
+        """Live executor snapshot (id, kind, state, host, running
+        tasks), stably ordered by executor id. Serves
+        ``GET /executors``."""
+        infos = []
+        for executor in self.scheduler.executors.values():
+            infos.append({
+                "executor_id": executor.executor_id,
+                "kind": executor.kind.value,
+                "state": executor.state.value,
+                "host": executor.host_name,
+                "running_tasks": executor.running_tasks,
+            })
+        infos.sort(key=lambda info: info["executor_id"])
+        return infos
+
     # ------------------------------------------------------------------
     # Capacity
     # ------------------------------------------------------------------

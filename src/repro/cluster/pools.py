@@ -161,6 +161,34 @@ class SchedulerPools:
         return ordered
 
 
+    def stats(self, tasksets: List[TaskSet]) -> List[Dict[str, object]]:
+        """Per-pool live stats: registered apps and running tasks.
+
+        ``tasksets`` is the shared scheduler's live task-set list (the
+        source of running-task counts); pools with no live task sets
+        still report their registered apps. Serves ``GET /pools``.
+        """
+        by_app: Dict[int, List[TaskSet]] = {}
+        for ts in tasksets:
+            if ts.schedulable is not None:
+                by_app.setdefault(id(ts.schedulable), []).append(ts)
+        out = []
+        for name in sorted(self.pools):
+            pool = self.pools[name]
+            members = self._apps[name]
+            running = sum(self._running_tasks(by_app.get(id(app), []))
+                          for app in members)
+            out.append({
+                "name": pool.name,
+                "mode": pool.mode,
+                "weight": pool.weight,
+                "min_share": pool.min_share,
+                "apps": len(members),
+                "running_tasks": running,
+            })
+        return out
+
+
 class PooledTaskScheduler(TaskScheduler):
     """A task scheduler shared by many drivers, offering slots in pool
     order and re-sorting after every launch so shares stay balanced."""

@@ -5,7 +5,12 @@ day-of-jobs stream, a custom ablation — reduces to the same record:
 the spec that produced it, wall-clock and simulated time, dollar cost,
 failure status, per-executor task counts and aggregate task metrics.
 Records round-trip through ``to_dict``/``from_dict`` and serialize one
-per line with :func:`write_jsonl`/:func:`read_jsonl`.
+per line with :func:`write_jsonl`/:func:`read_jsonl`. On disk each line
+is a versioned :class:`~repro.api.schemas.ResponseEnvelope`
+(``{"schema_version": ..., "kind": "run_record", "data": ...}`` — the
+same shape every API/CLI JSON surface uses); pre-envelope files (raw
+RunRecord rows) still read, with a :class:`DeprecationWarning`, for one
+release.
 
 ``wall_time_s`` is the only machine-dependent field; use
 :meth:`RunRecord.canonical` when comparing records for determinism.
@@ -126,21 +131,27 @@ class RunRecord:
 
 
 def write_jsonl(records: Iterable[RunRecord], path: str) -> int:
-    """Write records one-per-line; returns the number written."""
+    """Write records one-per-line (enveloped, deterministic key order);
+    returns the number written."""
+    from repro.api import schemas
     count = 0
     with open(path, "w", encoding="utf-8") as fh:
         for record in records:
-            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            fh.write(schemas.envelope(schemas.KIND_RUN_RECORD,
+                                      record.to_dict()).dumps() + "\n")
             count += 1
     return count
 
 
 def read_jsonl(path: str) -> List[RunRecord]:
-    """Read records written by :func:`write_jsonl`."""
+    """Read records written by :func:`write_jsonl` (either enveloped
+    rows or, with a deprecation warning, pre-envelope raw rows)."""
+    from repro.api import schemas
     records = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:
-                records.append(RunRecord.from_dict(json.loads(line)))
+                records.append(RunRecord.from_dict(
+                    schemas.unwrap_record(json.loads(line))))
     return records

@@ -33,6 +33,7 @@ CAT_LAUNCHING = "launching"    # repro.core.launching.LaunchingFacility
 CAT_SEGUE = "segue"            # repro.core.segue.SegueingFacility
 CAT_CLUSTER = "cluster"        # repro.cluster.apps.AppManager
 CAT_PLANNER = "planner"        # repro.planner (split planning + enforcement)
+CAT_SERVE = "serve"            # repro.api.service.ServeRuntime
 
 # ---------------------------------------------------------------------------
 # Event names, grouped by category
@@ -114,6 +115,12 @@ EV_PLAN_ENFORCED = "plan_enforced"
 EV_SPLIT_DECIDED = "split_decided"
 EV_BRIDGE_DRAINED = "bridge_drained"
 
+# serve (control-plane job lifecycle, wall-clock times)
+EV_JOB_QUEUED = "job_queued"
+EV_JOB_STARTED = "job_started"
+EV_JOB_FINISHED = "job_finished"
+EV_JOB_REJECTED = "job_rejected"
+
 
 #: category -> the event names it may emit. ``validate_event`` enforces
 #: membership; the EventBus checks every published record against this.
@@ -159,6 +166,9 @@ EVENTS: Dict[str, FrozenSet[str]] = {
     CAT_PLANNER: frozenset({
         EV_PLAN_REQUESTED, EV_PLAN_CHOSEN, EV_PLAN_INFEASIBLE,
         EV_PLAN_ENFORCED, EV_SPLIT_DECIDED, EV_BRIDGE_DRAINED,
+    }),
+    CAT_SERVE: frozenset({
+        EV_JOB_QUEUED, EV_JOB_STARTED, EV_JOB_FINISHED, EV_JOB_REJECTED,
     }),
 }
 

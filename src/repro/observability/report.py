@@ -1,13 +1,20 @@
 """Per-run breakdown rendering (the ``repro report`` subcommand).
 
-Two inputs, one look:
+Three inputs, one look:
 
 - a **RunRecord** JSONL row — the richest view: cost split (FaaS vs
   IaaS vs storage), per-stage task metrics (from the ``stage.*`` dotted
   telemetry), per-resource-kind utilization, and the stage critical
   path;
 - an **event log** JSONL file — stage spans and executor utilization
-  reconstructed from the raw stream (no cost data rides on events).
+  reconstructed from the raw stream (no cost data rides on events);
+- a **JobStatus** JSON document — a ``repro serve`` job curl'd from
+  ``GET /jobs/{id}``: the job's lifecycle header plus, for completed
+  spec-mode jobs, the embedded RunRecord rendered in full.
+
+Rows may arrive bare or wrapped in the versioned
+:class:`~repro.api.schemas.ResponseEnvelope`; sniffing handles both
+(bare RunRecord rows warn — they are the pre-envelope export shape).
 
 All numbers are kept at full precision until the final ``format`` call —
 rounding is a rendering concern, never a serialization one.
@@ -300,29 +307,95 @@ def render_event_log_report(rows: List[Mapping[str, Any]]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# JobStatus view
+# ---------------------------------------------------------------------------
+
+def render_job_status_report(status: Mapping[str, Any]) -> str:
+    """Render a served job (a ``GET /jobs/{id}`` JobStatus dict)."""
+    lines: List[str] = []
+    request: Mapping[str, Any] = status.get("request") or {}
+    lines.append(f"job: {status.get('job_id', '?')} "
+                 f"state={status.get('state', '?')} "
+                 f"mode={request.get('mode', '?')}")
+    rows: List[List[Any]] = [
+        ["workload", request.get("workload", "?")],
+        ["scenario", request.get("scenario", "?")],
+        ["seed", request.get("seed", "?")],
+    ]
+    if status.get("spec_hash"):
+        rows.append(["spec hash", str(status["spec_hash"])[:16]])
+    if status.get("duration_s") is not None:
+        rows.append(["duration (s)", float(status["duration_s"])])
+    if status.get("cost") is not None:
+        rows.append(["cost ($)", float(status["cost"])])
+    if status.get("slo_met") is not None:
+        rows.append(["SLO", "met" if status["slo_met"] else "MISSED"])
+    if status.get("queue_position") is not None:
+        rows.append(["queue position", status["queue_position"]])
+    if status.get("error"):
+        rows.append(["error", status["error"]])
+    lines.extend(_table(["field", "value"], rows))
+
+    record = status.get("record")
+    if record:
+        lines.append("")
+        lines.append(render_run_report(record))
+    elif status.get("metrics"):
+        metrics = status["metrics"]
+        lines.append("")
+        lines.append("metrics:")
+        lines.extend(_table(["metric", "value"],
+                            [[k, metrics[k]] for k in sorted(metrics)]))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # Input sniffing
 # ---------------------------------------------------------------------------
 
+def _render_row(row: Mapping[str, Any]) -> str:
+    """Render one non-event row by shape: enveloped or bare, RunRecord
+    or JobStatus."""
+    from repro.api import schemas
+
+    if schemas.is_envelope(row):
+        env = schemas.ResponseEnvelope.from_dict(row)
+        if env.kind == schemas.KIND_JOB_STATUS:
+            return render_job_status_report(env.data)
+        if env.kind == schemas.KIND_RUN_RECORD:
+            return render_run_report(env.data)
+        raise ValueError(
+            f"cannot render a {env.kind!r} envelope; reportable kinds: "
+            f"{schemas.KIND_RUN_RECORD!r}, {schemas.KIND_JOB_STATUS!r}, "
+            f"{schemas.KIND_EVENTS!r}")
+    if schemas.looks_like_job_status(row):
+        return render_job_status_report(row)
+    # Bare RunRecord row: the pre-envelope export shape (warns).
+    return render_run_report(schemas.unwrap_record(row))
+
+
 def render_report_file(path: str,
                        index: Optional[int] = None) -> str:
-    """Auto-detect a JSONL file's flavor and render the right report.
+    """Auto-detect a report input's flavor and render the right report.
 
-    RunRecord rows carry a ``spec`` key; event-log rows carry
-    ``category``. For a RunRecord file, ``index`` picks a row (default:
-    report every row, separated by blank lines).
+    Accepts JSONL (RunRecord exports, event logs) or a single JSON
+    document (a curl'd JobStatus / envelope). Event-log rows carry
+    ``category``; everything else dispatches on the envelope kind or,
+    for bare rows, on shape. ``index`` picks one row (default: report
+    every row, separated by blank lines).
     """
-    import json
+    from repro.api import schemas
 
-    rows = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                rows.append(json.loads(line))
+        rows = schemas.parse_any_document(handle.read())
     if not rows:
         return "empty file"
-    if "category" in rows[0]:
+    first = rows[0]
+    if schemas.is_envelope(first) and first.get("kind") == schemas.KIND_EVENTS:
+        return render_event_log_report(
+            (first.get("data") or {}).get("events") or [])
+    if "category" in first:
         return render_event_log_report(rows)
     if index is not None:
-        return render_run_report(rows[index])
-    return "\n\n".join(render_run_report(row) for row in rows)
+        return _render_row(rows[index])
+    return "\n\n".join(_render_row(row) for row in rows)

@@ -34,6 +34,10 @@ class Environment:
         self._queue: List[_QueueItem] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Events popped and dispatched since construction — the
+        #: denominator for simulated-events/sec kernel throughput
+        #: (``benchmarks/bench_core_speed.py``).
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -92,6 +96,7 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
+        self.events_processed += 1
 
         # Mark processed *before* running callbacks (as SimPy does) so
         # that callbacks observe a consistent "this event is done" state.

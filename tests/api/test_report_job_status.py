@@ -1,0 +1,53 @@
+"""`repro report` renders a served JobStatus document (satellite of the
+control-plane PR): curl `GET /jobs/{id}` into a file, point `repro
+report` at it, get the job header plus the embedded run report."""
+
+import pytest
+
+from repro.api import schemas
+from repro.api.service import ServeConfig, ServeRuntime
+from repro.cli import main
+from repro.observability.report import render_report_file
+
+
+@pytest.fixture(scope="module")
+def job_status_doc():
+    service = ServeRuntime(ServeConfig(max_concurrent=2, seed=0)).start()
+    try:
+        status = service.submit({"workload": "sparkpi",
+                                 "scenario": "ss_hybrid", "seed": 5,
+                                 "slo_s": 10_000})
+        final = service.wait_for(status.job_id, timeout=60.0)
+    finally:
+        service.close()
+    assert final.state == schemas.JOB_COMPLETED, final.error
+    return final
+
+
+def test_report_renders_enveloped_job_status(tmp_path, job_status_doc):
+    path = tmp_path / "status.json"
+    path.write_text(schemas.envelope(schemas.KIND_JOB_STATUS,
+                                     job_status_doc).dumps())
+    text = render_report_file(str(path))
+    assert f"job: {job_status_doc.job_id}" in text
+    assert "state=completed" in text
+    assert "sparkpi" in text
+    assert "SLO" in text
+    # The embedded RunRecord renders the full run report below.
+    assert "cost" in text
+
+
+def test_report_renders_bare_job_status(tmp_path, job_status_doc):
+    path = tmp_path / "status.json"
+    path.write_text(schemas.dumps(job_status_doc.to_dict()))
+    text = render_report_file(str(path))
+    assert f"job: {job_status_doc.job_id}" in text
+
+
+def test_report_cli_exit_code(tmp_path, job_status_doc, capsys):
+    path = tmp_path / "status.json"
+    path.write_text(schemas.envelope(schemas.KIND_JOB_STATUS,
+                                     job_status_doc).dumps())
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert job_status_doc.job_id in out
