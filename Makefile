@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-smoke bench-resilience-smoke \
 	bench-multijob-smoke bench-plan-smoke bench-core-smoke \
-	serve-smoke report-smoke examples figures clean
+	serve-smoke chaos-smoke report-smoke examples figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -48,6 +48,13 @@ bench-core-smoke:
 serve-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest tests/api benchmarks/bench_serve_load.py -m smoke -q
+
+# One small seeded chaos scenario against a live ServeRuntime: throttle
+# storm → breaker open/recover, worker kill → retry, kill-9 + restart →
+# journal recovery (see DESIGN.md, "Service resilience").
+chaos-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest benchmarks/bench_chaos.py -m smoke -q
 
 # One seeded scenario through event-log/trace export and `repro report`,
 # asserting same-seed event logs are byte-identical (see DESIGN.md,

@@ -19,8 +19,21 @@ route table is the control-plane contract:
   (``?workload=…&slo_s=…``);
 - ``GET  /events``     — Server-Sent Events off the EventBus
   (``?follow=0`` returns a JSON snapshot instead; ``?replay=N`` seeds
-  the stream with the last N buffered events, ``?max_events=N`` /
-  ``?idle_timeout_s=S`` bound the stream, for curl and tests).
+  the stream with the last N buffered events, a ``Last-Event-ID``
+  header or ``?after=SEQ`` resumes a broken stream past the last seen
+  sequence, ``?max_events=N`` / ``?idle_timeout_s=S`` bound the
+  stream, for curl and tests);
+- ``GET  /healthz``    — liveness (the process is up; always 200 while
+  serving);
+- ``GET  /readyz``     — readiness (driver thread alive, queue below
+  max, breaker not open, not draining); 503 + structured
+  :class:`~repro.api.schemas.ErrorBody` listing the failing checks
+  when a load balancer should back off;
+- ``POST /chaos``      — inject one chaos instruction into the live
+  server (a named :data:`~repro.simulation.faults.CHAOS_PLANS` plan or
+  raw fault dicts, worker-thread kills, a sim-driver stall, a
+  breaker-probing Lambda scale request); see
+  :meth:`~repro.api.service.ServeRuntime.inject_chaos`.
 """
 
 from __future__ import annotations
@@ -159,6 +172,39 @@ def create_app(config: Optional[ServeConfig] = None,
             raise ApiError(400, schemas.ERR_INVALID_REQUEST, str(exc))
         return JSONResponse(schemas.KIND_PLAN, payload)
 
+    # -- health ------------------------------------------------------------
+
+    @app.get("/healthz")
+    async def healthz(request: Request) -> JSONResponse:
+        return JSONResponse(schemas.KIND_HEALTH, serve.healthz())
+
+    @app.get("/readyz")
+    async def readyz(request: Request) -> JSONResponse:
+        ready, checks = serve.readyz()
+        if not ready:
+            failing = sorted(k for k, ok in checks.items() if not ok)
+            raise ApiError(503, schemas.ERR_NOT_READY,
+                           f"not ready: {', '.join(failing)}",
+                           detail={"checks": checks})
+        return JSONResponse(schemas.KIND_HEALTH,
+                            {"status": "ready", "checks": checks})
+
+    # -- chaos -------------------------------------------------------------
+
+    @app.post("/chaos")
+    async def chaos(request: Request) -> JSONResponse:
+        payload = await request.json()
+        if not isinstance(payload, dict):
+            raise ApiError(400, schemas.ERR_INVALID_REQUEST,
+                           "request body must be a JSON object (a chaos "
+                           "instruction; see DESIGN.md "
+                           '"Service resilience")')
+        try:
+            outcome = serve.inject_chaos(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ApiError(400, schemas.ERR_INVALID_REQUEST, str(exc))
+        return JSONResponse(schemas.KIND_CHAOS, outcome)
+
     # -- events ------------------------------------------------------------
 
     @app.get("/events")
@@ -173,7 +219,21 @@ def create_app(config: Optional[ServeConfig] = None,
         replay = _int_param(request, "replay", 0)
         max_events = _int_param(request, "max_events", 0)
         idle_timeout_s = _float_param(request, "idle_timeout_s", 30.0)
+        # Reconnect support: a standard Last-Event-ID header (or the
+        # ?after= query form for curl) resumes past the last sequence
+        # the client saw; it wins over ?replay=.
+        after_raw = (request.headers.get("last-event-id")
+                     or request.query.get("after"))
+        after_seq: Optional[int] = None
+        if after_raw is not None and after_raw != "":
+            try:
+                after_seq = int(after_raw)
+            except ValueError:
+                raise ApiError(400, schemas.ERR_INVALID_REQUEST,
+                               f"Last-Event-ID must be an integer "
+                               f"sequence, got {after_raw!r}")
         return SSEResponse(_event_stream(serve, replay=replay,
+                                         after_seq=after_seq,
                                          category=category,
                                          max_events=max_events,
                                          idle_timeout_s=idle_timeout_s))
@@ -183,13 +243,15 @@ def create_app(config: Optional[ServeConfig] = None,
 
 async def _event_stream(serve: ServeRuntime, replay: int,
                         category: Optional[str], max_events: int,
-                        idle_timeout_s: float) -> AsyncIterator[bytes]:
+                        idle_timeout_s: float,
+                        after_seq: Optional[int] = None
+                        ) -> AsyncIterator[bytes]:
     """SSE frames off the hub: replayed ring items, then live events.
 
     Bounded by ``max_events`` (0 = unbounded) and by ``idle_timeout_s``
     of silence, so a curl without ``--max-time`` still terminates.
     """
-    sub, backlog = serve.hub.subscribe(replay=replay)
+    sub, backlog = serve.hub.subscribe(replay=replay, after_seq=after_seq)
     loop = asyncio.get_running_loop()
     sent = 0
     try:

@@ -81,6 +81,12 @@ class Request:
         raw = self.scope.get("query_string", b"") or b""
         return dict(parse_qsl(raw.decode("latin-1")))
 
+    @property
+    def headers(self) -> Dict[str, str]:
+        """Lower-cased header map (last value wins on duplicates)."""
+        return {k.decode("latin-1").lower(): v.decode("latin-1")
+                for k, v in self.scope.get("headers", [])}
+
     async def body(self) -> bytes:
         if self._body is None:
             chunks: List[bytes] = []

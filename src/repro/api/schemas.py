@@ -26,16 +26,15 @@ Python's shortest float repr, so equal payloads are byte-identical —
 the property the experiment cache and the golden tests already rely on
 for RunRecords now holds for every JSON surface.
 
-Legacy shapes: :func:`unwrap_record` accepts pre-envelope RunRecord
-rows (and :func:`parse_any_document` pre-envelope report inputs) with a
-:class:`DeprecationWarning` for one release; writers only emit the
-envelope.
+Legacy shapes: the one-release pre-envelope RunRecord shim promised in
+the consolidation release is gone — :func:`unwrap_record` now raises a
+clear :class:`SchemaError` pointing at the envelope format; re-export
+old rows with a current ``--json``.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -53,10 +52,12 @@ KIND_EXECUTORS = "executors"
 KIND_EVENTS = "events"
 KIND_ERROR = "error"
 KIND_SERVICE_INFO = "service_info"
+KIND_HEALTH = "health"
+KIND_CHAOS = "chaos"
 KINDS = frozenset({
     KIND_RUN_RECORD, KIND_JOB_STATUS, KIND_JOB_LIST, KIND_PLAN,
     KIND_POOL_STATS, KIND_EXECUTORS, KIND_EVENTS, KIND_ERROR,
-    KIND_SERVICE_INFO,
+    KIND_SERVICE_INFO, KIND_HEALTH, KIND_CHAOS,
 })
 
 # Job lifecycle states.
@@ -76,6 +77,19 @@ ERR_BACKPRESSURE = "backpressure"
 ERR_NOT_FOUND = "not_found"
 ERR_INVALID_REQUEST = "invalid_request"
 ERR_INTERNAL = "internal"
+ERR_NOT_READY = "not_ready"
+ERR_DRAINING = "draining"
+
+# Structured failure-cause codes (JobStatus.failure on terminal
+# ``failed`` jobs; see repro.api.resilience).
+FAIL_WORKER_EXCEPTION = "worker_exception"
+FAIL_RETRIES_EXHAUSTED = "retries_exhausted"
+FAIL_DEADLINE_EXCEEDED = "deadline_exceeded"
+FAIL_JOB_FAILED = "job_failed"
+FAIL_CHECKPOINTED = "checkpointed"
+FAILURE_CODES = (FAIL_WORKER_EXCEPTION, FAIL_RETRIES_EXHAUSTED,
+                 FAIL_DEADLINE_EXCEEDED, FAIL_JOB_FAILED,
+                 FAIL_CHECKPOINTED)
 
 
 class SchemaError(ValueError):
@@ -171,24 +185,25 @@ def is_envelope(data: Any) -> bool:
 def unwrap_record(data: Mapping[str, Any]) -> Dict[str, Any]:
     """Return the RunRecord dict inside an envelope row.
 
-    Pre-envelope rows (raw RunRecord dicts, the shape every ``--json``
-    export wrote before the ``repro.api.schemas`` consolidation) are
-    passed through with a :class:`DeprecationWarning`; the shim lasts
-    one release.
+    The one-release :class:`DeprecationWarning` shim for pre-envelope
+    rows (raw RunRecord dicts, the shape ``--json`` exports wrote
+    before the ``repro.api.schemas`` consolidation) has been removed as
+    promised: a bare row now raises :class:`SchemaError` naming the
+    envelope format, so stale fixtures fail loudly instead of parsing
+    silently. Re-export old data with a current ``--json``.
     """
-    if is_envelope(data):
-        env = ResponseEnvelope.from_dict(data)
-        _require(env.kind == KIND_RUN_RECORD,
-                 f"expected a {KIND_RUN_RECORD!r} envelope, "
-                 f"got {env.kind!r}")
-        return dict(env.data)
-    warnings.warn(
-        "reading a pre-schema RunRecord JSON row (no schema_version "
-        "envelope); this shape is deprecated — re-export with this "
-        "release's --json (repro.api.schemas.ResponseEnvelope) before "
-        "the shim is removed",
-        DeprecationWarning, stacklevel=3)
-    return dict(data)
+    _require(
+        is_envelope(data),
+        "not a ResponseEnvelope row: expected "
+        '{"schema_version": "' + SCHEMA_VERSION + '", "kind": "'
+        + KIND_RUN_RECORD + '", "data": {...}}; pre-envelope RunRecord '
+        "rows are no longer read (the one-release DeprecationWarning "
+        "shim is gone) — re-export with a current --json")
+    env = ResponseEnvelope.from_dict(data)
+    _require(env.kind == KIND_RUN_RECORD,
+             f"expected a {KIND_RUN_RECORD!r} envelope, "
+             f"got {env.kind!r}")
+    return dict(env.data)
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +228,13 @@ class JobRequest:
     mode: str = MODE_SPEC
     #: Deadline the job is scored against (``slo_met`` on the status).
     slo_s: Optional[float] = None
+    #: Wall-clock deadline: the service fails the job (terminal
+    #: ``failed``, cause ``deadline_exceeded``) this many seconds after
+    #: submission if it has not finished. None = the server default.
+    deadline_s: Optional[float] = None
+    #: Bounded-retry cap for transient worker failures (>= 1).
+    #: None = the server default.
+    max_attempts: Optional[int] = None
     #: Split/provisioning policy (``{"name": ...}`` + parameters), as in
     #: ``ExperimentSpec.policy``.
     policy: Dict[str, Any] = field(default_factory=dict)
@@ -235,6 +257,12 @@ class JobRequest:
         if self.slo_s is not None:
             self.slo_s = float(self.slo_s)
             _require(self.slo_s > 0, "slo_s must be positive")
+        if self.deadline_s is not None:
+            self.deadline_s = float(self.deadline_s)
+            _require(self.deadline_s > 0, "deadline_s must be positive")
+        if self.max_attempts is not None:
+            self.max_attempts = int(self.max_attempts)
+            _require(self.max_attempts >= 1, "max_attempts must be >= 1")
         self.policy = _check_mapping(self.policy, "policy")
         self.workload_params = _check_mapping(self.workload_params,
                                               "workload_params")
@@ -274,6 +302,47 @@ class JobRequest:
 
 
 # ---------------------------------------------------------------------------
+# FailureCause
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FailureCause:
+    """Structured cause on a terminal ``failed`` job.
+
+    ``code`` is one of :data:`FAILURE_CODES`; ``retryable`` records
+    whether the service classified the underlying error as transient
+    (it may still be terminal because retries were exhausted or the
+    deadline passed); ``attempts`` is how many executions were tried.
+    """
+
+    code: str
+    message: str
+    retryable: bool = False
+    attempts: int = 1
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(self.code in FAILURE_CODES,
+                 f"unknown failure code {self.code!r}; "
+                 f"known: {list(FAILURE_CODES)}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"code": self.code, "message": self.message,
+                "retryable": self.retryable, "attempts": self.attempts,
+                "detail": to_jsonable(self.detail)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureCause":
+        _require(isinstance(data, Mapping) and "code" in data,
+                 "failure cause must be a JSON object with a code")
+        return cls(code=str(data["code"]),
+                   message=str(data.get("message", "")),
+                   retryable=bool(data.get("retryable", False)),
+                   attempts=int(data.get("attempts", 1)),
+                   detail=dict(data.get("detail") or {}))
+
+
+# ---------------------------------------------------------------------------
 # JobStatus
 # ---------------------------------------------------------------------------
 
@@ -306,12 +375,18 @@ class JobStatus:
     #: Full RunRecord dict (completed spec-mode jobs).
     record: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    #: Executions tried so far (retries bump this past 1).
+    attempts: int = 0
+    #: Structured cause, set exactly when ``state == "failed"``.
+    failure: Optional[FailureCause] = None
 
     def __post_init__(self) -> None:
         _require(self.state in JOB_STATES,
                  f"state must be one of {JOB_STATES}, got {self.state!r}")
         if isinstance(self.request, Mapping):
             self.request = JobRequest.from_dict(self.request)
+        if isinstance(self.failure, Mapping):
+            self.failure = FailureCause.from_dict(self.failure)
 
     @property
     def done(self) -> bool:
@@ -333,7 +408,10 @@ class JobStatus:
             "metrics": to_jsonable(self.metrics),
             "plan": to_jsonable(self.plan),
             "error": self.error,
+            "attempts": self.attempts,
         }
+        if self.failure is not None:
+            out["failure"] = self.failure.to_dict()
         if self.record is not None:
             out["record"] = to_jsonable(self.record)
         return out
@@ -359,7 +437,9 @@ class JobStatus:
             metrics=dict(data.get("metrics") or {}),
             plan=data.get("plan"),
             record=data.get("record"),
-            error=data.get("error"))
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 0)),
+            failure=data.get("failure"))
 
 
 def looks_like_job_status(data: Any) -> bool:
@@ -507,11 +587,15 @@ def parse_any_document(text: str) -> List[Dict[str, Any]]:
 __all__: Tuple[str, ...] = (
     "SCHEMA_VERSION", "KINDS", "KIND_RUN_RECORD", "KIND_JOB_STATUS",
     "KIND_JOB_LIST", "KIND_PLAN", "KIND_POOL_STATS", "KIND_EXECUTORS",
-    "KIND_EVENTS", "KIND_ERROR", "KIND_SERVICE_INFO",
+    "KIND_EVENTS", "KIND_ERROR", "KIND_SERVICE_INFO", "KIND_HEALTH",
+    "KIND_CHAOS",
     "JOB_QUEUED", "JOB_RUNNING", "JOB_COMPLETED", "JOB_FAILED",
     "JOB_STATES", "JOB_MODES", "MODE_SPEC", "MODE_POOLED",
     "ERR_BACKPRESSURE", "ERR_NOT_FOUND", "ERR_INVALID_REQUEST",
-    "ERR_INTERNAL",
+    "ERR_INTERNAL", "ERR_NOT_READY", "ERR_DRAINING",
+    "FAIL_WORKER_EXCEPTION", "FAIL_RETRIES_EXHAUSTED",
+    "FAIL_DEADLINE_EXCEEDED", "FAIL_JOB_FAILED", "FAIL_CHECKPOINTED",
+    "FAILURE_CODES", "FailureCause",
     "SchemaError", "ResponseEnvelope", "envelope", "is_envelope",
     "unwrap_record", "JobRequest", "JobStatus", "looks_like_job_status",
     "ExecutorInfo", "PoolStats", "PlanCandidate", "plan_payload",

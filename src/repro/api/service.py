@@ -10,7 +10,9 @@ serves traffic against it:
   queue: at most ``max_concurrent`` jobs run at once, up to
   ``max_queue`` more wait in FIFO order (queued, never dropped), and
   beyond that the submission is rejected with structured backpressure
-  (:class:`BackpressureError` → HTTP 503 + ``Retry-After``).
+  (:class:`BackpressureError` → HTTP 503 + a *deterministically
+  jittered* ``Retry-After``, so rejected clients never stampede back in
+  lockstep).
 - **Spec jobs** (``mode="spec"``, the default) execute one isolated
   :class:`~repro.experiments.spec.ExperimentSpec` on a worker thread
   via :func:`~repro.experiments.runner.run_spec` — deterministic, so a
@@ -22,10 +24,31 @@ serves traffic against it:
   driver thread owns all simulation state and advances simulated time
   in small steps, so new arrivals interleave with running apps at
   ``sim_step_s`` granularity.
+- **Fault tolerance** (see :mod:`repro.api.resilience` and DESIGN.md
+  §"Service resilience"): every job has a wall-clock deadline and a
+  bounded retry budget — a transient worker failure (a crash, an
+  injected fault, a Lambda invoke error) re-queues the job after an
+  exponentially backed-off, deterministically jittered delay, while a
+  deterministic failure or an exhausted budget lands it in a terminal
+  ``failed`` state with a structured
+  :class:`~repro.api.schemas.FailureCause`. No silent hangs: a reaper
+  thread enforces deadlines even on wedged jobs. The Lambda-bridge
+  path is wrapped by a :class:`~repro.api.resilience.CircuitBreaker`
+  (consecutive invoke/throttle errors open it; while open the pool
+  degrades to VM-only admission; a half-open probe closes it again),
+  surfaced as ``serve.breaker.*`` metrics and CAT_SERVE events.
+- **Durability.** With a ``state_dir`` configured, every accepted
+  submission is journaled to a JSONL write-ahead log
+  (:class:`~repro.api.journal.JobJournal`) before it is acknowledged; a
+  restarted runtime recovers queued/running jobs idempotently (ids
+  resume past everything ever acknowledged, so no duplicates) and
+  :meth:`request_drain` checkpoints whatever a graceful shutdown could
+  not finish.
 - **Telemetry.** An :class:`EventHub` subscribes to the shared
   cluster's EventBus and additionally publishes control-plane lifecycle
-  events (``serve.job_queued/started/finished/rejected``, registered in
-  the closed taxonomy); ``GET /events`` streams it over SSE.
+  events (``serve.job_queued/started/finished/rejected/retrying/...``,
+  registered in the closed taxonomy); ``GET /events`` streams it over
+  SSE with bounded per-subscriber buffers and ``Last-Event-ID`` replay.
 
 Thread-safety contract: all simulation objects are touched only by the
 driver thread under ``_sim_lock``; HTTP readers take the same lock for
@@ -45,6 +68,16 @@ from queue import Empty, Full, Queue
 from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.api import schemas
+from repro.api.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    WorkerCrashError,
+    is_transient,
+    retry_after_s,
+)
 from repro.api.schemas import (
     JOB_COMPLETED,
     JOB_FAILED,
@@ -52,33 +85,52 @@ from repro.api.schemas import (
     JOB_RUNNING,
     MODE_POOLED,
     MODE_SPEC,
+    FailureCause,
     JobRequest,
     JobStatus,
 )
 from repro.observability.categories import (
     CAT_SERVE,
+    EV_BREAKER_CLOSED,
+    EV_BREAKER_HALF_OPEN,
+    EV_BREAKER_OPENED,
+    EV_CHAOS_INJECTED,
+    EV_DRAIN_COMPLETED,
+    EV_DRAIN_STARTED,
+    EV_JOB_DEADLINE_EXCEEDED,
     EV_JOB_FINISHED,
     EV_JOB_QUEUED,
+    EV_JOB_RECOVERED,
     EV_JOB_REJECTED,
+    EV_JOB_RETRYING,
     EV_JOB_STARTED,
     validate_event,
 )
 
 __all__ = [
-    "ServeConfig", "ServeRuntime", "EventHub",
+    "ServeConfig", "ServeRuntime", "EventHub", "Subscription",
     "BackpressureError", "UnknownJobError",
 ]
 
+#: Cadence of the reaper thread (deadline/retry enforcement). Wall
+#: clock; small enough that deadlines land within a few hundredths of a
+#: second, large enough to be invisible in admission benchmarks.
+_REAPER_TICK_S = 0.02
+
 
 class BackpressureError(Exception):
-    """Admission queue saturated — the HTTP layer maps this to 503
-    with a structured :class:`~repro.api.schemas.ErrorBody`."""
+    """Admission rejected — the HTTP layer maps this to 503 with a
+    structured :class:`~repro.api.schemas.ErrorBody`. ``code`` is
+    :data:`~repro.api.schemas.ERR_BACKPRESSURE` for a saturated queue
+    or :data:`~repro.api.schemas.ERR_DRAINING` during graceful drain."""
 
     def __init__(self, message: str, detail: Dict[str, Any],
-                 retry_after_s: float) -> None:
+                 retry_after_s: float,
+                 code: str = schemas.ERR_BACKPRESSURE) -> None:
         super().__init__(message)
         self.detail = detail
         self.retry_after_s = retry_after_s
+        self.code = code
 
 
 class UnknownJobError(KeyError):
@@ -89,6 +141,39 @@ class UnknownJobError(KeyError):
 # Event hub
 # ---------------------------------------------------------------------------
 
+class Subscription:
+    """One SSE consumer's bounded buffer.
+
+    A slow consumer must never stall the simulation or starve other
+    subscribers, so ``put`` drops (and counts) instead of blocking when
+    the buffer is full — the drop accounting is deterministic: exactly
+    the events published while the buffer sat full are lost, oldest
+    kept. A dropped client reconnects with ``Last-Event-ID`` and
+    replays what the ring still holds.
+    """
+
+    def __init__(self, depth: int) -> None:
+        self._queue: Queue = Queue(maxsize=depth)
+        self.depth = depth
+        #: Events this subscriber lost to backpressure.
+        self.dropped = 0
+
+    def put(self, item: Dict[str, Any]) -> bool:
+        try:
+            self._queue.put_nowait(item)
+            return True
+        except Full:
+            self.dropped += 1
+            return False
+
+    def get(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Next event; raises ``queue.Empty`` on timeout."""
+        return self._queue.get(timeout=timeout)
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+
 class EventHub:
     """Fan-in/fan-out for the served event stream.
 
@@ -96,14 +181,14 @@ class EventHub:
     so the shared cluster's EventBus treats it as one more subscriber;
     the ServeRuntime publishes its own lifecycle events through the
     same method. Events land in a bounded ring (for replay/snapshots)
-    and are pushed to every live SSE subscription queue; a slow
-    consumer drops events rather than stalling the simulation.
+    and are pushed to every live :class:`Subscription`; a slow consumer
+    drops events rather than stalling the simulation.
     """
 
     def __init__(self, maxlen: int = 4096,
                  subscriber_depth: int = 10000) -> None:
         self._ring: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
-        self._subs: List[Queue] = []
+        self._subs: List[Subscription] = []
         self._lock = threading.Lock()
         self._seq = 0
         self._subscriber_depth = subscriber_depth
@@ -120,10 +205,7 @@ class EventHub:
             self._ring.append(item)
             subs = list(self._subs)
         for sub in subs:
-            try:
-                sub.put_nowait(item)
-            except Full:
-                self.dropped += 1
+            sub.put(item)  # a full buffer counts on the subscription
 
     def snapshot(self, limit: Optional[int] = None,
                  category: Optional[str] = None) -> List[Dict[str, Any]]:
@@ -135,20 +217,41 @@ class EventHub:
             items = items[-limit:]
         return items
 
-    def subscribe(self, replay: int = 0
-                  ) -> Tuple[Queue, List[Dict[str, Any]]]:
-        """A live queue plus the last ``replay`` ring items (atomically,
-        so no event is missed or duplicated between replay and live)."""
-        sub: Queue = Queue(maxsize=self._subscriber_depth)
+    def subscribe(self, replay: int = 0, after_seq: Optional[int] = None,
+                  depth: Optional[int] = None
+                  ) -> Tuple[Subscription, List[Dict[str, Any]]]:
+        """A live subscription plus its backlog (atomically, so no
+        event is missed or duplicated between replay and live).
+
+        ``replay`` asks for the last N ring items; ``after_seq``
+        (``Last-Event-ID`` reconnects) asks for every ring item with a
+        sequence past the one the client saw, and wins over ``replay``.
+        ``depth`` bounds the live buffer (defaults to the hub's).
+        """
+        sub = Subscription(depth or self._subscriber_depth)
         with self._lock:
-            items = list(self._ring)[-replay:] if replay > 0 else []
+            if after_seq is not None:
+                items = [i for i in self._ring if i["seq"] > after_seq]
+            elif replay > 0:
+                items = list(self._ring)[-replay:]
+            else:
+                items = []
             self._subs.append(sub)
         return sub, items
 
-    def unsubscribe(self, sub: Queue) -> None:
+    def unsubscribe(self, sub: Subscription) -> None:
         with self._lock:
             if sub in self._subs:
                 self._subs.remove(sub)
+                # Keep the departed consumer's losses in the total.
+                self.dropped += sub.dropped
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"subscribers": len(self._subs),
+                    "published": self._seq,
+                    "dropped_total": self.dropped
+                    + sum(s.dropped for s in self._subs)}
 
 
 # ---------------------------------------------------------------------------
@@ -181,6 +284,26 @@ class ServeConfig:
     events_buffer: int = 4096
     #: Workload whose worker instance type sizes the pool VMs.
     worker_itype: Optional[str] = None
+    #: Serve state directory; enables the crash-safe job journal
+    #: (None = in-memory only, nothing survives a restart).
+    state_dir: Optional[str] = None
+    #: fsync the journal after every append (durable against power
+    #: loss, slower; the default survives process crashes).
+    journal_fsync: bool = False
+    #: Default wall-clock deadline applied to jobs that do not carry
+    #: their own ``deadline_s`` (None = no deadline).
+    default_deadline_s: Optional[float] = None
+    #: Default bounded-retry cap for transient worker failures.
+    max_attempts: int = 3
+    #: First-retry backoff (doubles per attempt, deterministic jitter).
+    retry_base_backoff_s: float = 0.05
+    #: Consecutive Lambda-bridge failures that open the breaker.
+    breaker_failure_threshold: int = 5
+    #: Seconds an open breaker waits before its half-open probe.
+    breaker_cooldown_s: float = 30.0
+    #: Graceful-drain budget: seconds running jobs get to finish before
+    #: the rest are checkpointed.
+    drain_deadline_s: float = 30.0
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -193,6 +316,19 @@ class ServeConfig:
         if self.pool_style not in ("vm", "hybrid_segue"):
             raise ValueError(f"pool_style must be vm or hybrid_segue, "
                              f"got {self.pool_style!r}")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if (self.default_deadline_s is not None
+                and self.default_deadline_s <= 0):
+            raise ValueError("default_deadline_s must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
+        if self.drain_deadline_s <= 0:
+            raise ValueError("drain_deadline_s must be positive")
+        if self.retry_base_backoff_s < 0:
+            raise ValueError("retry_base_backoff_s cannot be negative")
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +352,20 @@ class _Job:
         self.plan: Optional[Dict[str, Any]] = None
         self.error: Optional[str] = None
         self.done = threading.Event()
+        # Resilience state (see repro.api.resilience):
+        self.attempts = 0
+        self.failure: Optional[FailureCause] = None
+        #: Monotonic instant past which the job is failed (None = no
+        #: deadline).
+        self.deadline_at: Optional[float] = None
+        #: Monotonic instant a scheduled retry becomes due.
+        self.retry_at: Optional[float] = None
+        #: Chaos: crash this many upcoming executions at the worker
+        #: boundary (consumed one per attempt).
+        self.crash_attempts = 0
+        #: True once completion no longer owns a running slot (a
+        #: deadline-killed job's worker thread may still be unwinding).
+        self.abandoned = False
 
     def status(self, queue_position: Optional[int] = None) -> JobStatus:
         duration = cost = None
@@ -239,7 +389,21 @@ class _Job:
             finished_at=self.finished_at,
             duration_s=duration, cost=cost, slo_met=slo_met,
             metrics=dict(self.metrics), plan=self.plan,
-            record=record_dict, error=self.error)
+            record=record_dict, error=self.error,
+            attempts=self.attempts, failure=self.failure)
+
+
+class _ChaosWindow:
+    """One armed service-level fault with a wall-clock window."""
+
+    def __init__(self, fault, due_at: float,
+                 lift_at: Optional[float]) -> None:
+        self.fault = fault
+        self.due_at = due_at
+        self.lift_at = lift_at
+        self.applied = False
+        self.lifted = lift_at is None
+        self.undo = None                      # callable set on apply
 
 
 # ---------------------------------------------------------------------------
@@ -262,9 +426,24 @@ class ServeRuntime:
         self._order: List[str] = []
         self._pending: Deque[_Job] = deque()
         self._running: set = set()
+        self._awaiting_retry: List[_Job] = []
         self._ids = itertools.count(1)
         self._admitted = 0
         self._rejected = 0
+        self._recovered = 0
+        self._rejections = itertools.count(1)
+
+        # Resilience plumbing.
+        self.retry_policy = RetryPolicy(
+            max_attempts=self.config.max_attempts,
+            base_backoff_s=self.config.retry_base_backoff_s)
+        self.breaker: Optional[CircuitBreaker] = None
+        self._journal = None
+        self._crash_budget = 0
+        self._crash_next_submissions = 0
+        self._chaos_windows: List[_ChaosWindow] = []
+        self._draining = False
+        self._drained = threading.Event()
 
         # Shared simulated cluster (built in start(); owned by the
         # driver thread under _sim_lock).
@@ -281,19 +460,22 @@ class ServeRuntime:
         self._planners: Dict[Tuple[int, Optional[float]], Any] = {}
         self._workers = None
         self._driver: Optional[threading.Thread] = None
+        self._reaper: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "ServeRuntime":
-        """Build the shared cluster and start worker/driver threads.
-        Idempotent; called by the app's lifespan/startup hook."""
+        """Build the shared cluster, recover the journal, and start
+        worker/driver/reaper threads. Idempotent; called by the app's
+        lifespan/startup hook."""
         if self._started:
             return self
         self._started = True
         from concurrent.futures import ThreadPoolExecutor
         self._build_cluster()
+        self._wrap_lambda_bridge()
         self._workers = ThreadPoolExecutor(
             max_workers=self.config.max_concurrent,
             thread_name_prefix="repro-serve-job")
@@ -301,6 +483,11 @@ class ServeRuntime:
                                         name="repro-serve-driver",
                                         daemon=True)
         self._driver.start()
+        self._reaper = threading.Thread(target=self._reap,
+                                        name="repro-serve-reaper",
+                                        daemon=True)
+        self._reaper.start()
+        self._open_journal()
         return self
 
     def close(self) -> None:
@@ -313,8 +500,27 @@ class ServeRuntime:
             self._sim_wakeup.notify_all()
         if self._driver is not None:
             self._driver.join(timeout=5.0)
+        if self._reaper is not None:
+            self._reaper.join(timeout=5.0)
         if self._workers is not None:
             self._workers.shutdown(wait=True)
+        if self._journal is not None:
+            self._journal.close()
+
+    def hard_stop(self) -> None:
+        """Die like ``kill -9`` (tests/chaos): no drain, no checkpoint,
+        the journal handle dropped mid-flight. Running worker threads
+        are left to unwind on their own; nothing they finish after this
+        point reaches the journal — exactly the state a crashed process
+        leaves behind for :meth:`start` of the next incarnation."""
+        if self._journal is not None:
+            self._journal.close()
+        self._started = False
+        self._stop.set()
+        with self._sim_wakeup:
+            self._sim_wakeup.notify_all()
+        if self._workers is not None:
+            self._workers.shutdown(wait=False, cancel_futures=True)
 
     def _build_cluster(self) -> None:
         from repro.cluster.apps import AppManager
@@ -335,6 +541,91 @@ class ServeRuntime:
         self.manager = AppManager(self.cluster, self.pool, self.pools,
                                   max_concurrent=cfg.pool_max_concurrent)
 
+    def _wrap_lambda_bridge(self) -> None:
+        """Put the circuit breaker between the pool and the provider's
+        ``invoke_lambda``: consecutive invoke/throttle failures open
+        it; while open, invocations fast-fail (the pool's existing
+        degradation path turns that into VM-only admission) without
+        touching the provider."""
+        from repro.cloud.lambda_fn import (LambdaInvokeError,
+                                           LambdaThrottledError)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            on_transition=self._on_breaker_transition)
+        provider = self.cluster.provider
+        inner = provider.invoke_lambda
+        metrics = self.cluster.metrics
+
+        def guarded(*args: Any, **kwargs: Any):
+            if not self.breaker.allow():
+                metrics.counter("serve.breaker.fast_fails").inc()
+                raise LambdaThrottledError(
+                    "circuit breaker open: lambda bridge suspended, "
+                    "degrading to VM-only admission")
+            try:
+                result = inner(*args, **kwargs)
+            except LambdaInvokeError:
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
+            return result
+
+        provider.invoke_lambda = guarded
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        metrics = self.cluster.metrics
+        event = {BREAKER_OPEN: EV_BREAKER_OPENED,
+                 BREAKER_HALF_OPEN: EV_BREAKER_HALF_OPEN,
+                 BREAKER_CLOSED: EV_BREAKER_CLOSED}[new]
+        if new == BREAKER_OPEN:
+            metrics.counter("serve.breaker.opens").inc()
+        elif new == BREAKER_CLOSED:
+            metrics.counter("serve.breaker.closes").inc()
+        metrics.gauge("serve.breaker.state").set(
+            {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1,
+             BREAKER_OPEN: 2}[new])
+        self.hub.record(self._now(), CAT_SERVE, event, previous=old)
+
+    def _open_journal(self) -> None:
+        """Open (and recover) the WAL when a state dir is configured."""
+        if self.config.state_dir is None:
+            return
+        from repro.api.journal import JobJournal
+        self._journal = JobJournal(self.config.state_dir,
+                                   fsync=self.config.journal_fsync)
+        if self._journal.max_seq:
+            self._ids = itertools.count(self._journal.max_seq + 1)
+        for rec in self._journal.recovered_jobs():
+            self._requeue_recovered(rec)
+
+    def _requeue_recovered(self, rec) -> None:
+        """Re-queue one journaled job from the previous incarnation."""
+        try:
+            request = JobRequest.from_dict(rec.request)
+            spec = request.to_spec() if request.mode == MODE_SPEC else None
+        except schemas.SchemaError as exc:
+            # A journaled request this build can no longer parse is
+            # terminal, not a crash loop.
+            self._journal.finished(rec.job_id, JOB_FAILED,
+                                   error=f"unrecoverable request: {exc}")
+            return
+        with self._lock:
+            job = _Job(rec.job_id, request, spec)
+            job.attempts = rec.attempts
+            job.deadline_at = self._deadline_for(request)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._pending.append(job)
+            self._recovered += 1
+            self.hub.record(self._now(), CAT_SERVE, EV_JOB_RECOVERED,
+                            job=job.id, workload=request.workload,
+                            mode=request.mode,
+                            prior_attempts=rec.attempts,
+                            checkpointed=rec.checkpointed)
+            self.cluster.metrics.counter("serve.jobs.recovered").inc()
+            self._pump_locked()
+
     @staticmethod
     def _default_itype() -> str:
         from repro.workloads.registry import make_workload
@@ -344,15 +635,29 @@ class ServeRuntime:
         """Wall seconds since server start (the serve-event clock)."""
         return round(time.monotonic() - self._t0, 6)
 
+    def _deadline_for(self, request: JobRequest) -> Optional[float]:
+        deadline_s = (request.deadline_s
+                      if request.deadline_s is not None
+                      else self.config.default_deadline_s)
+        if deadline_s is None:
+            return None
+        return time.monotonic() + deadline_s
+
+    def _max_attempts_for(self, job: _Job) -> int:
+        return (job.request.max_attempts
+                if job.request.max_attempts is not None
+                else self.retry_policy.max_attempts)
+
     # -- submission / admission -------------------------------------------
 
     def submit(self, payload: Mapping[str, Any]) -> JobStatus:
-        """Validate, admission-check, and enqueue one submission.
+        """Validate, admission-check, journal, and enqueue one
+        submission.
 
         O(1) and simulation-free: this is the path whose p99 latency
         the load bench reports. Raises
         :class:`~repro.api.schemas.SchemaError` on a bad payload and
-        :class:`BackpressureError` when saturated.
+        :class:`BackpressureError` when saturated or draining.
         """
         request = JobRequest.from_dict(payload)
         if request.mode == MODE_SPEC:
@@ -362,6 +667,13 @@ class ServeRuntime:
             self._validate_pooled(request)
 
         with self._lock:
+            if self._draining:
+                self._rejected += 1
+                raise BackpressureError(
+                    "server is draining; not admitting new jobs",
+                    detail={"draining": True},
+                    retry_after_s=self._retry_after_locked(request),
+                    code=schemas.ERR_DRAINING)
             if (len(self._running) >= self.config.max_concurrent
                     and len(self._pending) >= self.config.max_queue):
                 self._rejected += 1
@@ -376,8 +688,19 @@ class ServeRuntime:
                     "admission queue saturated "
                     f"({len(self._running)} running, "
                     f"{len(self._pending)} queued)",
-                    detail=detail, retry_after_s=1.0)
+                    detail=detail,
+                    retry_after_s=self._retry_after_locked(request))
             job = _Job(f"job-{next(self._ids):06d}", request, spec)
+            job.deadline_at = self._deadline_for(request)
+            if self._crash_next_submissions > 0:
+                # Chaos: marked under the admission lock, so the crash
+                # lands on exactly this job no matter how fast the pump
+                # starts it.
+                self._crash_next_submissions -= 1
+                job.crash_attempts += 1
+            # WAL discipline: journal before acknowledging.
+            if self._journal is not None:
+                self._journal.submitted(job.id, request.to_dict())
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._pending.append(job)
@@ -392,6 +715,17 @@ class ServeRuntime:
             return job.status(queue_position=(
                 position if job.state == JOB_QUEUED else None))
 
+    def _retry_after_locked(self, request: JobRequest) -> float:
+        """Deterministic, spread-out ``Retry-After`` for a rejection.
+
+        Keyed on the submission's identity plus a per-server rejection
+        counter — not ``random`` (the lint bans it) and not a constant
+        (which would synchronize every shed client into one retry
+        storm; see ISSUE 7)."""
+        key = (f"{request.workload}:{request.seed}:"
+               f"{next(self._rejections)}")
+        return retry_after_s(key)
+
     def _validate_pooled(self, request: JobRequest) -> None:
         from repro.workloads.registry import WORKLOADS
         if request.workload not in WORKLOADS:
@@ -404,15 +738,23 @@ class ServeRuntime:
                 f"known: {sorted(self.pools.pools)}")
 
     def _pump_locked(self) -> None:
-        """Admit queued jobs while running slots are free (FIFO)."""
+        """Admit queued jobs while running slots are free (FIFO).
+        During a drain nothing new starts — queued jobs wait to be
+        checkpointed."""
+        if self._draining:
+            return
         while (self._pending
                and len(self._running) < self.config.max_concurrent):
             job = self._pending.popleft()
             self._running.add(job.id)
             job.state = JOB_RUNNING
             job.started_at = time.time()
+            job.attempts += 1
+            if self._journal is not None:
+                self._journal.started(job.id, job.attempts)
             self.hub.record(self._now(), CAT_SERVE, EV_JOB_STARTED,
                             job=job.id, mode=job.request.mode,
+                            attempt=job.attempts,
                             queued_s=round(job.started_at
                                            - job.submitted_at, 6))
             if job.request.mode == MODE_SPEC:
@@ -425,9 +767,10 @@ class ServeRuntime:
     def _run_spec_job(self, job: _Job) -> None:
         from repro.experiments.runner import run_spec
         try:
+            self._maybe_inject_crash(job)
             record = run_spec(job.spec)
         except Exception as exc:  # noqa: BLE001 - worker boundary
-            self._finish(job, error=f"{type(exc).__name__}: {exc}")
+            self._handle_worker_failure(job, exc)
             return
         job.record = record
         job.metrics = dict(record.metrics)
@@ -435,8 +778,62 @@ class ServeRuntime:
                    if k.startswith("planner.")}
         if planner:
             job.plan = planner
-        self._finish(job, error=(record.failure_reason or record.error
-                                 if record.failed else None))
+        if record.failed:
+            # A deterministic simulation failure: retrying replays the
+            # identical outcome, so it is terminal on the first try.
+            message = record.failure_reason or record.error or "job failed"
+            self._finish(job, error=message, cause=FailureCause(
+                code=schemas.FAIL_JOB_FAILED, message=message,
+                retryable=False, attempts=job.attempts))
+        else:
+            self._finish(job)
+
+    def _maybe_inject_crash(self, job: _Job) -> None:
+        """Chaos hook: consume one crash token at the worker boundary."""
+        crash = False
+        with self._lock:
+            if job.crash_attempts > 0:
+                job.crash_attempts -= 1
+                crash = True
+            elif self._crash_budget > 0:
+                self._crash_budget -= 1
+                crash = True
+        if crash:
+            raise WorkerCrashError(
+                f"chaos: worker thread killed (attempt {job.attempts})")
+
+    def _handle_worker_failure(self, job: _Job, exc: BaseException) -> None:
+        """Classify a worker-boundary exception: schedule a bounded,
+        backed-off retry for transient errors, terminal-fail the rest."""
+        message = f"{type(exc).__name__}: {exc}"
+        transient = is_transient(exc)
+        now = time.monotonic()
+        deadline_ok = job.deadline_at is None or now < job.deadline_at
+        if (transient and deadline_ok and not self._stop.is_set()
+                and job.attempts < self._max_attempts_for(job)):
+            backoff = self.retry_policy.backoff_s(job.id, job.attempts)
+            with self._lock:
+                if job.done.is_set():
+                    return
+                self._running.discard(job.id)
+                job.state = JOB_QUEUED
+                job.retry_at = now + backoff
+                self._awaiting_retry.append(job)
+                self.hub.record(self._now(), CAT_SERVE, EV_JOB_RETRYING,
+                                job=job.id, attempt=job.attempts,
+                                backoff_s=round(backoff, 6), error=message)
+                self.cluster.metrics.counter("serve.jobs.retries").inc()
+                self._pump_locked()  # the freed slot can admit others
+            return
+        if transient:
+            code = schemas.FAIL_RETRIES_EXHAUSTED
+            if not deadline_ok:
+                code = schemas.FAIL_DEADLINE_EXCEEDED
+        else:
+            code = schemas.FAIL_WORKER_EXCEPTION
+        self._finish(job, error=message, cause=FailureCause(
+            code=code, message=message, retryable=transient,
+            attempts=job.attempts))
 
     # -- pooled jobs -------------------------------------------------------
 
@@ -493,27 +890,350 @@ class ServeRuntime:
             "duration_s": app.run_duration_s,
             "busy_seconds": app.busy_seconds(),
         }
-        self._finish(job, error=app.failure_reason if app.failed else None)
+        if app.failed:
+            message = app.failure_reason or "pooled app failed"
+            self._finish(job, error=message, cause=FailureCause(
+                code=schemas.FAIL_JOB_FAILED, message=message,
+                retryable=False, attempts=job.attempts))
+        else:
+            self._finish(job)
+
+    # -- the reaper ----------------------------------------------------------
+
+    def _reap(self) -> None:
+        """Deadline/retry/chaos enforcement on a small wall-clock tick.
+
+        Runs independently of workers and the sim driver, so a wedged
+        job cannot suppress its own deadline — the no-silent-hangs
+        guarantee."""
+        while not self._stop.wait(_REAPER_TICK_S):
+            now = time.monotonic()
+            self._fire_due_retries(now)
+            self._enforce_deadlines(now)
+            self._advance_chaos(now)
+
+    def _fire_due_retries(self, now: float) -> None:
+        with self._lock:
+            due = [j for j in self._awaiting_retry
+                   if j.retry_at is not None and now >= j.retry_at]
+            for job in due:
+                self._awaiting_retry.remove(job)
+                job.retry_at = None
+                self._pending.append(job)
+            if due:
+                self._pump_locked()
+
+    def _enforce_deadlines(self, now: float) -> None:
+        with self._lock:
+            expired = [j for j in self._jobs.values()
+                       if j.deadline_at is not None
+                       and now >= j.deadline_at
+                       and not j.done.is_set()]
+        for job in expired:
+            with self._lock:
+                if job.done.is_set():
+                    continue
+                if job in self._pending:
+                    self._pending.remove(job)
+                if job in self._awaiting_retry:
+                    self._awaiting_retry.remove(job)
+                # A running job's worker thread cannot be killed from
+                # outside; mark it abandoned so its eventual completion
+                # is a no-op and its slot accounting stays consistent.
+                job.abandoned = True
+            self.hub.record(self._now(), CAT_SERVE,
+                            EV_JOB_DEADLINE_EXCEEDED, job=job.id,
+                            attempts=job.attempts)
+            self.cluster.metrics.counter(
+                "serve.jobs.deadline_exceeded").inc()
+            message = (f"deadline exceeded after "
+                       f"{job.attempts} attempt(s)")
+            self._finish(job, error=message, cause=FailureCause(
+                code=schemas.FAIL_DEADLINE_EXCEEDED, message=message,
+                retryable=False, attempts=job.attempts))
 
     # -- completion --------------------------------------------------------
 
-    def _finish(self, job: _Job, error: Optional[str] = None) -> None:
+    def _finish(self, job: _Job, error: Optional[str] = None,
+                cause: Optional[FailureCause] = None) -> None:
+        """Terminal transition; idempotent (a deadline kill and the
+        zombie worker's own completion may both arrive)."""
         with self._lock:
+            if job.done.is_set():
+                return
             self._running.discard(job.id)
             job.finished_at = time.time()
             job.error = error
+            job.failure = cause
             job.state = JOB_FAILED if error is not None else JOB_COMPLETED
+            # A checkpointed job is terminal for *this* incarnation only
+            # — request_drain already journaled the checkpoint op, and a
+            # "finished" line here would stop the next incarnation from
+            # recovering it.
+            checkpoint = (cause is not None
+                          and cause.code == schemas.FAIL_CHECKPOINTED)
+            if self._journal is not None and not checkpoint:
+                self._journal.finished(job.id, job.state, error=error)
             duration = (job.record.duration_s
                         if job.record is not None else
                         job.metrics.get("latency_s"))
             self.hub.record(self._now(), CAT_SERVE, EV_JOB_FINISHED,
                             job=job.id, state=job.state,
+                            attempts=job.attempts,
                             duration_s=duration,
                             cost=(job.record.cost
                                   if job.record is not None else None))
             job.done.set()
             self._pump_locked()
             self._idle.notify_all()
+
+    # -- health ---------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness: the process is up and answering."""
+        return {"status": "ok", "uptime_s": self._now(),
+                "started": self._started}
+
+    def readyz(self) -> Tuple[bool, Dict[str, Any]]:
+        """Readiness: may a load balancer send this server traffic?"""
+        with self._lock:
+            queue_below_max = len(self._pending) < self.config.max_queue
+            draining = self._draining
+        checks = {
+            "driver_alive": (self._driver is not None
+                             and self._driver.is_alive()),
+            "queue_below_max": queue_below_max,
+            "breaker_not_open": (self.breaker is None
+                                 or self.breaker.state != BREAKER_OPEN),
+            "not_draining": not draining,
+        }
+        return all(checks.values()), checks
+
+    # -- chaos ------------------------------------------------------------------
+
+    def inject_chaos(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Apply one chaos instruction to the live server.
+
+        Keys (combinable):
+
+        - ``plan`` — a named plan from
+          :data:`repro.simulation.faults.CHAOS_PLANS` (with optional
+          ``start_s``/``duration_s``/``factor`` overrides), or
+          ``faults`` — raw FaultSpec dicts. Windows run on the *host*
+          clock (the serve plane's native clock); spec-mode jobs take
+          sim-clock FaultPlans through their own ``faults`` field.
+        - ``kill_workers`` — crash the next N spec-job executions at
+          the worker boundary (exercises the retry path).
+        - ``crash_next_submissions`` — crash the first execution of the
+          next N *submitted* jobs (marked under the admission lock, so
+          the victims are deterministic even when slots are free).
+        - ``crash_job_ids`` — crash the next execution of these jobs.
+        - ``stall_driver_s`` — hold the sim lock this long (a wedged
+          driver); admission and job reads must keep answering.
+        - ``scale_lambda`` — invoke N Lambda executors through the
+          breaker-wrapped bridge (the chaos harness's breaker probe).
+
+        Returns what was applied plus a breaker snapshot.
+        """
+        payload = dict(payload)
+        applied: Dict[str, Any] = {}
+        if "plan" in payload or "faults" in payload:
+            applied.update(self._arm_chaos_plan(payload))
+        if payload.get("kill_workers"):
+            n = int(payload["kill_workers"])
+            with self._lock:
+                self._crash_budget += n
+            applied["kill_workers"] = n
+        if payload.get("crash_next_submissions"):
+            n = int(payload["crash_next_submissions"])
+            with self._lock:
+                self._crash_next_submissions += n
+            applied["crash_next_submissions"] = n
+        if payload.get("crash_job_ids"):
+            marked = []
+            with self._lock:
+                for job_id in payload["crash_job_ids"]:
+                    job = self._jobs.get(str(job_id))
+                    if job is not None and not job.done.is_set():
+                        job.crash_attempts += 1
+                        marked.append(job.id)
+            applied["crash_job_ids"] = marked
+        if payload.get("stall_driver_s"):
+            stall_s = float(payload["stall_driver_s"])
+            threading.Thread(target=self._stall_driver, args=(stall_s,),
+                             name="repro-chaos-stall",
+                             daemon=True).start()
+            applied["stall_driver_s"] = stall_s
+        if payload.get("scale_lambda"):
+            applied["scale_lambda"] = self._chaos_scale_lambda(
+                int(payload["scale_lambda"]))
+        if applied:
+            self.hub.record(self._now(), CAT_SERVE, EV_CHAOS_INJECTED,
+                            **{k: v for k, v in applied.items()
+                               if k != "scale_lambda"})
+            self.cluster.metrics.counter("serve.chaos.injections").inc()
+        return {"applied": applied,
+                "breaker": (self.breaker.snapshot()
+                            if self.breaker is not None else None)}
+
+    def _arm_chaos_plan(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        from repro.simulation.faults import FaultPlan, chaos_plan
+        if "plan" in payload:
+            kwargs = {k: payload[k] for k in ("duration_s", "factor")
+                      if payload.get(k) is not None}
+            plan = chaos_plan(str(payload["plan"]), **kwargs)
+        else:
+            plan = FaultPlan.coerce(payload["faults"])
+        start_s = float(payload.get("start_s", 0.0))
+        now = time.monotonic()
+        with self._lock:
+            for fault in plan:
+                due = now + start_s + (fault.at_s or 0.0)
+                lift = (due + fault.duration_s
+                        if fault.duration_s is not None else None)
+                self._chaos_windows.append(_ChaosWindow(fault, due, lift))
+        # Apply already-due windows synchronously so a start_s=0 storm
+        # is in force when this call returns.
+        self._advance_chaos(time.monotonic())
+        return {"plan": payload.get("plan", f"{len(plan)} fault(s)"),
+                "faults": len(plan)}
+
+    def _advance_chaos(self, now: float) -> None:
+        with self._lock:
+            due = [w for w in self._chaos_windows
+                   if not w.applied and now >= w.due_at]
+            lift = [w for w in self._chaos_windows
+                    if w.applied and not w.lifted
+                    and w.lift_at is not None and now >= w.lift_at]
+        for window in due:
+            window.applied = True
+            self._apply_chaos_fault(window)
+        for window in lift:
+            window.lifted = True
+            if window.undo is not None:
+                with self._sim_lock:
+                    window.undo()
+        with self._lock:
+            self._chaos_windows = [w for w in self._chaos_windows
+                                   if not (w.applied and w.lifted)]
+
+    def _apply_chaos_fault(self, window: _ChaosWindow) -> None:
+        """Service-level interpretation of one FaultSpec (host-clock
+        windows; victim choice stays on the cluster's seeded streams)."""
+        from repro.simulation import faults as F
+        fault = window.fault
+        with self._sim_lock:
+            provider = self.cluster.provider
+            if fault.kind == F.KIND_LAMBDA_THROTTLE:
+                previous = provider.concurrency_limit
+                provider.concurrency_limit = fault.limit
+
+                def undo(prev=previous):
+                    provider.concurrency_limit = prev
+                window.undo = undo
+            elif fault.kind == F.KIND_EXECUTOR_KILL:
+                scheduler = self.pool.scheduler
+                candidates = [ex for ex in scheduler.registered_executors
+                              if F.match_executor(fault.target, ex)]
+                for ex in self._pick_seeded(candidates, fault.count):
+                    scheduler.decommission_executor(
+                        ex, graceful=False, reason="chaos: executor_kill")
+            elif fault.kind == F.KIND_SPOT_REVOCATION:
+                candidates = [vm for vm in provider.running_vms
+                              if F.match_vm(fault.target, vm)]
+                for vm in self._pick_seeded(candidates, fault.count):
+                    vm.terminate()
+            elif fault.kind == F.KIND_STRAGGLER:
+                scheduler = self.pool.scheduler
+                candidates = [ex for ex in scheduler.registered_executors
+                              if F.match_executor(fault.target, ex)]
+                victims = self._pick_seeded(candidates, fault.count)
+                for ex in victims:
+                    ex.cpu_slowdown = fault.factor
+
+                def undo(victims=victims):
+                    for ex in victims:
+                        ex.cpu_slowdown = 1.0
+                window.undo = undo
+            # Storage brownouts and probabilistic invoke failures have
+            # no service-level surface (the shared pool mounts no
+            # storage services); spec jobs take them via request.faults.
+
+    def _pick_seeded(self, candidates: List, count: int) -> List:
+        from repro.simulation.faults import SELECT_STREAM
+        if count >= len(candidates):
+            return list(candidates)
+        chosen = self.cluster.rng.stream(SELECT_STREAM).permutation(
+            len(candidates))[:count]
+        return [candidates[i] for i in sorted(int(i) for i in chosen)]
+
+    def _stall_driver(self, stall_s: float) -> None:
+        with self._sim_lock:
+            time.sleep(stall_s)
+
+    def _chaos_scale_lambda(self, count: int) -> Dict[str, Any]:
+        with self._sim_lock:
+            before = self.pool.failed_invocations
+            self.pool.invoke_lambda_executors(count)
+            return {"requested": count,
+                    "failed": self.pool.failed_invocations - before}
+
+    # -- graceful drain ----------------------------------------------------------
+
+    def request_drain(self, deadline_s: Optional[float] = None
+                      ) -> Dict[str, Any]:
+        """SIGTERM path: stop admitting (503 ``draining``), let running
+        jobs finish up to the drain deadline, checkpoint the rest to
+        the journal, and report what happened. Idempotent."""
+        budget = (self.config.drain_deadline_s
+                  if deadline_s is None else float(deadline_s))
+        with self._lock:
+            already = self._draining
+            self._draining = True
+        if already:
+            self._drained.wait(timeout=budget + 1.0)
+            return {"draining": True, "already_draining": True}
+        self.hub.record(self._now(), CAT_SERVE, EV_DRAIN_STARTED,
+                        deadline_s=budget,
+                        running=len(self._running),
+                        queued=len(self._pending))
+        deadline = time.monotonic() + budget
+        with self._idle:
+            while self._running:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(timeout=min(remaining, 0.1))
+        checkpointed: List[str] = []
+        with self._lock:
+            leftovers = list(self._pending) + list(self._awaiting_retry)
+            self._pending.clear()
+            self._awaiting_retry.clear()
+            still_running = len(self._running)
+        for job in leftovers:
+            if self._journal is not None:
+                self._journal.checkpointed(job.id)
+            message = "checkpointed by graceful drain"
+            self._finish(job, error=message, cause=FailureCause(
+                code=schemas.FAIL_CHECKPOINTED, message=message,
+                retryable=True, attempts=job.attempts))
+            checkpointed.append(job.id)
+        summary = {"drained": still_running == 0,
+                   "finished_in_time": still_running == 0,
+                   "still_running": still_running,
+                   "checkpointed": checkpointed,
+                   "deadline_s": budget}
+        self.hub.record(self._now(), CAT_SERVE, EV_DRAIN_COMPLETED,
+                        **{k: v for k, v in summary.items()
+                           if k != "checkpointed"},
+                        checkpointed=len(checkpointed))
+        self._drained.set()
+        return summary
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
 
     # -- queries -----------------------------------------------------------
 
@@ -543,9 +1263,12 @@ class ServeRuntime:
             return {
                 "running": len(self._running),
                 "queued": len(self._pending),
+                "awaiting_retry": len(self._awaiting_retry),
                 "finished": sum(1 for j in self._jobs.values() if j.done.is_set()),
                 "submitted": self._admitted,
                 "rejected": self._rejected,
+                "recovered": self._recovered,
+                "draining": self._draining,
                 "max_concurrent": self.config.max_concurrent,
                 "max_queue": self.config.max_queue,
             }
@@ -596,7 +1319,8 @@ class ServeRuntime:
             "uptime_s": self._now(),
             "seed": self.config.seed,
             "endpoints": ["/", "/jobs", "/jobs/{id}", "/executors",
-                          "/pools", "/plan", "/events"],
+                          "/pools", "/plan", "/events", "/healthz",
+                          "/readyz", "/chaos"],
         }
 
     # -- synchronization helpers (tests, benches, graceful shutdown) ------
@@ -605,7 +1329,7 @@ class ServeRuntime:
         """Block until every submitted job finished; True on success."""
         deadline = time.monotonic() + timeout
         with self._idle:
-            while self._pending or self._running:
+            while self._pending or self._running or self._awaiting_retry:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return False

@@ -129,13 +129,21 @@ class TestClient:
     # -- requests ----------------------------------------------------------
 
     def request(self, method: str, url: str, json: Any = None,
-                params: Optional[Dict[str, Any]] = None) -> TestResponse:
+                params: Optional[Dict[str, Any]] = None,
+                headers: Optional[Dict[str, str]] = None) -> TestResponse:
         parts = urlsplit(url)
         query = parts.query
         if params:
             extra = urlencode({k: str(v) for k, v in params.items()})
             query = f"{query}&{extra}" if query else extra
         body = b"" if json is None else schemas.dumps(json).encode("utf-8")
+        raw_headers = [(b"host", b"testserver"),
+                       (b"content-type", b"application/json"),
+                       (b"content-length",
+                        str(len(body)).encode("latin-1"))]
+        for key, value in (headers or {}).items():
+            raw_headers.append((key.lower().encode("latin-1"),
+                                str(value).encode("latin-1")))
         scope = {
             "type": "http",
             "asgi": {"version": "3.0", "spec_version": "2.3"},
@@ -146,10 +154,7 @@ class TestClient:
             "raw_path": (parts.path or "/").encode("utf-8"),
             "query_string": query.encode("latin-1"),
             "root_path": "",
-            "headers": [(b"host", b"testserver"),
-                        (b"content-type", b"application/json"),
-                        (b"content-length",
-                         str(len(body)).encode("latin-1"))],
+            "headers": raw_headers,
             "client": ("testclient", 50000),
             "server": ("testserver", 80),
         }
@@ -172,10 +177,12 @@ class TestClient:
         self._loop.run_until_complete(self.app(scope, receive, send))
         return TestResponse(messages)
 
-    def get(self, url: str,
-            params: Optional[Dict[str, Any]] = None) -> TestResponse:
-        return self.request("GET", url, params=params)
+    def get(self, url: str, params: Optional[Dict[str, Any]] = None,
+            headers: Optional[Dict[str, str]] = None) -> TestResponse:
+        return self.request("GET", url, params=params, headers=headers)
 
     def post(self, url: str, json: Any = None,
-             params: Optional[Dict[str, Any]] = None) -> TestResponse:
-        return self.request("POST", url, json=json, params=params)
+             params: Optional[Dict[str, Any]] = None,
+             headers: Optional[Dict[str, str]] = None) -> TestResponse:
+        return self.request("POST", url, json=json, params=params,
+                            headers=headers)

@@ -12,7 +12,13 @@ Commands:
 - ``stream`` — the §4.1 day-of-jobs simulation under a chosen policy;
 - ``serve`` — the long-lived control plane: a shared simulated cluster
   behind an HTTP API (``POST /jobs``, ``GET /jobs/{id}``, ``GET
-  /executors``, ``GET /pools``, ``GET /plan``, ``GET /events`` SSE);
+  /executors``, ``GET /pools``, ``GET /plan``, ``GET /events`` SSE,
+  ``GET /healthz``/``/readyz``, ``POST /chaos``);
+- ``chaos`` — stand up a throwaway control plane, drive a seeded chaos
+  scenario (Lambda throttle storms, worker-thread kills, sim-driver
+  stalls, kill-9 + journal recovery) against it, assert the recovery
+  invariants, and print/export the availability report (see DESIGN.md
+  "Service resilience");
 - ``report`` — render a breakdown from any export: RunRecord JSONL,
   event logs, or a ``GET /jobs/{id}`` JobStatus document.
 
@@ -40,7 +46,7 @@ from repro.analysis.reporting import format_series, format_table, relative_to
 from repro.analysis.timeline import build_timeline
 from repro.core.scenarios import SCENARIO_NAMES, run_scenario
 from repro.experiments import ExperimentRunner, ExperimentSpec, write_jsonl
-from repro.simulation.faults import FaultSpec
+from repro.simulation.faults import CHAOS_PLANS, FaultSpec
 from repro.workloads.base import Workload
 from repro.workloads.registry import WORKLOADS
 from repro.workloads.registry import make_workload as _registry_make
@@ -376,17 +382,111 @@ def cmd_serve(args: argparse.Namespace) -> int:
             lambda_cores=args.lambda_cores,
             pool_style=args.pool_style,
             mode=args.mode,
-            sim_step_s=args.sim_step)
+            sim_step_s=args.sim_step,
+            state_dir=args.state_dir,
+            journal_fsync=args.journal_fsync,
+            default_deadline_s=args.deadline,
+            max_attempts=args.max_attempts,
+            breaker_failure_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+            drain_deadline_s=args.drain_deadline)
     except ValueError as exc:
         raise SystemExit(str(exc))
     app = create_app(config)
+
+    # SIGTERM = graceful drain: stop admitting (503 "draining"), let
+    # running jobs finish up to the drain deadline, checkpoint the rest
+    # to the journal, then fall out of serve_forever.
+    import signal
+
+    def _graceful(signum, frame):  # pragma: no cover - signal path
+        summary = app.runtime.request_drain()
+        print(f"drained: {summary}")
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+    except ValueError:
+        pass  # not the main thread (embedded); drain via POST or close
+
+    journal = (f"journal: {args.state_dir}" if args.state_dir
+               else "journal: off (no --state-dir)")
     print(f"repro serve on http://{args.host}:{args.port} "
           f"(pool: {args.pool_cores} VM + {args.lambda_cores} La cores, "
           f"{args.mode}; admission: {args.max_concurrent} running / "
-          f"{args.max_queue} queued; seed {args.seed})")
+          f"{args.max_queue} queued; seed {args.seed}; {journal})")
     print(f"try: curl -s http://{args.host}:{args.port}/ | python -m "
           f"json.tool")
     run(app, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: drive one seeded chaos scenario against a
+    throwaway live control plane and report recovery/availability.
+
+    The run *asserts* its recovery invariants (every job terminal, the
+    breaker opens and recovers, kill-9 + restart recovers journaled
+    jobs with no duplicates) — a failed invariant is a non-zero exit,
+    so this doubles as an operational smoke test against a build."""
+    import tempfile
+
+    from repro.api import schemas
+    from repro.api.resilience import run_chaos
+
+    def _run(state_dir: Optional[str]) -> dict:
+        return run_chaos(plan=args.plan, seed=args.seed, n_jobs=args.jobs,
+                         kill_workers=args.kill_workers,
+                         stall_driver_s=args.stall,
+                         lambda_probes=args.lambda_probes,
+                         storm_duration_s=args.storm_duration,
+                         state_dir=state_dir)
+
+    try:
+        if args.no_journal:
+            report = _run(None)
+        elif args.state_dir is not None:
+            report = _run(args.state_dir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                report = _run(tmp)
+    except AssertionError as exc:
+        raise SystemExit(f"chaos invariant violated: {exc}")
+
+    rows = [["plan", report["plan"]],
+            ["seed", report["seed"]],
+            ["submitted", report["submitted"]],
+            ["completed", report["completed"]],
+            ["failed", report["failed"]],
+            ["rejected (503)", report["rejected_503"]],
+            ["retried jobs", report["retried_jobs"]],
+            ["availability", f"{report['availability']:.1%}"],
+            ["total wall", f"{report['total_wall_s']:.2f}s"]]
+    if "breaker_recovery_s" in report:
+        rows.append(["breaker recovery",
+                     f"{report['breaker_recovery_s']:.3f}s"])
+    if report.get("crash_recovery_s"):
+        rows.append(["crash recovery",
+                     ", ".join(f"{t:.3f}s"
+                               for t in report["crash_recovery_s"])])
+    if "recovery" in report:
+        rec = report["recovery"]
+        rows.append(["journal recovery",
+                     f"{rec['recovered_jobs']}/{rec['journaled_jobs']} "
+                     f"jobs, {rec['duplicates']} dup, "
+                     f"{rec['recovery_wall_s']:.2f}s"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"chaos: {args.plan}"))
+    for phase in report["phases"]:
+        detail = {k: v for k, v in phase.items()
+                  if k not in ("name", "duration_s")}
+        print(f"  {phase['name']:<8} {phase['duration_s']:8.3f}s  {detail}")
+    print("all recovery invariants held")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(schemas.envelope(schemas.KIND_CHAOS, report).dumps()
+                     + "\n")
+        print(f"report written to {args.json}")
     return 0
 
 
@@ -546,6 +646,77 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="simulated seconds advanced per driver "
                               "step (pooled-job arrival granularity)")
+    resil = serve_p.add_argument_group(
+        "resilience options", "fault tolerance of the control plane "
+        'itself; see DESIGN.md "Service resilience"')
+    resil.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="serve state directory: enables the "
+                            "crash-safe job journal; a restarted "
+                            "server recovers queued/running jobs "
+                            "(default: in-memory only)")
+    resil.add_argument("--journal-fsync", action="store_true",
+                       help="fsync the journal after every append "
+                            "(durable against power loss, slower)")
+    resil.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job wall-clock deadline; "
+                            "jobs fail terminally past it (default: "
+                            "no deadline)")
+    resil.add_argument("--max-attempts", type=int, default=3,
+                       metavar="N",
+                       help="bounded retries for transient worker "
+                            "failures (1 = never retry)")
+    resil.add_argument("--breaker-threshold", type=int, default=5,
+                       metavar="N",
+                       help="consecutive Lambda-bridge failures that "
+                            "open the circuit breaker")
+    resil.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="open-breaker cooldown before the "
+                            "half-open probe")
+    resil.add_argument("--drain-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="SIGTERM graceful-drain budget before "
+                            "queued jobs are checkpointed")
+
+    chaos_p = sub.add_parser(
+        "chaos", help="drive a seeded chaos scenario against a live "
+                      "control plane and report recovery/availability "
+                      "(asserts the recovery invariants)")
+    chaos_p.add_argument("--plan", default="throttle_storm",
+                         choices=sorted(CHAOS_PLANS),
+                         help="named fault storm to arm against the "
+                              "shared cluster")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="seed of the throwaway cluster (same "
+                              "seed => same sim-side results)")
+    chaos_p.add_argument("--jobs", type=int, default=12, metavar="N",
+                         help="spec/pooled jobs submitted as load")
+    chaos_p.add_argument("--kill-workers", type=int, default=2,
+                         metavar="N",
+                         help="worker-thread crashes injected at the "
+                              "execution boundary")
+    chaos_p.add_argument("--stall", type=float, default=0.2,
+                         metavar="SECONDS",
+                         help="how long the sim driver is wedged "
+                              "(reads must keep answering)")
+    chaos_p.add_argument("--lambda-probes", type=int, default=8,
+                         metavar="N",
+                         help="Lambda-bridge probes hammered through "
+                              "the circuit breaker")
+    chaos_p.add_argument("--storm-duration", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="how long the armed fault storm holds "
+                              "before lifting (host clock)")
+    chaos_p.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="journal directory for the kill-9 + "
+                              "restart recovery phase (default: a "
+                              "temp dir)")
+    chaos_p.add_argument("--no-journal", action="store_true",
+                         help="skip the journal recovery phase")
+    chaos_p.add_argument("--json", default=None, metavar="PATH",
+                         help="export the chaos report as one "
+                              "versioned envelope")
 
     report_p = sub.add_parser(
         "report", help="render a per-run breakdown from a RunRecord "
@@ -566,7 +737,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "plan": cmd_plan,
                 "profile": cmd_profile, "stream": cmd_stream,
-                "serve": cmd_serve, "report": cmd_report}
+                "serve": cmd_serve, "chaos": cmd_chaos,
+                "report": cmd_report}
     return handlers[args.command](args)
 
 

@@ -120,6 +120,15 @@ EV_JOB_QUEUED = "job_queued"
 EV_JOB_STARTED = "job_started"
 EV_JOB_FINISHED = "job_finished"
 EV_JOB_REJECTED = "job_rejected"
+EV_JOB_RETRYING = "job_retrying"
+EV_JOB_DEADLINE_EXCEEDED = "job_deadline_exceeded"
+EV_JOB_RECOVERED = "job_recovered"
+EV_BREAKER_OPENED = "breaker_opened"
+EV_BREAKER_HALF_OPEN = "breaker_half_open"
+EV_BREAKER_CLOSED = "breaker_closed"
+EV_DRAIN_STARTED = "drain_started"
+EV_DRAIN_COMPLETED = "drain_completed"
+EV_CHAOS_INJECTED = "chaos_injected"
 
 
 #: category -> the event names it may emit. ``validate_event`` enforces
@@ -169,6 +178,9 @@ EVENTS: Dict[str, FrozenSet[str]] = {
     }),
     CAT_SERVE: frozenset({
         EV_JOB_QUEUED, EV_JOB_STARTED, EV_JOB_FINISHED, EV_JOB_REJECTED,
+        EV_JOB_RETRYING, EV_JOB_DEADLINE_EXCEEDED, EV_JOB_RECOVERED,
+        EV_BREAKER_OPENED, EV_BREAKER_HALF_OPEN, EV_BREAKER_CLOSED,
+        EV_DRAIN_STARTED, EV_DRAIN_COMPLETED, EV_CHAOS_INJECTED,
     }),
 }
 

@@ -22,7 +22,7 @@ for breakdown tables without carrying raw samples in every record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 
 @dataclass
@@ -119,14 +119,18 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._metrics)
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, float]:
         """Flat ``{dotted_name: value}`` view, sorted by name.
 
         Values are full-precision floats (ints for histogram counts) —
-        rounding is strictly a render-time concern.
+        rounding is strictly a render-time concern. ``prefix`` keeps
+        only metrics whose name starts with it (e.g. ``"serve."`` for
+        the control-plane slice of a shared registry).
         """
         out: Dict[str, float] = {}
         for name in sorted(self._metrics):
+            if prefix is not None and not name.startswith(prefix):
+                continue
             metric = self._metrics[name]
             if isinstance(metric, Histogram):
                 out[f"{name}.count"] = metric.count

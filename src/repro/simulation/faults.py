@@ -253,6 +253,21 @@ class FaultPlan:
     def to_dicts(self) -> List[Dict[str, Any]]:
         return [fault.to_dict() for fault in self.faults]
 
+    def shifted(self, dt: float) -> "FaultPlan":
+        """A copy with every ``at_s`` trigger moved ``dt`` seconds later.
+
+        Batch runs arm plans at simulated time zero, but the long-lived
+        serve cluster injects chaos mid-flight — shifting lets a plan
+        authored relative to "now" land relative to the cluster's
+        current ``env.now``.
+        """
+        if not dt:
+            return self
+        return FaultPlan(tuple(
+            dataclasses.replace(f, at_s=f.at_s + dt)
+            if f.at_s is not None else f
+            for f in self.faults))
+
     def __iter__(self) -> Iterator[FaultSpec]:
         return iter(self.faults)
 
@@ -261,6 +276,71 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.faults)
+
+
+# -- named chaos plans --------------------------------------------------------
+
+def _plan_throttle_storm(duration_s: float = 20.0) -> FaultPlan:
+    """Lambda concurrency slammed to zero, then lifted: the breaker's
+    bread and butter (consecutive throttles open it; the lift lets the
+    half-open probe close it again)."""
+    return FaultPlan((
+        FaultSpec(KIND_LAMBDA_THROTTLE, at_s=0.0, limit=0,
+                  duration_s=duration_s),
+    ))
+
+
+def _plan_spot_storm(duration_s: float = 30.0) -> FaultPlan:
+    """A spot-revocation wave plus a concurrency squeeze — the
+    SplitServe worst case: IaaS capacity vanishing exactly while the
+    FaaS escape hatch is throttled."""
+    return FaultPlan((
+        FaultSpec(KIND_SPOT_REVOCATION, at_s=0.0, target="spot", count=2),
+        FaultSpec(KIND_LAMBDA_THROTTLE, at_s=1.0, limit=1,
+                  duration_s=duration_s),
+        FaultSpec(KIND_EXECUTOR_KILL, at_s=duration_s / 2, count=1),
+    ))
+
+
+def _plan_brownout(duration_s: float = 15.0,
+                   factor: float = 4.0) -> FaultPlan:
+    """Every storage service degraded by ``factor`` for a window."""
+    return FaultPlan((
+        FaultSpec(KIND_STORAGE_BROWNOUT, at_s=0.0, factor=factor,
+                  duration_s=duration_s),
+    ))
+
+
+def _plan_straggler_wave(duration_s: float = 20.0,
+                         factor: float = 8.0) -> FaultPlan:
+    """Two stragglers plus a flaky Lambda bridge (10% invoke failure)."""
+    return FaultPlan((
+        FaultSpec(KIND_STRAGGLER, at_s=0.0, count=2, factor=factor,
+                  duration_s=duration_s),
+        FaultSpec(KIND_LAMBDA_INVOKE_FAILURE, probability=0.1, at_s=0.0,
+                  duration_s=duration_s),
+    ))
+
+
+#: Named chaos plans the serve layer (``repro chaos`` / ``POST /chaos``)
+#: arms by name. Builders take only scalar kwargs so plans stay
+#: CLI/JSON-addressable.
+CHAOS_PLANS = {
+    "throttle_storm": _plan_throttle_storm,
+    "spot_storm": _plan_spot_storm,
+    "brownout": _plan_brownout,
+    "straggler_wave": _plan_straggler_wave,
+}
+
+
+def chaos_plan(name: str, **kwargs: Any) -> FaultPlan:
+    """Build a named chaos plan (see :data:`CHAOS_PLANS`)."""
+    try:
+        builder = CHAOS_PLANS[name]
+    except KeyError:
+        raise ValueError(f"unknown chaos plan {name!r}; "
+                         f"known: {sorted(CHAOS_PLANS)}") from None
+    return builder(**kwargs)
 
 
 # -- target selectors -------------------------------------------------------

@@ -114,8 +114,13 @@ def test_http_503_returns_structured_error_body():
             assert env.data["detail"] == {
                 "running": 1, "queued": 1,
                 "max_concurrent": 1, "max_queue": 1}
-            assert env.data["retry_after_s"] == 1.0
-            assert shed.headers["retry-after"] == "1"
+            # Retry-After is deterministically jittered (derived from
+            # the submission's identity, never ``random``) so shed
+            # clients spread across [0.5, 2.0) instead of stampeding
+            # back in lockstep.
+            assert 0.5 <= env.data["retry_after_s"] < 2.0
+            assert shed.headers["retry-after"] == str(
+                max(0, int(round(env.data["retry_after_s"]))))
 
             gate.set()
             done = client.get(f"/jobs/{first.data['job_id']}",

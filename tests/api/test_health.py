@@ -1,0 +1,113 @@
+"""``/healthz`` and ``/readyz``: the load-balancer contract.
+
+Liveness answers whenever the process serves requests; readiness turns
+503 (with the failing checks in a structured ErrorBody) whenever a
+balancer should stop sending traffic — saturated admission queue, open
+circuit breaker, or a draining server.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import schemas
+from repro.api.app import create_app
+from repro.api.service import ServeConfig, ServeRuntime
+from repro.api.testclient import TestClient
+
+_GATES = {}
+
+
+def _gate(name: str) -> threading.Event:
+    return _GATES.setdefault(name, threading.Event())
+
+
+def blocking_job(spec):
+    gate = _GATES[dict(spec.extra)["gate"]]
+    assert gate.wait(timeout=30.0), "gate never released"
+    return {"workload": "blocker", "duration_s": 1.0, "cost": 0.0}
+
+
+def _blocker(seed: int, gate: str) -> dict:
+    return {"workload": "blocker",
+            "scenario": "custom:tests.api.test_health:blocking_job",
+            "seed": seed, "extra": {"gate": gate}}
+
+
+@pytest.mark.smoke
+def test_healthz_and_readyz_on_an_idle_server():
+    config = ServeConfig(max_concurrent=2, max_queue=4, pool_cores=4)
+    with TestClient(create_app(config)) as client:
+        live = client.get("/healthz")
+        assert live.status == 200
+        env = live.envelope()
+        assert env.kind == schemas.KIND_HEALTH
+        assert env.data["status"] == "ok"
+        assert env.data["uptime_s"] >= 0
+
+        ready = client.get("/readyz")
+        assert ready.status == 200
+        assert ready.envelope().kind == schemas.KIND_HEALTH
+        assert ready.data["status"] == "ready"
+        assert all(ready.data["checks"].values())
+        assert set(ready.data["checks"]) == {
+            "driver_alive", "queue_below_max", "breaker_not_open",
+            "not_draining"}
+
+
+def test_readyz_503_when_admission_queue_saturated():
+    gate = _gate("readyz-saturated")
+    config = ServeConfig(max_concurrent=1, max_queue=1, pool_cores=4)
+    try:
+        with TestClient(create_app(config)) as client:
+            for seed in range(2):  # one running + one queued = full
+                r = client.post("/jobs",
+                                json=_blocker(seed, "readyz-saturated"))
+                assert r.status == 202
+
+            not_ready = client.get("/readyz")
+            assert not_ready.status == 503
+            env = not_ready.envelope()
+            assert env.kind == schemas.KIND_ERROR
+            assert env.data["code"] == schemas.ERR_NOT_READY
+            assert "queue_below_max" in env.data["message"]
+            checks = env.data["detail"]["checks"]
+            assert not checks["queue_below_max"]
+            assert checks["driver_alive"]
+            # Liveness is unaffected: the process is healthy, just full.
+            assert client.get("/healthz").status == 200
+
+            gate.set()
+            assert client.app.runtime.drain(timeout=60.0)
+            assert client.get("/readyz").status == 200
+    finally:
+        gate.set()
+
+
+def test_readyz_503_while_breaker_open():
+    config = ServeConfig(max_concurrent=1, max_queue=4, pool_cores=4,
+                         breaker_failure_threshold=2,
+                         breaker_cooldown_s=60.0)
+    with TestClient(create_app(config)) as client:
+        runtime = client.app.runtime
+        for _ in range(runtime.breaker.failure_threshold):
+            runtime.breaker.record_failure()
+
+        not_ready = client.get("/readyz")
+        assert not_ready.status == 503
+        assert "breaker_not_open" in not_ready.data["message"]
+        assert not not_ready.data["detail"]["checks"]["breaker_not_open"]
+
+
+def test_readyz_503_while_draining():
+    service = ServeRuntime(ServeConfig(max_concurrent=1, max_queue=4,
+                                       pool_cores=4)).start()
+    try:
+        service.request_drain(deadline_s=0.1)
+        with TestClient(create_app(runtime=service)) as client:
+            not_ready = client.get("/readyz")
+            assert not_ready.status == 503
+            assert not not_ready.data["detail"]["checks"]["not_draining"]
+            assert client.get("/healthz").status == 200
+    finally:
+        service.close()

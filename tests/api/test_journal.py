@@ -1,0 +1,127 @@
+"""Units for the serve plane's JSONL write-ahead journal."""
+
+import json
+import os
+
+from repro.api.journal import JOURNAL_NAME, JobJournal
+
+
+def _reopen(state_dir):
+    """Simulate a process restart: a fresh JobJournal over the dir."""
+    return JobJournal(str(state_dir))
+
+
+def test_fresh_journal_recovers_nothing(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    assert journal.recovered_jobs() == []
+    assert journal.max_seq == 0
+    journal.close()
+
+
+def test_unfinished_jobs_recover_in_admission_order(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.submitted("job-000001", {"workload": "a", "seed": 1})
+    journal.submitted("job-000002", {"workload": "b", "seed": 2})
+    journal.started("job-000001", attempt=1)
+    journal.started("job-000001", attempt=2)
+    journal.submitted("job-000003", {"workload": "c", "seed": 3})
+    journal.finished("job-000002", state="completed")
+    journal.close()
+
+    recovered = _reopen(tmp_path).recovered_jobs()
+    assert [r.job_id for r in recovered] == ["job-000001", "job-000003"]
+    assert recovered[0].attempts == 2
+    assert recovered[0].request == {"workload": "a", "seed": 1}
+    assert recovered[1].attempts == 0
+    assert not recovered[0].checkpointed
+
+
+def test_checkpointed_jobs_recover_flagged(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.submitted("job-000001", {"workload": "a"})
+    journal.checkpointed("job-000001")
+    journal.close()
+
+    recovered = _reopen(tmp_path).recovered_jobs()
+    assert len(recovered) == 1
+    assert recovered[0].checkpointed
+
+
+def test_failed_jobs_are_terminal_too(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.submitted("job-000001", {"workload": "a"})
+    journal.finished("job-000001", state="failed", error="boom")
+    journal.close()
+    assert _reopen(tmp_path).recovered_jobs() == []
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.submitted("job-000001", {"workload": "a"})
+    journal.submitted("job-000002", {"workload": "b"})
+    journal.close()
+    # A crash mid-write leaves a half line; replay must stop there, not
+    # raise, and keep everything before it.
+    path = tmp_path / JOURNAL_NAME
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"op": "finished", "job": "job-0000')
+
+    recovered = _reopen(tmp_path).recovered_jobs()
+    assert [r.job_id for r in recovered] == ["job-000001", "job-000002"]
+
+
+def test_max_seq_resumes_past_everything_acknowledged(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.submitted("job-000007", {"workload": "a"})
+    journal.finished("job-000007", state="completed")
+    journal.submitted("job-000009", {"workload": "b"})
+    journal.close()
+    # Even the finished job's seq counts: the id counter must never be
+    # reused across restarts.
+    assert _reopen(tmp_path).max_seq == 9
+
+
+def test_foreign_ids_do_not_poison_the_sequence(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.submitted("external-abc", {"workload": "a"})
+    journal.close()
+    reopened = _reopen(tmp_path)
+    assert reopened.max_seq == 0
+    assert [r.job_id for r in reopened.recovered_jobs()] == ["external-abc"]
+
+
+def test_open_compacts_terminal_jobs_away(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    for i in range(1, 6):
+        journal.submitted(f"job-{i:06d}", {"workload": "a", "seed": i})
+        if i != 3:
+            journal.finished(f"job-{i:06d}", state="completed")
+    journal.close()
+
+    reopened = _reopen(tmp_path)
+    assert [r.job_id for r in reopened.recovered_jobs()] == ["job-000003"]
+    reopened.close()
+    # The rewritten file holds only the live job's lines.
+    with open(tmp_path / JOURNAL_NAME, encoding="utf-8") as fh:
+        entries = [json.loads(line) for line in fh if line.strip()]
+    assert {e["job"] for e in entries} == {"job-000003"}
+    # ...but the sequence floor survives the compaction in-process.
+    assert reopened.max_seq == 5
+
+
+def test_append_after_close_is_a_noop(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.submitted("job-000001", {"workload": "a"})
+    journal.close()
+    journal.finished("job-000001", state="completed")  # hard-stop path
+    assert len(_reopen(tmp_path).recovered_jobs()) == 1
+
+
+def test_journal_lines_are_deterministic_json(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.submitted("job-000001", {"z": 1, "a": 2, "workload": "x"})
+    journal.close()
+    with open(tmp_path / JOURNAL_NAME, encoding="utf-8") as fh:
+        line = fh.readline()
+    keys = list(json.loads(line))
+    assert keys == sorted(keys)  # schemas.dumps sorts keys

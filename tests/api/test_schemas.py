@@ -44,10 +44,13 @@ def test_unwrap_record_accepts_envelope_silently():
         assert schemas.unwrap_record(env.to_dict()) == {"cost": 1.0}
 
 
-def test_unwrap_record_warns_on_legacy_row():
-    with pytest.warns(DeprecationWarning, match="pre-schema"):
-        out = schemas.unwrap_record({"workload": "sparkpi", "cost": 1.0})
-    assert out["workload"] == "sparkpi"
+def test_unwrap_record_rejects_legacy_row():
+    # The one-release DeprecationWarning shim for pre-envelope rows was
+    # removed as promised: bare RunRecord dicts now fail loudly with a
+    # pointer at the envelope format.
+    with pytest.raises(schemas.SchemaError,
+                       match="re-export with a current --json"):
+        schemas.unwrap_record({"workload": "sparkpi", "cost": 1.0})
 
 
 def test_unwrap_record_rejects_wrong_kind():

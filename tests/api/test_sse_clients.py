@@ -1,0 +1,171 @@
+"""``GET /events`` under misbehaving clients.
+
+The SSE layer's contract when consumers fail: a mid-stream disconnect
+releases the subscription (no leaks, no stalled publishers), a slow
+consumer loses events to its *own* bounded buffer with deterministic
+drop accounting (never stalling the hub), and a reconnecting client
+resumes past the last sequence it saw via ``Last-Event-ID`` (or the
+``?after=`` query form) with no duplicates and no gaps.
+"""
+
+import asyncio
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import schemas
+from repro.api.app import _event_stream, create_app
+from repro.api.asgi import SSEResponse
+from repro.api.service import EventHub, ServeConfig
+from repro.api.testclient import TestClient
+from repro.observability.categories import CAT_SERVE, EV_JOB_QUEUED
+
+
+def _publish(hub: EventHub, n: int, t0: float = 0.0) -> None:
+    for i in range(n):
+        hub.record(t0 + i, CAT_SERVE, EV_JOB_QUEUED, job=f"job-{i:06d}")
+
+
+# ---------------------------------------------------------------------------
+# Mid-stream disconnect
+# ---------------------------------------------------------------------------
+
+def test_mid_stream_disconnect_releases_the_subscription():
+    hub = EventHub()
+    serve = SimpleNamespace(hub=hub)
+    response = SSEResponse(_event_stream(
+        serve, replay=0, after_seq=None, category=None, max_events=0,
+        idle_timeout_s=5.0))
+
+    frames = []
+    disconnected = asyncio.Event()
+
+    async def receive():
+        # The transport's disconnect arrives once the client has seen
+        # two frames mid-stream.
+        await disconnected.wait()
+        return {"type": "http.disconnect"}
+
+    async def send(message):
+        frames.append(message)
+        bodies = [m for m in frames
+                  if m["type"] == "http.response.body" and m.get("body")]
+        if len(bodies) >= 2:
+            disconnected.set()
+
+    async def main():
+        task = asyncio.ensure_future(response.send(receive, send))
+        await asyncio.sleep(0.05)       # let the stream subscribe
+        assert hub.stats()["subscribers"] == 1
+        _publish(hub, 2)                # the frames the client does see
+        await asyncio.sleep(0.05)
+        _publish(hub, 1, t0=10.0)       # wakes the stream post-disconnect
+        await asyncio.wait_for(task, timeout=5.0)
+
+    asyncio.run(main())
+    # The handler noticed the disconnect, stopped streaming, and
+    # released the subscription — nothing leaks past the consumer.
+    assert hub.stats()["subscribers"] == 0
+    bodies = [m for m in frames
+              if m["type"] == "http.response.body" and m.get("body")]
+    assert len(bodies) == 2
+    # No end-of-response frame: the stream was severed, not completed.
+    assert not any(m["type"] == "http.response.body"
+                   and not m.get("more_body", False) for m in frames)
+
+
+# ---------------------------------------------------------------------------
+# Slow consumers (bounded buffers, deterministic drops)
+# ---------------------------------------------------------------------------
+
+def test_slow_consumer_drops_newest_beyond_its_buffer():
+    hub = EventHub(maxlen=64)
+    slow, backlog = hub.subscribe(depth=4)
+    fast, _ = hub.subscribe()
+    assert backlog == []
+
+    _publish(hub, 10)
+
+    # The slow consumer kept the oldest 4 and lost exactly the 6
+    # published while its buffer sat full; the fast consumer and the
+    # hub itself never stalled.
+    assert slow.qsize() == 4
+    assert slow.dropped == 6
+    assert fast.qsize() == 10
+    assert hub.stats()["dropped_total"] == 6
+    kept = [slow.get(timeout=1.0)["seq"] for _ in range(4)]
+    assert kept == [1, 2, 3, 4]
+
+    # Recovery path: reconnecting past the last seen sequence replays
+    # the dropped events from the ring — end to end, nothing is lost.
+    _, replayed = hub.subscribe(after_seq=kept[-1])
+    assert [item["seq"] for item in replayed] == [5, 6, 7, 8, 9, 10]
+
+
+def test_subscriber_buffer_never_blocks_the_publisher():
+    hub = EventHub()
+    sub, _ = hub.subscribe(depth=1)
+    _publish(hub, 3)  # put_nowait semantics: returns immediately
+    assert sub.qsize() == 1
+    assert sub.dropped == 2
+    hub.unsubscribe(sub)
+    assert hub.stats()["subscribers"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Replay after reconnect (Last-Event-ID) over HTTP
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def client():
+    config = ServeConfig(max_concurrent=2, max_queue=8, seed=0,
+                         pool_cores=4)
+    with TestClient(create_app(config)) as c:
+        yield c
+
+
+def _seed_events(client) -> None:
+    r = client.post("/jobs", json={"workload": "sparkpi",
+                                   "scenario": "spark_R_vm", "seed": 1})
+    assert r.status == 202
+    done = client.get(f"/jobs/{r.data['job_id']}", params={"wait": 60})
+    assert done.data["state"] == schemas.JOB_COMPLETED
+
+
+def test_last_event_id_resumes_without_duplicates_or_gaps(client):
+    _seed_events(client)  # queued, started, finished
+
+    first = client.get("/events", params={"replay": 50, "max_events": 2,
+                                          "category": CAT_SERVE})
+    events = first.sse_events()
+    assert [e["data"]["name"] for e in events] == ["job_queued",
+                                                   "job_started"]
+    last_id = events[-1]["id"]
+
+    # The standard header form: the stream resumes past the last
+    # sequence the client acknowledged — no duplicates, no gaps.
+    resumed = client.get("/events", params={"max_events": 1,
+                                            "category": CAT_SERVE},
+                         headers={"Last-Event-ID": last_id})
+    [event] = resumed.sse_events()
+    assert event["data"]["name"] == "job_finished"
+    assert int(event["id"]) > int(last_id)
+
+    # The ?after= query form (curl-friendly) behaves identically.
+    via_query = client.get("/events", params={"max_events": 1,
+                                              "category": CAT_SERVE,
+                                              "after": last_id})
+    [same] = via_query.sse_events()
+    assert same["id"] == event["id"]
+
+    # Every bounded stream released its subscription on completion.
+    assert client.app.runtime.hub.stats()["subscribers"] == 0
+
+
+def test_non_integer_last_event_id_is_rejected(client):
+    bad = client.get("/events", headers={"Last-Event-ID": "bogus"})
+    assert bad.status == 400
+    env = bad.envelope()
+    assert env.kind == schemas.KIND_ERROR
+    assert env.data["code"] == schemas.ERR_INVALID_REQUEST
+    assert "Last-Event-ID" in env.data["message"]

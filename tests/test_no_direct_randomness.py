@@ -22,9 +22,18 @@ BANNED_TIME_ATTRS = {"time", "time_ns", "monotonic", "monotonic_ns",
 #: Host-side modules exempt from the wall-clock ban (never the random
 #: ban): the ``repro serve`` control plane serves real HTTP traffic, so
 #: job timestamps, uptime, and drain deadlines are genuine wall-clock
-#: quantities. Nothing in it feeds simulated behavior — simulated time
-#: still advances only through ``Environment.run`` on the driver thread.
-WALL_CLOCK_EXEMPT = {"repro/api/service.py"}
+#: quantities; the resilience layer's retry backoffs, breaker cooldowns
+#: and chaos-phase timings, and the journal's audit timestamps, are the
+#: same host-side clock. Nothing in them feeds simulated behavior —
+#: simulated time still advances only through ``Environment.run`` on
+#: the driver thread, and every *random* quantity in these modules is
+#: hash-derived (repro.api.resilience.deterministic_jitter), never
+#: drawn from ``random``.
+WALL_CLOCK_EXEMPT = {
+    "repro/api/service.py",
+    "repro/api/resilience.py",
+    "repro/api/journal.py",
+}
 
 
 def _violations(path, *, allow_wall_clock=False):
