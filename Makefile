@@ -2,7 +2,8 @@
 
 .PHONY: install test bench bench-smoke bench-resilience-smoke \
 	bench-multijob-smoke bench-plan-smoke bench-core-smoke \
-	serve-smoke chaos-smoke report-smoke examples figures clean
+	serve-smoke chaos-smoke obs-smoke report-smoke examples figures \
+	clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -55,6 +56,17 @@ serve-smoke:
 chaos-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_chaos.py -m smoke -q
+
+# Scrape GET /metrics off a live in-process control plane and assert it
+# parses under the test suite's Prometheus text-format parser, then run
+# one job end to end and render its causal span tree (no orphans)
+# through the `repro trace` CLI path (see DESIGN.md,
+# "Serve observability").
+obs-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest tests/api/test_metrics_endpoint.py \
+		tests/api/test_tracing.py \
+		tests/observability/test_serve_obs.py -m smoke -q
 
 # One seeded scenario through event-log/trace export and `repro report`,
 # asserting same-seed event logs are byte-identical (see DESIGN.md,

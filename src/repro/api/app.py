@@ -33,7 +33,13 @@ route table is the control-plane contract:
   server (a named :data:`~repro.simulation.faults.CHAOS_PLANS` plan or
   raw fault dicts, worker-thread kills, a sim-driver stall, a
   breaker-probing Lambda scale request); see
-  :meth:`~repro.api.service.ServeRuntime.inject_chaos`.
+  :meth:`~repro.api.service.ServeRuntime.inject_chaos`;
+- ``GET  /metrics``    — Prometheus text exposition (plain text, no
+  envelope: the one surface scrapers consume directly);
+- ``GET  /trace/{id}`` — the job's causal span tree plus the sim
+  events stamped with its trace id (``repro trace`` renders this);
+- ``GET  /dashboard``  — stdlib-only live HTML view over ``/events``
+  + ``/metrics``.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from repro.api.asgi import (
     App,
     JSONResponse,
     Request,
+    Response,
     SSEResponse,
     sse_frame,
 )
@@ -188,6 +195,32 @@ def create_app(config: Optional[ServeConfig] = None,
                            detail={"checks": checks})
         return JSONResponse(schemas.KIND_HEALTH,
                             {"status": "ready", "checks": checks})
+
+    # -- observability -----------------------------------------------------
+
+    @app.get("/metrics")
+    async def metrics(request: Request) -> Response:
+        # Prometheus text exposition format 0.0.4 — deliberately not
+        # wrapped in the JSON envelope (scrapers parse it directly).
+        return Response(serve.metrics_text().encode("utf-8"),
+                        content_type="text/plain; version=0.0.4; "
+                                     "charset=utf-8")
+
+    @app.get("/trace/{job_id}")
+    async def trace(request: Request) -> JSONResponse:
+        job_id = request.path_params["job_id"]
+        try:
+            payload = serve.trace(job_id)
+        except UnknownJobError:
+            raise ApiError(404, schemas.ERR_NOT_FOUND,
+                           f"no such job {job_id!r}")
+        return JSONResponse(schemas.KIND_TRACE, payload)
+
+    @app.get("/dashboard")
+    async def dashboard(request: Request) -> Response:
+        from repro.observability.serve_obs import DASHBOARD_HTML
+        return Response(DASHBOARD_HTML.encode("utf-8"),
+                        content_type="text/html; charset=utf-8")
 
     # -- chaos -------------------------------------------------------------
 

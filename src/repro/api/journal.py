@@ -38,7 +38,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.api import schemas
 
@@ -136,10 +136,20 @@ class JobJournal:
     admission order.
     """
 
-    def __init__(self, state_dir: str, fsync: bool = False) -> None:
+    def __init__(self, state_dir: str, fsync: bool = False,
+                 on_append: Optional[Callable[[float], None]] = None
+                 ) -> None:
         self.state_dir = state_dir
         self.path = os.path.join(state_dir, JOURNAL_NAME)
         self.fsync = fsync
+        #: Observability hook: called with each append's wall seconds
+        #: (write+flush+fsync) — feeds the serve plane's journal
+        #: latency window. Never raises into the WAL path.
+        self.on_append = on_append
+        #: Ops appended since this journal opened (compaction happens
+        #: at open, so this is the replay debt a restart would pay —
+        #: surfaced as healthz ``journal_lag_ops``).
+        self.ops_since_compaction = 0
         os.makedirs(state_dir, exist_ok=True)
         self._recovered, self._max_seq = _replay(self.path)
         self._compact()
@@ -210,11 +220,18 @@ class JobJournal:
     def _append(self, entry: Dict[str, Any]) -> None:
         if self._fh.closed:
             return  # hard-stopped; the WAL keeps what it had
+        started = time.perf_counter()
         self._max_seq = max(self._max_seq, _job_seq(entry["job"]))
         self._fh.write(schemas.dumps(entry) + "\n")
         self._fh.flush()
         if self.fsync:
             os.fsync(self._fh.fileno())
+        self.ops_since_compaction += 1
+        if self.on_append is not None:
+            try:
+                self.on_append(time.perf_counter() - started)
+            except Exception:  # noqa: BLE001 - telemetry never breaks WAL
+                pass
 
     def close(self) -> None:
         if not self._fh.closed:

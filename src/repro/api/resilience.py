@@ -363,6 +363,12 @@ def run_chaos(plan: str = "throttle_storm", seed: int = 0,
     def now() -> float:
         return round(time.monotonic() - t0, 6)
 
+    def slo_burn() -> Dict[str, float]:
+        # SLO burn rates sampled at each phase's end (rolling window) —
+        # the per-phase error-budget spend the chaos report commits to.
+        return {k: round(v, 6)
+                for k, v in service.slo.burn_rates().items()}
+
     try:
         # -- phase 1: load --------------------------------------------------
         load = _Phase("load", now())
@@ -379,7 +385,8 @@ def run_chaos(plan: str = "throttle_storm", seed: int = 0,
             except Exception:  # noqa: BLE001 - backpressure is data here
                 rejected += 1
         load.finished_s = now()
-        load.detail = {"accepted": len(statuses), "rejected": rejected}
+        load.detail = {"accepted": len(statuses), "rejected": rejected,
+                       "slo_burn": slo_burn()}
         phases.append(load)
 
         # -- phase 2: throttle storm vs the breaker -------------------------
@@ -408,6 +415,7 @@ def run_chaos(plan: str = "throttle_storm", seed: int = 0,
             "breaker_opened": opened_at is not None,
             "breaker_recovered": closed_at is not None,
             "breaker": service.breaker.snapshot(),
+            "slo_burn": slo_burn(),
         }
         phases.append(storm)
         if plan == "throttle_storm":
@@ -430,7 +438,7 @@ def run_chaos(plan: str = "throttle_storm", seed: int = 0,
                  "seed": 100 + i})
             crash_ids.append(status.job_id)
         kill.finished_s = now()
-        kill.detail = {"crashed_jobs": crash_ids}
+        kill.detail = {"crashed_jobs": crash_ids, "slo_burn": slo_burn()}
         phases.append(kill)
 
         # -- phase 4: sim-driver stall --------------------------------------
@@ -442,7 +450,8 @@ def run_chaos(plan: str = "throttle_storm", seed: int = 0,
         service.admission_stats()
         read_latency_s = time.monotonic() - t_read
         stall.finished_s = now()
-        stall.detail = {"read_latency_s": round(read_latency_s, 6)}
+        stall.detail = {"read_latency_s": round(read_latency_s, 6),
+                        "slo_burn": slo_burn()}
         phases.append(stall)
         assert read_latency_s < max(1.0, stall_driver_s), \
             "admission reads blocked on the stalled sim driver"
@@ -451,6 +460,7 @@ def run_chaos(plan: str = "throttle_storm", seed: int = 0,
         settle = _Phase("settle", now())
         drained = service.drain(timeout=240.0)
         settle.finished_s = now()
+        settle.detail = {"slo_burn": slo_burn()}
         phases.append(settle)
         assert drained, "jobs did not drain after chaos"
 

@@ -54,10 +54,11 @@ KIND_ERROR = "error"
 KIND_SERVICE_INFO = "service_info"
 KIND_HEALTH = "health"
 KIND_CHAOS = "chaos"
+KIND_TRACE = "trace"
 KINDS = frozenset({
     KIND_RUN_RECORD, KIND_JOB_STATUS, KIND_JOB_LIST, KIND_PLAN,
     KIND_POOL_STATS, KIND_EXECUTORS, KIND_EVENTS, KIND_ERROR,
-    KIND_SERVICE_INFO, KIND_HEALTH, KIND_CHAOS,
+    KIND_SERVICE_INFO, KIND_HEALTH, KIND_CHAOS, KIND_TRACE,
 })
 
 # Job lifecycle states.
@@ -588,7 +589,7 @@ __all__: Tuple[str, ...] = (
     "SCHEMA_VERSION", "KINDS", "KIND_RUN_RECORD", "KIND_JOB_STATUS",
     "KIND_JOB_LIST", "KIND_PLAN", "KIND_POOL_STATS", "KIND_EXECUTORS",
     "KIND_EVENTS", "KIND_ERROR", "KIND_SERVICE_INFO", "KIND_HEALTH",
-    "KIND_CHAOS",
+    "KIND_CHAOS", "KIND_TRACE",
     "JOB_QUEUED", "JOB_RUNNING", "JOB_COMPLETED", "JOB_FAILED",
     "JOB_STATES", "JOB_MODES", "MODE_SPEC", "MODE_POOLED",
     "ERR_BACKPRESSURE", "ERR_NOT_FOUND", "ERR_INVALID_REQUEST",

@@ -91,6 +91,7 @@ from repro.api.schemas import (
 )
 from repro.observability.categories import (
     CAT_SERVE,
+    CAT_TRACE,
     EV_BREAKER_CLOSED,
     EV_BREAKER_HALF_OPEN,
     EV_BREAKER_OPENED,
@@ -105,6 +106,22 @@ from repro.observability.categories import (
     EV_JOB_RETRYING,
     EV_JOB_STARTED,
     validate_event,
+)
+from repro.observability.serve_obs import (
+    MetricFamily,
+    MetricSample,
+    RollingHistogram,
+    SamplingProfiler,
+    ServeTracer,
+    SLOConfig,
+    SLOTracker,
+    profiler_families,
+    prom_name,
+    registry_families,
+    render_prometheus,
+    rolling_histogram_families,
+    slo_families,
+    trace_id_for_job,
 )
 
 __all__ = [
@@ -304,6 +321,17 @@ class ServeConfig:
     #: Graceful-drain budget: seconds running jobs get to finish before
     #: the rest are checkpointed.
     drain_deadline_s: float = 30.0
+    #: SLO objectives backing /readyz and the serve.slo.* metric
+    #: families (see serve_obs.SLOConfig for semantics).
+    slo_window_s: float = 60.0
+    slo_availability_target: float = 0.99
+    slo_latency_p99_s: float = 0.25
+    slo_max_burn_rate: float = 14.4
+    #: Attach the sampling profiler to the driver thread (off by
+    #: default; `repro serve --profile`). Exposes serve.profile.*
+    #: families on /metrics.
+    profile: bool = False
+    profile_interval_s: float = 0.005
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -329,6 +357,17 @@ class ServeConfig:
             raise ValueError("drain_deadline_s must be positive")
         if self.retry_base_backoff_s < 0:
             raise ValueError("retry_base_backoff_s cannot be negative")
+        if self.profile_interval_s <= 0:
+            raise ValueError("profile_interval_s must be positive")
+        # Range checks for the SLO knobs live in SLOConfig; build one
+        # here so a bad value fails at config time, not first scrape.
+        self.slo_config()
+
+    def slo_config(self) -> SLOConfig:
+        return SLOConfig(window_s=self.slo_window_s,
+                         availability_target=self.slo_availability_target,
+                         latency_p99_s=self.slo_latency_p99_s,
+                         max_burn_rate=self.slo_max_burn_rate)
 
 
 # ---------------------------------------------------------------------------
@@ -419,6 +458,17 @@ class ServeRuntime:
         self.started_at = time.time()
         self._t0 = time.monotonic()
 
+        # Live observability plane (see repro.observability.serve_obs):
+        # causal spans, rolling admission-latency window, SLO burn
+        # rates, and (opt-in) the driver profiler.
+        self.tracer = ServeTracer(self.hub, clock=self._now)
+        self.slo = SLOTracker(self.config.slo_config())
+        self.admission_latency = RollingHistogram(
+            window_s=self.config.slo_window_s)
+        self.journal_latency = RollingHistogram(
+            window_s=self.config.slo_window_s)
+        self.profiler: Optional[SamplingProfiler] = None
+
         # Admission state (its own lock; never blocks on the sim).
         self._lock = threading.RLock()
         self._idle = threading.Condition(self._lock)
@@ -487,6 +537,10 @@ class ServeRuntime:
                                         name="repro-serve-reaper",
                                         daemon=True)
         self._reaper.start()
+        if self.config.profile:
+            self.profiler = SamplingProfiler(
+                interval_s=self.config.profile_interval_s)
+            self.profiler.start(self._driver.ident)
         self._open_journal()
         return self
 
@@ -496,6 +550,8 @@ class ServeRuntime:
             return
         self._started = False
         self._stop.set()
+        if self.profiler is not None:
+            self.profiler.stop()
         with self._sim_wakeup:
             self._sim_wakeup.notify_all()
         if self._driver is not None:
@@ -517,6 +573,8 @@ class ServeRuntime:
             self._journal.close()
         self._started = False
         self._stop.set()
+        if self.profiler is not None:
+            self.profiler.stop()
         with self._sim_wakeup:
             self._sim_wakeup.notify_all()
         if self._workers is not None:
@@ -586,6 +644,9 @@ class ServeRuntime:
             {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1,
              BREAKER_OPEN: 2}[new])
         self.hub.record(self._now(), CAT_SERVE, event, previous=old)
+        # Every in-flight job is affected by a breaker transition, so
+        # each open trace gets the annotation.
+        self.tracer.annotate_active(f"breaker:{old}->{new}", state=new)
 
     def _open_journal(self) -> None:
         """Open (and recover) the WAL when a state dir is configured."""
@@ -593,11 +654,19 @@ class ServeRuntime:
             return
         from repro.api.journal import JobJournal
         self._journal = JobJournal(self.config.state_dir,
-                                   fsync=self.config.journal_fsync)
+                                   fsync=self.config.journal_fsync,
+                                   on_append=self._journal_append_observed)
         if self._journal.max_seq:
             self._ids = itertools.count(self._journal.max_seq + 1)
         for rec in self._journal.recovered_jobs():
             self._requeue_recovered(rec)
+
+    def _journal_append_observed(self, seconds: float) -> None:
+        """Journal hook: fold one append's write+flush(+fsync) latency
+        into the rolling window and the registry."""
+        self.journal_latency.observe(seconds)
+        self.cluster.metrics.histogram(
+            "serve.journal.append_latency_seconds").observe(seconds)
 
     def _requeue_recovered(self, rec) -> None:
         """Re-queue one journaled job from the previous incarnation."""
@@ -624,6 +693,12 @@ class ServeRuntime:
                             prior_attempts=rec.attempts,
                             checkpointed=rec.checkpointed)
             self.cluster.metrics.counter("serve.jobs.recovered").inc()
+            # The recovered job continues the trace its job id names —
+            # trace ids are hash-derived, so the new incarnation's root
+            # span lands in the same trace as the lost one's.
+            self.tracer.begin_job(job.id, request.workload, request.mode,
+                                  recovered=True,
+                                  prior_attempts=rec.attempts)
             self._pump_locked()
 
     @staticmethod
@@ -659,6 +734,7 @@ class ServeRuntime:
         :class:`~repro.api.schemas.SchemaError` on a bad payload and
         :class:`BackpressureError` when saturated or draining.
         """
+        t_submit = time.perf_counter()
         request = JobRequest.from_dict(payload)
         if request.mode == MODE_SPEC:
             spec = request.to_spec()
@@ -669,6 +745,7 @@ class ServeRuntime:
         with self._lock:
             if self._draining:
                 self._rejected += 1
+                self.slo.record_admission(False, 0.0)
                 raise BackpressureError(
                     "server is draining; not admitting new jobs",
                     detail={"draining": True},
@@ -684,6 +761,7 @@ class ServeRuntime:
                 self.hub.record(self._now(), CAT_SERVE, EV_JOB_REJECTED,
                                 workload=request.workload,
                                 mode=request.mode, **detail)
+                self.slo.record_admission(False, 0.0)
                 raise BackpressureError(
                     "admission queue saturated "
                     f"({len(self._running)} running, "
@@ -710,8 +788,16 @@ class ServeRuntime:
                             mode=request.mode,
                             depth=len(self._pending),
                             running=len(self._running))
+            # Root + admission spans open before the pump so the first
+            # attempt lands inside the trace.
+            self.tracer.begin_job(job.id, request.workload, request.mode)
+            if self._journal is not None:
+                self.tracer.annotate_job(job.id, "journal:submitted")
             position = len(self._pending) - 1
             self._pump_locked()
+            latency_s = time.perf_counter() - t_submit
+            self.admission_latency.observe(latency_s)
+            self.slo.record_admission(True, latency_s)
             return job.status(queue_position=(
                 position if job.state == JOB_QUEUED else None))
 
@@ -757,6 +843,10 @@ class ServeRuntime:
                             attempt=job.attempts,
                             queued_s=round(job.started_at
                                            - job.submitted_at, 6))
+            self.tracer.job_started(job.id, job.attempts)
+            if self._journal is not None:
+                self.tracer.annotate_job(job.id, "journal:started",
+                                         attempt=job.attempts)
             if job.request.mode == MODE_SPEC:
                 self._workers.submit(self._run_spec_job, job)
             else:
@@ -823,6 +913,8 @@ class ServeRuntime:
                                 job=job.id, attempt=job.attempts,
                                 backoff_s=round(backoff, 6), error=message)
                 self.cluster.metrics.counter("serve.jobs.retries").inc()
+                self.tracer.job_retrying(job.id, job.attempts, backoff,
+                                         message)
                 self._pump_locked()  # the freed slot can admit others
             return
         if transient:
@@ -872,7 +964,16 @@ class ServeRuntime:
                 self._active[job.id] = job
                 self.manager.submit(app)
             if self._active:
-                env.run(until=env.timeout(self.config.sim_step_s))
+                # Stamp every sim event published during this step with
+                # the trace ids of the in-flight pooled jobs: the link
+                # from wall-clock spans into the sim's CAT_* events.
+                self.cluster.bus.set_context({"trace_ids": ",".join(
+                    trace_id_for_job(jid)
+                    for jid in sorted(self._active))})
+                try:
+                    env.run(until=env.timeout(self.config.sim_step_s))
+                finally:
+                    self.cluster.bus.set_context(None)
             for job_id in list(self._active):
                 job = self._active[job_id]
                 if job.app.finish_time is not None:
@@ -983,6 +1084,13 @@ class ServeRuntime:
                             duration_s=duration,
                             cost=(job.record.cost
                                   if job.record is not None else None))
+            if self._journal is not None:
+                self.tracer.annotate_job(
+                    job.id, "journal:checkpointed" if checkpoint
+                    else "journal:finished")
+            self.tracer.job_finished(job.id, job.state, job.attempts,
+                                     error=error)
+            self.slo.record_job_outcome(error is None)
             job.done.set()
             self._pump_locked()
             self._idle.notify_all()
@@ -990,9 +1098,17 @@ class ServeRuntime:
     # -- health ---------------------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
-        """Liveness: the process is up and answering."""
+        """Liveness: the process is up and answering. Carries enough
+        for probes to alert on WAL growth (``journal_lag_ops`` = ops
+        appended since the last compaction; compaction happens at
+        open, so this is the replay debt a restart would pay)."""
         return {"status": "ok", "uptime_s": self._now(),
-                "started": self._started}
+                "started": self._started,
+                "schema_version": schemas.SCHEMA_VERSION,
+                "journal_enabled": self._journal is not None,
+                "journal_lag_ops": (self._journal.ops_since_compaction
+                                    if self._journal is not None
+                                    else None)}
 
     def readyz(self) -> Tuple[bool, Dict[str, Any]]:
         """Readiness: may a load balancer send this server traffic?"""
@@ -1006,6 +1122,9 @@ class ServeRuntime:
             "breaker_not_open": (self.breaker is None
                                  or self.breaker.state != BREAKER_OPEN),
             "not_draining": not draining,
+            # Error budget burning faster than max_burn_rate means the
+            # server is degraded even if every other check is green.
+            "slo_burn_ok": self.slo.healthy(),
         }
         return all(checks.values()), checks
 
@@ -1273,6 +1392,103 @@ class ServeRuntime:
                 "max_queue": self.config.max_queue,
             }
 
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's span tree plus the sim-time events stamped with
+        its trace id (pooled jobs; spec jobs run on an isolated
+        cluster, so their sim events never reach this hub)."""
+        with self._lock:
+            if job_id not in self._jobs:
+                raise UnknownJobError(job_id)
+        trace_id = self.tracer.trace_id(job_id)
+        sim_events = []
+        if trace_id is not None:
+            for item in self.hub.snapshot():
+                if item["category"] in (CAT_SERVE, CAT_TRACE):
+                    continue
+                stamped = str(item["fields"].get("trace_ids", ""))
+                if trace_id in stamped:
+                    sim_events.append({
+                        "time": item["time"],
+                        "category": item["category"],
+                        "name": item["name"],
+                        "fields": dict(item["fields"])})
+        return {"job_id": job_id, "trace_id": trace_id,
+                "spans": self.tracer.spans(job_id),
+                "sim_events": sim_events}
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition behind ``GET /metrics``.
+
+        Merges the deterministic registry (serve counters, breaker
+        state, sim-fed metrics) with the live gauges, the rolling
+        admission/journal latency windows, the SLO burn rates, and —
+        when ``--profile`` is on — the profiler families. Live
+        families win name collisions with registry-derived ones, so
+        the exposition never repeats a family.
+        """
+        stats = self.admission_stats()
+        with self._lock:
+            failed = sum(1 for j in self._jobs.values()
+                         if j.state == JOB_FAILED)
+        hub_stats = self.hub.stats()
+        live: List[MetricFamily] = []
+
+        def gauge(dotted: str, value: float, help_text: str) -> None:
+            live.append(MetricFamily(
+                name=prom_name(dotted), type="gauge", help=help_text,
+                samples=[MetricSample(float(value))]))
+
+        def counter(dotted: str, value: float, help_text: str) -> None:
+            live.append(MetricFamily(
+                name=prom_name(dotted) + "_total", type="counter",
+                help=help_text, samples=[MetricSample(float(value))]))
+
+        gauge("uptime_seconds", self._now(), "wall seconds since start")
+        gauge("serve.jobs.running", stats["running"],
+              "jobs holding a running slot")
+        gauge("serve.jobs.queued", stats["queued"],
+              "jobs waiting in the admission queue")
+        gauge("serve.jobs.awaiting_retry", stats["awaiting_retry"],
+              "jobs in retry backoff")
+        gauge("serve.jobs.failed", failed, "jobs in the failed state")
+        gauge("serve.queue.max", self.config.max_queue,
+              "admission queue bound")
+        counter("serve.jobs.submitted", stats["submitted"],
+                "submissions accepted")
+        counter("serve.jobs.rejected", stats["rejected"],
+                "submissions shed with 503 backpressure")
+        counter("serve.events.published", hub_stats["published"],
+                "events published to the serve hub")
+        counter("serve.events.dropped", hub_stats["dropped_total"],
+                "events dropped by slow SSE subscribers")
+        if self.breaker is not None:
+            gauge("serve.breaker.state",
+                  {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1,
+                   BREAKER_OPEN: 2}[self.breaker.state],
+                  "lambda-bridge breaker (0 closed, 1 half-open, 2 open)")
+        if self._journal is not None:
+            gauge("serve.journal.lag_ops",
+                  self._journal.ops_since_compaction,
+                  "journal ops since the last compaction")
+        live.extend(rolling_histogram_families(
+            prom_name("serve.admission_latency_seconds"),
+            self.admission_latency,
+            "submit() wall latency over the rolling window"))
+        if self._journal is not None:
+            live.extend(rolling_histogram_families(
+                prom_name("serve.journal.append_seconds"),
+                self.journal_latency,
+                "journal append latency over the rolling window"))
+        live.extend(slo_families(self.slo))
+        if self.profiler is not None:
+            live.extend(profiler_families(self.profiler))
+
+        families = {f.name: f
+                    for f in registry_families(self.cluster.metrics)}
+        for fam in live:
+            families[fam.name] = fam
+        return render_prometheus(families.values())
+
     def executors(self) -> List[Dict[str, Any]]:
         with self._sim_lock:
             return self.pool.executor_infos()
@@ -1320,7 +1536,8 @@ class ServeRuntime:
             "seed": self.config.seed,
             "endpoints": ["/", "/jobs", "/jobs/{id}", "/executors",
                           "/pools", "/plan", "/events", "/healthz",
-                          "/readyz", "/chaos"],
+                          "/readyz", "/chaos", "/metrics",
+                          "/trace/{job_id}", "/dashboard"],
         }
 
     # -- synchronization helpers (tests, benches, graceful shutdown) ------

@@ -19,6 +19,10 @@ Commands:
   stalls, kill-9 + journal recovery) against it, assert the recovery
   invariants, and print/export the availability report (see DESIGN.md
   "Service resilience");
+- ``trace`` — render the causal span tree of one served job (fetched
+  from a live ``repro serve`` via ``GET /trace/{job_id}``, or from a
+  saved trace document), optionally exporting the merged host-span +
+  sim-event Chrome trace;
 - ``report`` — render a breakdown from any export: RunRecord JSONL,
   event logs, or a ``GET /jobs/{id}`` JobStatus document.
 
@@ -121,6 +125,37 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _start_profiler(args: argparse.Namespace):
+    """``--profile``: attach the statistical sampler to this thread."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.observability.serve_obs import SamplingProfiler
+    return SamplingProfiler().start()
+
+
+def _finish_profiler(profiler, records) -> None:
+    """Stop the sampler, fold its top-N frames into each record's
+    metrics (flat ``profile.*`` keys, exported by ``--json``), and
+    print the hot-path table."""
+    if profiler is None:
+        return
+    profiler.stop()
+    flat = profiler.metrics()
+    for record in records:
+        record.metrics.update(flat)
+    total = max(1, profiler.sample_count)
+    rows = [[label, count, f"{count / total:.1%}"]
+            for label, count in profiler.top_frames(10)]
+    buckets = ", ".join(f"{b} {frac:.0%}" for b, frac
+                        in sorted(profiler.bucket_fractions().items(),
+                                  key=lambda kv: -kv[1]))
+    print()
+    print(format_table(
+        ["frame", "samples", "share"], rows,
+        title=f"profiler: {profiler.sample_count} samples "
+              f"({buckets or 'no samples — run too short or cached'})"))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.workload == "multijob":
         return _run_multijob(args)
@@ -135,12 +170,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     if wants_trace and len(specs) != 1:
         raise SystemExit("--trace-out/--events-out need a single scenario; "
                          "pass --scenario <name>, not all")
-    if args.timeline or wants_trace:
+    if args.timeline or wants_trace or args.profile:
         # Timelines and trace exports need the in-memory trace, which
-        # records (being JSON-bounded) do not carry; run in-process.
-        results = [run_scenario(spec, keep_trace=True) for spec in specs]
+        # records (being JSON-bounded) do not carry; the profiler needs
+        # the run on this thread. Either way: run in-process.
+        profiler = _start_profiler(args)
+        results = [run_scenario(spec,
+                                keep_trace=args.timeline or wants_trace)
+                   for spec in specs]
         records = [res.to_record(spec)
                    for spec, res in zip(specs, results)]
+        _finish_profiler(profiler, records)
         for res in results:
             if args.timeline and not res.failed and res.trace is not None:
                 print(f"\n--- timeline: {res.label(workload.spec)} ---")
@@ -389,7 +429,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
             breaker_failure_threshold=args.breaker_threshold,
             breaker_cooldown_s=args.breaker_cooldown,
-            drain_deadline_s=args.drain_deadline)
+            drain_deadline_s=args.drain_deadline,
+            slo_window_s=args.slo_window,
+            slo_availability_target=args.slo_availability,
+            slo_latency_p99_s=args.slo_latency_p99,
+            slo_max_burn_rate=args.slo_max_burn,
+            profile=args.profile,
+            profile_interval_s=args.profile_interval)
     except ValueError as exc:
         raise SystemExit(str(exc))
     app = create_app(config)
@@ -490,6 +536,70 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace JOB_ID``: render a served job's causal span tree.
+
+    Fetches ``GET /trace/{job_id}`` from a live ``repro serve`` (or
+    reads a saved copy of that document with ``--file``) and renders
+    the parent-linked span tree; ``--chrome-out`` additionally merges
+    the host wall-clock spans with the trace-stamped sim events into
+    one Chrome-trace timeline."""
+    from repro.observability.export import save_spans_chrome_trace
+    from repro.observability.serve_obs import render_span_tree
+
+    if args.file is not None:
+        try:
+            with open(args.file, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.file}: {exc}")
+    else:
+        from urllib import error as urlerror
+        from urllib import request as urlrequest
+        url = args.url.rstrip("/") + f"/trace/{args.job_id}"
+        try:
+            with urlrequest.urlopen(url, timeout=args.timeout) as resp:
+                text = resp.read().decode("utf-8")
+        except urlerror.HTTPError as exc:
+            if exc.code == 404:
+                raise SystemExit(f"no such job {args.job_id!r} at "
+                                 f"{args.url}")
+            raise SystemExit(f"GET {url} failed: {exc}")
+        except (urlerror.URLError, OSError) as exc:
+            raise SystemExit(f"cannot reach {args.url}: {exc} "
+                             f"(is `repro serve` running?)")
+
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"trace document is not JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise SystemExit("trace document must be a JSON object")
+    data = doc.get("data", doc)  # envelope or bare payload
+    spans = data.get("spans") or []
+    if not spans:
+        raise SystemExit(f"job {args.job_id!r} has no spans (was it "
+                         f"submitted before this server started "
+                         f"tracing?)")
+    try:
+        print(render_span_tree(spans, include_times=not args.no_times))
+    except ValueError as exc:
+        raise SystemExit(f"broken span tree: {exc}")
+    sim_events = data.get("sim_events") or []
+    if sim_events:
+        print(f"{len(sim_events)} sim event(s) stamped with this trace")
+    if args.chrome_out:
+        n = save_spans_chrome_trace(spans, args.chrome_out,
+                                    sim_events=sim_events)
+        print(f"chrome trace ({n} records) written to {args.chrome_out} "
+              f"(open in Perfetto / chrome://tracing)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"trace document written to {args.json}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.observability.report import render_report_file
 
@@ -543,6 +653,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--events-out", default=None, metavar="PATH",
                        help="write the raw event log as JSONL (single "
                             "scenario only; same seed => byte-identical)")
+    run_p.add_argument("--profile", action="store_true",
+                       help="attach the sampled driver profiler to the "
+                            "run (forces in-process execution); prints "
+                            "the hot-frame table and folds profile.* "
+                            "keys into the exported metrics")
     mj = run_p.add_argument_group(
         "multijob options", "apply with --workload multijob: replay a "
         "seeded job-arrival process against one shared executor pool")
@@ -678,6 +793,32 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="SIGTERM graceful-drain budget before "
                             "queued jobs are checkpointed")
+    obs = serve_p.add_argument_group(
+        "observability options", "live telemetry of the serve plane; "
+        'see DESIGN.md "Serve observability"')
+    obs.add_argument("--profile", action="store_true",
+                     help="sample the sim driver thread and export "
+                          "profile.* frames via GET /metrics "
+                          "(statistical, off by default)")
+    obs.add_argument("--profile-interval", type=float, default=0.005,
+                     metavar="SECONDS",
+                     help="profiler sampling interval")
+    obs.add_argument("--slo-window", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="rolling window for latency quantiles and "
+                          "SLO burn rates")
+    obs.add_argument("--slo-availability", type=float, default=0.99,
+                     metavar="FRAC",
+                     help="availability objective (accepted + "
+                          "completed fraction)")
+    obs.add_argument("--slo-latency-p99", type=float, default=0.25,
+                     metavar="SECONDS",
+                     help="admission-latency p99 objective")
+    obs.add_argument("--slo-max-burn", type=float, default=14.4,
+                     metavar="X",
+                     help="burn-rate threshold that flips readyz "
+                          "slo_burn_ok (14.4 = page-now in SRE "
+                          "convention)")
 
     chaos_p = sub.add_parser(
         "chaos", help="drive a seeded chaos scenario against a live "
@@ -718,6 +859,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="export the chaos report as one "
                               "versioned envelope")
 
+    trace_p = sub.add_parser(
+        "trace", help="render the causal span tree of one served job "
+                      "(GET /trace/{job_id} of a live `repro serve`)")
+    trace_p.add_argument("job_id", metavar="JOB_ID",
+                         help="the job to trace, e.g. job-000001")
+    trace_p.add_argument("--url", default="http://127.0.0.1:8000",
+                         metavar="URL",
+                         help="base URL of the control plane")
+    trace_p.add_argument("--file", default=None, metavar="PATH",
+                         help="read a saved /trace/{job_id} document "
+                              "instead of fetching")
+    trace_p.add_argument("--timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="HTTP timeout for the fetch")
+    trace_p.add_argument("--no-times", action="store_true",
+                         help="hide wall-clock timings (prints the "
+                              "deterministic tree the tests "
+                              "fingerprint)")
+    trace_p.add_argument("--chrome-out", default=None, metavar="PATH",
+                         help="write the merged host-span + sim-event "
+                              "Chrome trace JSON")
+    trace_p.add_argument("--json", default=None, metavar="PATH",
+                         help="save the raw trace document")
+
     report_p = sub.add_parser(
         "report", help="render a per-run breakdown from a RunRecord "
                        "JSONL (repro run --json), an event log "
@@ -738,7 +903,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "plan": cmd_plan,
                 "profile": cmd_profile, "stream": cmd_stream,
                 "serve": cmd_serve, "chaos": cmd_chaos,
-                "report": cmd_report}
+                "trace": cmd_trace, "report": cmd_report}
     return handlers[args.command](args)
 
 

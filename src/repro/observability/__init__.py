@@ -10,7 +10,10 @@ The observability layer has four pieces:
   :class:`MetricsRegistry` of counters/gauges/histograms, fed by
   :class:`MetricsListener` and direct cloud-layer instrumentation;
 - :mod:`~repro.observability.export` / ``report`` — JSONL event logs,
-  Chrome-trace (Perfetto) JSON, and the ``repro report`` renderer.
+  Chrome-trace (Perfetto) JSON, and the ``repro report`` renderer;
+- :mod:`~repro.observability.serve_obs` — the live serve plane:
+  causal spans (``ServeTracer``), rolling-window histograms, SLO burn
+  rates, Prometheus text exposition, and the sampling profiler.
 """
 
 from repro.observability.bus import EventBus, ListenerInterface
@@ -25,6 +28,8 @@ from repro.observability.export import (
     load_event_log,
     save_chrome_trace,
     save_event_log,
+    save_spans_chrome_trace,
+    spans_chrome_trace,
 )
 from repro.observability.instrumentation import MetricsListener, attribute_costs
 from repro.observability.metrics import (
@@ -37,6 +42,17 @@ from repro.observability.report import (
     render_event_log_report,
     render_report_file,
     render_run_report,
+)
+from repro.observability.serve_obs import (
+    RollingHistogram,
+    SamplingProfiler,
+    ServeTracer,
+    SLOConfig,
+    SLOTracker,
+    render_prometheus,
+    render_span_tree,
+    span_tree_fingerprint,
+    trace_id_for_job,
 )
 from repro.observability.stage_metrics import (
     StageMetrics,
@@ -57,6 +73,17 @@ __all__ = [
     "load_event_log",
     "save_chrome_trace",
     "save_event_log",
+    "save_spans_chrome_trace",
+    "spans_chrome_trace",
+    "RollingHistogram",
+    "SamplingProfiler",
+    "ServeTracer",
+    "SLOConfig",
+    "SLOTracker",
+    "render_prometheus",
+    "render_span_tree",
+    "span_tree_fingerprint",
+    "trace_id_for_job",
     "MetricsListener",
     "attribute_costs",
     "Counter",

@@ -22,7 +22,7 @@ deterministic as the simulation itself.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.observability.categories import (
     CAT_DAG,
@@ -121,6 +121,21 @@ class EventBus:
     def __init__(self, validate: bool = True) -> None:
         self.validate = validate
         self._subscribers: List[ListenerInterface] = []
+        self._context: Optional[Dict[str, Any]] = None
+
+    def set_context(self, fields: Optional[Dict[str, Any]]) -> None:
+        """Ambient fields merged into every published event until
+        cleared with ``set_context(None)``.
+
+        The serve driver uses this to stamp the trace ids of in-flight
+        pooled jobs onto the sim's CAT_* events while it advances the
+        shared simulation, linking wall-clock spans to sim-time events
+        without the emitters knowing about tracing. Explicit event
+        fields win on key collision. Batch runs never set a context,
+        so single-run event logs (and their golden files) are
+        untouched.
+        """
+        self._context = dict(fields) if fields else None
 
     def subscribe(self, listener: Any) -> Any:
         """Add a subscriber; returns ``listener`` for chaining.
@@ -157,6 +172,8 @@ class EventBus:
         recorder)."""
         if self.validate:
             validate_event(category, name)
+        if self._context is not None:
+            fields = {**self._context, **fields}
         method = TYPED_DISPATCH.get((category, name))
         if method is None and category == CAT_FAULT \
                 and name in _FAULT_INJECTED_NAMES:

@@ -34,6 +34,7 @@ CAT_SEGUE = "segue"            # repro.core.segue.SegueingFacility
 CAT_CLUSTER = "cluster"        # repro.cluster.apps.AppManager
 CAT_PLANNER = "planner"        # repro.planner (split planning + enforcement)
 CAT_SERVE = "serve"            # repro.api.service.ServeRuntime
+CAT_TRACE = "trace"            # repro.observability.serve_obs.ServeTracer
 
 # ---------------------------------------------------------------------------
 # Event names, grouped by category
@@ -130,6 +131,12 @@ EV_DRAIN_STARTED = "drain_started"
 EV_DRAIN_COMPLETED = "drain_completed"
 EV_CHAOS_INJECTED = "chaos_injected"
 
+# trace (causal span boundaries mirrored onto the serve hub; span
+# payloads live in the ServeTracer store, these are the live feed)
+EV_SPAN_START = "span_start"
+EV_SPAN_END = "span_end"
+EV_SPAN_EVENT = "span_event"
+
 
 #: category -> the event names it may emit. ``validate_event`` enforces
 #: membership; the EventBus checks every published record against this.
@@ -181,6 +188,9 @@ EVENTS: Dict[str, FrozenSet[str]] = {
         EV_JOB_RETRYING, EV_JOB_DEADLINE_EXCEEDED, EV_JOB_RECOVERED,
         EV_BREAKER_OPENED, EV_BREAKER_HALF_OPEN, EV_BREAKER_CLOSED,
         EV_DRAIN_STARTED, EV_DRAIN_COMPLETED, EV_CHAOS_INJECTED,
+    }),
+    CAT_TRACE: frozenset({
+        EV_SPAN_START, EV_SPAN_END, EV_SPAN_EVENT,
     }),
 }
 

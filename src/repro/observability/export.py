@@ -15,7 +15,7 @@ Two serialized views of the same event stream:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.observability.categories import (
     CAT_DAG,
@@ -147,6 +147,89 @@ def chrome_trace(trace: TraceLike) -> Dict[str, Any]:
 def save_chrome_trace(trace: TraceLike, path: str) -> int:
     """Write the Perfetto-loadable JSON; returns the event count."""
     payload = chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, default=str)
+    return len(payload["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Serve spans: host wall-clock + sim-time on one timeline
+# ---------------------------------------------------------------------------
+
+#: Serve-side spans (ServeTracer, host wall clock) render on this
+#: process row; sim-time events stamped with the job's trace id render
+#: on the next one. One Perfetto view, two clearly-labeled clocks.
+_HOST_SPAN_PID = 10
+_SIM_EVENT_PID = 11
+
+
+def spans_chrome_trace(spans: Sequence[Mapping[str, Any]],
+                       sim_events: Optional[
+                           Sequence[Mapping[str, Any]]] = None
+                       ) -> Dict[str, Any]:
+    """Merge a job's serve spans with its sim-time events.
+
+    ``spans`` are :class:`~repro.observability.serve_obs.Span` dicts
+    (host wall seconds since serve start); ``sim_events`` are hub
+    envelope dicts (``{time, category, name, fields}``, simulated
+    seconds) — events the driver stamped with the trace id via the
+    EventBus context. Both clocks start near zero, so one timeline
+    shows cause (wall-clock control plane, pid 10) above effect
+    (sim-time cluster activity, pid 11) without rebasing either.
+    """
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": _HOST_SPAN_PID,
+         "tid": 0, "args": {"name": "serve (host wall clock)"}},
+    ]
+    tids: Dict[str, int] = {}
+    for span in spans:
+        trace_id = str(span.get("trace_id", "?"))
+        if trace_id not in tids:
+            tids[trace_id] = len(tids) + 1
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": _HOST_SPAN_PID, "tid": tids[trace_id],
+                           "args": {"name": f"trace {trace_id}"}})
+        tid = tids[trace_id]
+        start = float(span.get("start_s") or 0.0)
+        end = span.get("end_s")
+        args = {"span_id": span.get("span_id"),
+                "parent_span_id": span.get("parent_span_id"),
+                "status": span.get("status"),
+                **dict(span.get("attrs") or {})}
+        if end is not None and float(end) > start:
+            events.append({"ph": "X", "name": str(span.get("name")),
+                           "cat": "trace", "ts": _us(start),
+                           "dur": _us(float(end) - start),
+                           "pid": _HOST_SPAN_PID, "tid": tid,
+                           "args": args})
+        else:
+            events.append({"ph": "i", "s": "t",
+                           "name": str(span.get("name")), "cat": "trace",
+                           "ts": _us(start), "pid": _HOST_SPAN_PID,
+                           "tid": tid, "args": args})
+    if sim_events:
+        events.append({"ph": "M", "name": "process_name",
+                       "pid": _SIM_EVENT_PID, "tid": 0,
+                       "args": {"name": "cluster (sim clock)"}})
+        for rec in sim_events:
+            events.append({
+                "ph": "i", "s": "t",
+                "name": f"{rec.get('category')}:{rec.get('name')}",
+                "cat": str(rec.get("category")),
+                "ts": _us(float(rec.get("time", 0.0))),
+                "pid": _SIM_EVENT_PID, "tid": 1,
+                "args": dict(rec.get("fields") or {}),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_spans_chrome_trace(spans: Sequence[Mapping[str, Any]],
+                            path: str,
+                            sim_events: Optional[
+                                Sequence[Mapping[str, Any]]] = None
+                            ) -> int:
+    """Write the merged serve-span timeline; returns the event count."""
+    payload = spans_chrome_trace(spans, sim_events)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, sort_keys=True, default=str)
     return len(payload["traceEvents"])

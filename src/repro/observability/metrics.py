@@ -119,6 +119,12 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._metrics)
 
+    def metric(self, name: str) -> Metric:
+        """The metric bound to ``name`` (KeyError when absent) —
+        read-only access for exporters that must not create families
+        as a side effect (e.g. the Prometheus renderer)."""
+        return self._metrics[name]
+
     def snapshot(self, prefix: Optional[str] = None) -> Dict[str, float]:
         """Flat ``{dotted_name: value}`` view, sorted by name.
 

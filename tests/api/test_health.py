@@ -44,6 +44,10 @@ def test_healthz_and_readyz_on_an_idle_server():
         assert env.kind == schemas.KIND_HEALTH
         assert env.data["status"] == "ok"
         assert env.data["uptime_s"] >= 0
+        assert env.data["schema_version"] == schemas.SCHEMA_VERSION
+        # No --state-dir: the journal surfaces as explicitly disabled.
+        assert env.data["journal_enabled"] is False
+        assert env.data["journal_lag_ops"] is None
 
         ready = client.get("/readyz")
         assert ready.status == 200
@@ -52,7 +56,29 @@ def test_healthz_and_readyz_on_an_idle_server():
         assert all(ready.data["checks"].values())
         assert set(ready.data["checks"]) == {
             "driver_alive", "queue_below_max", "breaker_not_open",
-            "not_draining"}
+            "not_draining", "slo_burn_ok"}
+
+
+def test_healthz_reports_journal_lag(tmp_path):
+    """With a journal, healthz exposes the ops appended since the
+    open-time compaction — the replay debt a restart would pay."""
+    config = ServeConfig(max_concurrent=2, max_queue=4, pool_cores=4,
+                         state_dir=str(tmp_path))
+    with TestClient(create_app(config)) as client:
+        health = client.get("/healthz").data
+        assert health["journal_enabled"] is True
+        assert health["journal_lag_ops"] == 0
+
+        r = client.post("/jobs", json={"workload": "sparkpi"})
+        assert r.status == 202
+        job_id = r.data["job_id"]
+        assert health["journal_lag_ops"] == 0  # snapshot from before
+        lag = client.get("/healthz").data["journal_lag_ops"]
+        assert lag >= 1  # at least the WAL 'submitted' append
+
+        client.get(f"/jobs/{job_id}", params={"wait": 30})
+        final = client.get("/healthz").data["journal_lag_ops"]
+        assert final >= 3  # submitted + started + finished
 
 
 def test_readyz_503_when_admission_queue_saturated():

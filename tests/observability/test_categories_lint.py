@@ -43,6 +43,10 @@ def _violations(path):
         elif attr in ("_record", "_log"):
             # helpers bind the category; first arg is the event name
             suspects = node.args[:1]
+        elif attr == "_publish":
+            # ServeTracer._publish(event, span): the span-event name
+            # must be an EV_SPAN_* constant, same rule as record()
+            suspects = node.args[:1]
         else:
             continue
         for arg in suspects:

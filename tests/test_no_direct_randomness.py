@@ -33,6 +33,11 @@ WALL_CLOCK_EXEMPT = {
     "repro/api/service.py",
     "repro/api/resilience.py",
     "repro/api/journal.py",
+    # Serve-plane telemetry: span durations, rolling-window histogram
+    # slices and SLO burn windows measure real HTTP latency, and the
+    # sampling profiler measures real driver time. All clocks here are
+    # injectable (tests pass fakes); none feed simulated behavior.
+    "repro/observability/serve_obs.py",
 }
 
 
