@@ -2,6 +2,7 @@
 
 .PHONY: install test bench bench-smoke bench-resilience-smoke \
 	bench-multijob-smoke bench-plan-smoke bench-core-smoke \
+	bench-core bench-core-profile \
 	serve-smoke chaos-smoke obs-smoke report-smoke examples figures \
 	clean
 
@@ -42,6 +43,18 @@ bench-plan-smoke:
 bench-core-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest benchmarks/bench_core_speed.py -m smoke -q
+
+# Regenerate BENCH_core.json: headline 12-job + 10x 120-job configs,
+# min-of-N wall times, and a sampled profile of the hot frames.
+bench-core:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python benchmarks/bench_core_speed.py --write
+
+# Print where the kernel's wall time goes (sampling profiler, no
+# instrumentation overhead on the measured replays).
+bench-core-profile:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python benchmarks/bench_core_speed.py --large --profile
 
 # One open-loop burst against an in-process ServeRuntime plus the ASGI
 # test suite — smoke-tests the `repro serve` control plane

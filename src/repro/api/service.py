@@ -206,6 +206,10 @@ class EventHub:
                  subscriber_depth: int = 10000) -> None:
         self._ring: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
         self._subs: List[Subscription] = []
+        # Immutable snapshot of ``_subs`` rebuilt on (un)subscribe, so
+        # the publish path reads one reference instead of copying the
+        # list under the lock on every event.
+        self._subs_snapshot: Tuple[Subscription, ...] = ()
         self._lock = threading.Lock()
         self._seq = 0
         self._subscriber_depth = subscriber_depth
@@ -220,8 +224,7 @@ class EventHub:
             self._seq += 1
             item["seq"] = self._seq
             self._ring.append(item)
-            subs = list(self._subs)
-        for sub in subs:
+        for sub in self._subs_snapshot:
             sub.put(item)  # a full buffer counts on the subscription
 
     def snapshot(self, limit: Optional[int] = None,
@@ -254,12 +257,14 @@ class EventHub:
             else:
                 items = []
             self._subs.append(sub)
+            self._subs_snapshot = tuple(self._subs)
         return sub, items
 
     def unsubscribe(self, sub: Subscription) -> None:
         with self._lock:
             if sub in self._subs:
                 self._subs.remove(sub)
+                self._subs_snapshot = tuple(self._subs)
                 # Keep the departed consumer's losses in the total.
                 self.dropped += sub.dropped
 
@@ -971,7 +976,11 @@ class ServeRuntime:
                     trace_id_for_job(jid)
                     for jid in sorted(self._active))})
                 try:
-                    env.run(until=env.timeout(self.config.sim_step_s))
+                    # Batch API: one Python call per driver tick instead
+                    # of a stop Timeout + per-event loop re-entry. The
+                    # kernel consumes the same sequence number the stop
+                    # timeout would have, so event ordering is unchanged.
+                    env.step_until(env.now + self.config.sim_step_s)
                 finally:
                     self.cluster.bus.set_context(None)
             for job_id in list(self._active):

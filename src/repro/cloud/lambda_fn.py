@@ -174,8 +174,16 @@ class LambdaInstance:
     # ------------------------------------------------------------------
 
     @property
-    def is_running(self) -> bool:
-        return self.state is LambdaState.RUNNING
+    def state(self) -> LambdaState:
+        return self._state
+
+    @state.setter
+    def state(self, value: LambdaState) -> None:
+        # Same plain-attribute ``is_running`` scheme as VirtualMachine:
+        # hot readers pay an attribute load, rare transitions pay the
+        # property setter.
+        self._state = value
+        self.is_running = value is LambdaState.RUNNING
 
     @property
     def billed_duration(self) -> float:

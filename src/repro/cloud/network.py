@@ -47,6 +47,13 @@ class FairShareLink:
         self._last_update = env.now
         self._epoch = 0
         self._bytes_moved = 0.0
+        # Cached min(t.remaining for t in _active), inf when idle.
+        # Uniform subtraction preserves float ordering (a <= b implies
+        # a-m <= b-m), so maintaining the min incrementally — subtract
+        # on advance, min() on admit, recompute on completion — yields
+        # the exact value a fresh scan would, and both the completion
+        # test and the wake-up scheduling become O(1).
+        self._min_remaining = float("inf")
 
     @property
     def capacity_bytes_per_s(self) -> float:
@@ -81,7 +88,10 @@ class FairShareLink:
             event.succeed(0.0)
             return event
         self._advance()
-        self._active.append(_Transfer(nbytes, event))
+        t = _Transfer(nbytes, event)
+        self._active.append(t)
+        if t.remaining < self._min_remaining:
+            self._min_remaining = t.remaining
         self._reschedule()
         return event
 
@@ -94,17 +104,34 @@ class FairShareLink:
         now = self.env.now
         elapsed = now - self._last_update
         self._last_update = now
-        if not self._active:
+        active = self._active
+        if not active:
             return
         moved = 0.0
         if elapsed > 0:
-            moved = (self._capacity / len(self._active)) * elapsed
+            moved = (self._capacity / len(active)) * elapsed
+        eps = self._EPS
+        # Fast path: nothing completes this advance (the common case on
+        # mid-flight re-entries) — update progress in place, no list
+        # rebuild, no event firing. ``min_remaining - moved <= eps`` is
+        # exactly "some transfer meets the completion predicate of the
+        # general loop below", so the two paths agree bit-for-bit on
+        # who finishes when.
+        if self._min_remaining - moved > eps:
+            if moved:
+                bytes_moved = self._bytes_moved
+                for t in active:
+                    t.remaining -= moved
+                    bytes_moved += moved
+                self._bytes_moved = bytes_moved
+                self._min_remaining -= moved
+            return
         still_active: List[_Transfer] = []
-        for t in self._active:
+        for t in active:
             delivered = min(moved, t.remaining)
             t.remaining -= delivered
             self._bytes_moved += delivered
-            if t.remaining <= self._EPS:
+            if t.remaining <= eps:
                 # Flush float dust so near-complete transfers finish even
                 # on a zero-elapsed re-entry (prevents 0-delay wake loops).
                 self._bytes_moved += t.remaining
@@ -113,6 +140,8 @@ class FairShareLink:
             else:
                 still_active.append(t)
         self._active = still_active
+        self._min_remaining = min(
+            [t.remaining for t in still_active], default=float("inf"))
 
     def _reschedule(self) -> None:
         """Arrange a wake-up at the next transfer completion time."""
@@ -120,10 +149,12 @@ class FairShareLink:
         if not self._active:
             return
         epoch = self._epoch
-        shortest = min(t.remaining for t in self._active)
+        shortest = self._min_remaining
         # Floor the wake delay so float dust can never produce a
         # zero-advance busy loop.
-        dt = max(1e-9, shortest * len(self._active) / self._capacity)
+        dt = shortest * len(self._active) / self._capacity
+        if dt < 1e-9:
+            dt = 1e-9
         timeout = self.env.timeout(dt)
         timeout.callbacks.append(lambda _ev: self._on_wake(epoch))
 

@@ -114,8 +114,16 @@ class VirtualMachine:
         self._record(EV_TERMINATED, from_state=previous.value)
 
     @property
-    def is_running(self) -> bool:
-        return self.state is VMState.RUNNING
+    def state(self) -> VMState:
+        return self._state
+
+    @state.setter
+    def state(self, value: VMState) -> None:
+        # ``is_running`` is maintained as a plain attribute because the
+        # scheduler's free-executor scans and the shuffle fetch loop
+        # read it thousands of times per run; transitions are rare.
+        self._state = value
+        self.is_running = value is VMState.RUNNING
 
     @property
     def uptime(self) -> float:

@@ -78,6 +78,11 @@ def fair_sort_key(running: int, min_share: int, weight: int,
     return (0 if needy else 1, ratio, tiebreak)
 
 
+def _row_key(row):
+    """Sort key for (key, ...) rows: the precomputed fair key."""
+    return row[0]
+
+
 class SchedulerPools:
     """The pool tree: named pools, each holding admitted applications."""
 
@@ -92,6 +97,10 @@ class SchedulerPools:
         #: pool name -> applications in admission order.
         self._apps: Dict[str, List[object]] = {
             name: [] for name in self.pools}
+        #: Bumped on every registration change; part of the grouping-cache
+        #: key in :meth:`ordered_tasksets`.
+        self._version = 0
+        self._group_cache: Optional[tuple] = None
 
     def register(self, app) -> None:
         """Place an admitted application (``app.pool`` names the pool)."""
@@ -102,12 +111,14 @@ class SchedulerPools:
                 f"{getattr(app, 'app_id', app)!r}; "
                 f"known: {sorted(self.pools)}")
         self._apps[pool].append(app)
+        self._version += 1
 
     def unregister(self, app) -> None:
         """Drop a finished application from its pool."""
         apps = self._apps.get(getattr(app, "pool", None))
         if apps is not None and app in apps:
             apps.remove(app)
+            self._version += 1
 
     # ------------------------------------------------------------------
 
@@ -115,7 +126,10 @@ class SchedulerPools:
     def _running_tasks(tasksets: List[TaskSet]) -> int:
         # Speculative copies occupy executor slots too, so they count
         # toward an application's share exactly like primary attempts.
-        return sum(len(ts.running) + len(ts.speculative) for ts in tasksets)
+        # sum() over a listcomp, not a genexpr: no generator frame to
+        # resume per element on a per-dispatch call (same addition order).
+        return sum([len(ts.running) + len(ts.speculative)
+                    for ts in tasksets])
 
     def ordered_tasksets(self, tasksets: List[TaskSet]) -> List[TaskSet]:
         """All live task sets, in cross-pool offer order.
@@ -124,40 +138,72 @@ class SchedulerPools:
         the shared scheduler, e.g. from tests) keep strict FIFO order
         ahead of the pools, preserving base-scheduler behaviour.
         """
-        orphans: List[TaskSet] = []
-        by_app: Dict[int, List[TaskSet]] = {}
-        apps_by_id: Dict[int, object] = {}
-        for ts in tasksets:
-            app = ts.schedulable
-            if app is None:
-                orphans.append(ts)
-            else:
-                by_app.setdefault(id(app), []).append(ts)
-                apps_by_id[id(app)] = app
-
-        running = {app_id: self._running_tasks(sets)
-                   for app_id, sets in by_app.items()}
-
-        def pool_members(name: str) -> List[object]:
-            return [app for app in self._apps[name] if id(app) in by_app]
-
-        def pool_key(pool: PoolConfig) -> Tuple:
-            pool_running = sum(running[id(app)]
-                               for app in pool_members(pool.name))
-            return fair_sort_key(pool_running, pool.min_share, pool.weight,
-                                 (pool.name,))
+        # The grouping (orphans, app -> its task sets, per-pool member
+        # lists) only changes when the live task-set list or the
+        # registrations change; running-task counts change on every
+        # launch. So the grouping — including every count-independent
+        # piece of the fair sort keys (the clamped minShare/weight
+        # divisors and the tiebreak tuples) — is cached, keyed on the
+        # registration version plus a snapshot equality check (TaskSet
+        # compares by identity, so ``!=`` is a cheap pointer scan), and
+        # only the count-dependent ratios and the sorts run per
+        # dispatch. Tiebreaks are unique per pool/app, so sort keys
+        # never tie and stability is moot; the computed keys match
+        # :func:`fair_sort_key` exactly.
+        cache = self._group_cache
+        if (cache is None or cache[0] != self._version
+                or cache[1] != tasksets):
+            orphans: List[TaskSet] = []
+            by_app: Dict[int, List[TaskSet]] = {}
+            for ts in tasksets:
+                app = ts.schedulable
+                if app is None:
+                    orphans.append(ts)
+                else:
+                    by_app.setdefault(id(app), []).append(ts)
+            pool_pre = []
+            for pool in self.pools.values():
+                app_pre = [(id(app), app.min_share, max(app.min_share, 1),
+                            max(app.weight, 1), (app.app_id, app.index))
+                           for app in self._apps[pool.name]
+                           if id(app) in by_app]
+                if app_pre:
+                    pool_pre.append((pool.mode == FAIR, pool.min_share,
+                                     max(pool.min_share, 1),
+                                     max(pool.weight, 1), (pool.name,),
+                                     app_pre))
+            cache = (self._version, list(tasksets), orphans, by_app,
+                     pool_pre)
+            self._group_cache = cache
+        _version, _snapshot, orphans, by_app, pool_pre = cache
 
         ordered = list(orphans)
-        active_pools = [pool for pool in self.pools.values()
-                        if pool_members(pool.name)]
-        for pool in sorted(active_pools, key=pool_key):
-            members = pool_members(pool.name)
-            if pool.mode == FAIR:
-                members = sorted(members, key=lambda app: fair_sort_key(
-                    running[id(app)], app.min_share, app.weight,
-                    (app.app_id, app.index)))
-            for app in members:
-                ordered.extend(by_app[id(app)])
+        pool_rows = []
+        for is_fair, p_min, p_min1, p_w1, p_tb, app_pre in pool_pre:
+            members = []
+            pool_running = 0
+            for app_id, a_min, a_min1, a_w1, a_tb in app_pre:
+                running = 0
+                # Speculative copies occupy executor slots too, so they
+                # count toward the share like primary attempts.
+                for ts in by_app[app_id]:
+                    running += len(ts.running) + len(ts.speculative)
+                pool_running += running
+                if running < a_min:
+                    members.append(((0, running / a_min1, a_tb), app_id))
+                else:
+                    members.append(((1, running / a_w1, a_tb), app_id))
+            if pool_running < p_min:
+                key = (0, pool_running / p_min1, p_tb)
+            else:
+                key = (1, pool_running / p_w1, p_tb)
+            pool_rows.append((key, is_fair, members))
+        pool_rows.sort(key=_row_key)
+        for _key, is_fair, members in pool_rows:
+            if is_fair:
+                members.sort(key=_row_key)
+            for _akey, app_id in members:
+                ordered.extend(by_app[app_id])
         return ordered
 
 

@@ -18,6 +18,13 @@ Subscribers are either:
 
 Publishing is synchronous and in subscription order, so delivery is as
 deterministic as the simulation itself.
+
+``record()`` is on the simulation's per-task hot path, so dispatch is
+*compiled*: the first event of each ``(category, name)`` builds a flat
+call plan — the validation verdict, the typed-callback/`on_event` bound
+methods of every subscriber that actually overrides them, in
+subscription order — and every later occurrence is one dict lookup plus
+direct calls. Subscription changes invalidate the plans.
 """
 
 from __future__ import annotations
@@ -99,8 +106,27 @@ TYPED_DISPATCH: Dict[Tuple[str, str], str] = {
 _FAULT_INJECTED_NAMES = EVENTS[CAT_FAULT] - {"recovered"}
 
 
+def dispatch_method(category: str, name: str) -> Optional[str]:
+    """The typed ListenerInterface method for ``(category, name)``, or
+    None for events with only the generic ``on_event`` hook. Single
+    source of truth for the compiled plans and any reference
+    implementation (the identity tests compare against one)."""
+    method = TYPED_DISPATCH.get((category, name))
+    if method is None and category == CAT_FAULT \
+            and name in _FAULT_INJECTED_NAMES:
+        method = "on_fault_injected"
+    return method
+
+
 class _RecorderSubscriber(ListenerInterface):
-    """Adapter: feeds the raw stream into a TraceRecorder-like sink."""
+    """Adapter: feeds the raw stream into a TraceRecorder-like sink.
+
+    A sink disabled at subscription time is compiled *out* of the call
+    plans entirely (see :meth:`EventBus._compile`) —
+    :class:`~repro.simulation.tracing.TraceRecorder` sets ``enabled``
+    once at construction, so the verdict is stable for a run's lifetime.
+    Sinks without an ``enabled`` flag always receive the stream.
+    """
 
     def __init__(self, recorder: Any) -> None:
         self.recorder = recorder
@@ -108,6 +134,18 @@ class _RecorderSubscriber(ListenerInterface):
     def on_event(self, time: float, category: str, name: str,
                  fields: Dict[str, Any]) -> None:
         self.recorder.record(time, category, name, **fields)
+
+
+def _overridden(sub: ListenerInterface, method: str):
+    """``sub``'s bound ``method`` if it overrides the ListenerInterface
+    no-op, else None (base no-ops are skipped at compile time, not
+    called per event). Instance-level overrides (monkeypatched
+    callables) are detected too: only a bound method whose underlying
+    function *is* the base-class no-op is dropped."""
+    fn = getattr(sub, method)
+    if getattr(fn, "__func__", None) is getattr(ListenerInterface, method):
+        return None
+    return fn
 
 
 class EventBus:
@@ -122,6 +160,12 @@ class EventBus:
         self.validate = validate
         self._subscribers: List[ListenerInterface] = []
         self._context: Optional[Dict[str, Any]] = None
+        #: (category, name) -> tuple of (typed_bound_or_None,
+        #: on_event_bound_or_None) per subscriber that handles the
+        #: event, in subscription order. Compiled lazily; cleared on any
+        #: subscription change. An empty tuple is the cached no-op
+        #: verdict (zero interested subscribers).
+        self._plans: Dict[Tuple[str, str], tuple] = {}
 
     def set_context(self, fields: Optional[Dict[str, Any]]) -> None:
         """Ambient fields merged into every published event until
@@ -151,34 +195,81 @@ class EventBus:
             raise TypeError(
                 f"subscriber must be a ListenerInterface or expose "
                 f"record(time, category, name, **fields); got {listener!r}")
+        self._plans.clear()
         return listener
 
     def unsubscribe(self, listener: Any) -> None:
         """Remove a subscriber added via :meth:`subscribe` (no-op if
-        absent)."""
-        for sub in list(self._subscribers):
+        absent). Removes in place — no list copy — so SSE-churn
+        subscribe/unsubscribe cycles stay allocation-free."""
+        subs = self._subscribers
+        removed = False
+        for i in range(len(subs) - 1, -1, -1):
+            sub = subs[i]
             if sub is listener or (isinstance(sub, _RecorderSubscriber)
                                    and sub.recorder is listener):
-                self._subscribers.remove(sub)
+                del subs[i]
+                removed = True
+        if removed:
+            self._plans.clear()
 
     @property
     def subscriber_count(self) -> int:
         return len(self._subscribers)
+
+    def _compile(self, category: str, name: str) -> tuple:
+        """Build, cache, and return the call plan for one event type.
+
+        Validation runs here — once per (category, name) — and an
+        invalid event raises *without* caching, so every publish of a
+        bad event keeps raising exactly as per-call validation did.
+        """
+        if self.validate:
+            validate_event(category, name)
+        method = dispatch_method(category, name)
+        plan = []
+        for sub in self._subscribers:
+            if (isinstance(sub, _RecorderSubscriber)
+                    and not getattr(sub.recorder, "enabled", True)):
+                # TraceRecorder.enabled is fixed at construction, so a
+                # disabled sink drops out of the plan instead of
+                # no-opping per event.
+                continue
+            typed = _overridden(sub, method) if method is not None else None
+            generic = _overridden(sub, "on_event")
+            if typed is not None or generic is not None:
+                plan.append((typed, generic))
+        compiled = tuple(plan)
+        self._plans[(category, name)] = compiled
+        return compiled
 
     def record(self, time: float, category: str, name: str,
                **fields: Any) -> None:
         """Publish one event to every subscriber (TraceRecorder-compatible
         signature, so emitters accept a bus anywhere they accept a
         recorder)."""
-        if self.validate:
-            validate_event(category, name)
-        if self._context is not None:
-            fields = {**self._context, **fields}
-        method = TYPED_DISPATCH.get((category, name))
-        if method is None and category == CAT_FAULT \
-                and name in _FAULT_INJECTED_NAMES:
-            method = "on_fault_injected"
-        for sub in self._subscribers:
-            if method is not None:
-                getattr(sub, method)(time, fields)
-            sub.on_event(time, category, name, fields)
+        self.record_packed(time, category, name, fields)
+
+    def record_packed(self, time: float, category: str, name: str,
+                      fields: Dict[str, Any]) -> None:
+        """:meth:`record` taking the payload as an already-built dict.
+
+        Hot emitters with a precomputed base payload (e.g. the executor's
+        identity fields) merge once and pass the dict straight through,
+        skipping a kwargs repack per event. Ownership transfers to the
+        bus: the caller must pass a fresh dict and never mutate it after
+        the call (subscribers may retain references).
+        """
+        plan = self._plans.get((category, name))
+        if plan is None:
+            plan = self._compile(category, name)
+        if not plan:
+            return
+        context = self._context
+        if context is not None:
+            fields = {**context, **fields}
+        for typed, generic in plan:
+            if typed is not None:
+                typed(time, fields)
+            if generic is not None:
+                generic(time, category, name, fields)

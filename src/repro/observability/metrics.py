@@ -89,6 +89,21 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        #: Callables drained before any read-side view renders.
+        #: Batching instrumentation (the bus MetricsListener buffers its
+        #: per-task updates) registers here so observation points always
+        #: see fully-applied values.
+        self._flush_hooks: List[object] = []
+
+    def add_flush_hook(self, hook) -> None:
+        """Register ``hook()`` to run before reads (snapshot/names/
+        metric). Hooks must be idempotent and cheap when empty."""
+        self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Drain every registered batching buffer into the metrics."""
+        for hook in self._flush_hooks:
+            hook()
 
     def _get_or_create(self, name: str, cls) -> Metric:
         metric = self._metrics.get(name)
@@ -117,12 +132,16 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def names(self) -> List[str]:
+        if self._flush_hooks:
+            self.flush()
         return sorted(self._metrics)
 
     def metric(self, name: str) -> Metric:
         """The metric bound to ``name`` (KeyError when absent) —
         read-only access for exporters that must not create families
         as a side effect (e.g. the Prometheus renderer)."""
+        if self._flush_hooks:
+            self.flush()
         return self._metrics[name]
 
     def snapshot(self, prefix: Optional[str] = None) -> Dict[str, float]:
@@ -133,6 +152,8 @@ class MetricsRegistry:
         only metrics whose name starts with it (e.g. ``"serve."`` for
         the control-plane slice of a shared registry).
         """
+        if self._flush_hooks:
+            self.flush()
         out: Dict[str, float] = {}
         for name in sorted(self._metrics):
             if prefix is not None and not name.startswith(prefix):

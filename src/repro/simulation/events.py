@@ -49,7 +49,13 @@ class Event:
 
     Lifecycle: *pending* → *triggered* (has a value or exception and sits
     in the event queue) → *processed* (callbacks have run).
+
+    Events are the single most-allocated object in any run, so the whole
+    hierarchy carries ``__slots__``: no per-instance ``__dict__``, and
+    attribute access in the kernel's step loop stays monomorphic.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -129,10 +135,17 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Base Event.__init__ inlined (then _ok/_value overwritten there
+        # would be dead stores): timeouts are the most-created event kind,
+        # one per task service interval, so the extra call was measurable.
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self._delay = delay
         self._ok = True
         self._value = value
@@ -145,6 +158,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a process when it is processed."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -161,6 +176,8 @@ class Process(Event):
     event succeeds, its value is sent into the generator; when it fails,
     the exception is thrown into the generator.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
@@ -242,6 +259,8 @@ class _Interruption(Event):
     will no longer resume this process for that wait.
     """
 
+    __slots__ = ("process",)
+
     def __init__(self, process: Process, cause: Any) -> None:
         super().__init__(process.env)
         self.process = process
@@ -270,6 +289,8 @@ class Condition(Event):
     condition's value is a dict mapping each *fired* constituent event to
     its value, preserving creation order.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -331,12 +352,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when all of ``events`` have fired successfully."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Fires when any of ``events`` has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

@@ -17,7 +17,9 @@ class EmptySchedule(SimulationError):
 
 
 #: Queue entries: (time, priority, sequence, event). The sequence number
-#: makes ordering total and FIFO-stable for simultaneous events.
+#: makes ordering total and FIFO-stable for simultaneous events, and lets
+#: boundary tuples (time, priority, seq) compare against queue heads
+#: without ever reaching the Event element.
 _QueueItem = Tuple[float, int, int, Event]
 
 
@@ -27,10 +29,23 @@ class Environment:
     The environment owns the simulation clock (:attr:`now`) and the event
     queue. Time is a float in *seconds* by convention throughout this
     repository.
+
+    The run loops (:meth:`run`, :meth:`step_until`, :meth:`run_batch`)
+    are deliberately monomorphic: the heap pop, the callback sweep, and
+    the failure check are inlined with hoisted locals so the per-event
+    cost is a handful of bytecodes, not a method call chain. They must
+    stay observation-identical to the reference :meth:`step` — same pop
+    order, same clock updates, same ``events_processed`` accounting —
+    which the byte-identity goldens (``tests/goldens``) enforce.
     """
 
     def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
+        #: Current simulation time in seconds. A plain attribute, not a
+        #: property: the hot paths (schedule, every emitter's ``env.now``
+        #: read) touch it tens of thousands of times per run and the
+        #: descriptor call was measurable. Read-only by convention —
+        #: only the run loops below may assign it.
+        self.now = float(initial_time)
         self._queue: List[_QueueItem] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
@@ -38,11 +53,6 @@ class Environment:
         #: denominator for simulated-events/sec kernel throughput
         #: (``benchmarks/bench_core_speed.py``).
         self.events_processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -84,18 +94,21 @@ class Environment:
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Insert ``event`` into the queue ``delay`` seconds from now."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heapq.heappush(self._queue, (self.now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the next event; raise :class:`EmptySchedule` if none."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events") from None
+        """Process the next event; raise :class:`EmptySchedule` if none.
+
+        This is the reference single-event semantics the batch loops
+        below inline. Keep them in lockstep.
+        """
+        if not self._queue:
+            raise EmptySchedule("no scheduled events")
+        self.now, _, _, event = heapq.heappop(self._queue)
         self.events_processed += 1
 
         # Mark processed *before* running callbacks (as SimPy does) so
@@ -123,9 +136,9 @@ class Environment:
                 stop = until
             else:
                 at = float(until)
-                if at < self._now:
-                    raise ValueError(f"until={at} is in the past (now={self._now})")
-                stop = Timeout(self, at - self._now)
+                if at < self.now:
+                    raise ValueError(f"until={at} is in the past (now={self.now})")
+                stop = Timeout(self, at - self.now)
             if stop.callbacks is None:
                 # Already processed before run() was even called.
                 if stop._ok:
@@ -133,25 +146,98 @@ class Environment:
                 raise stop._value
             stop.callbacks.append(_StopSimulation.callback)
 
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
         try:
-            while True:
-                self.step()
+            while queue:
+                self.now, _, _, event = pop(queue)
+                processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except _StopSimulation as exc:
             event = exc.event
             if isinstance(until, Event):
                 if event._ok:
                     return event._value
                 raise event._value
-            # Numeric 'until': rewind the clock to exactly the stop time
-            # (step() already set it, but keep the contract explicit).
-            self._now = max(self._now, float(until)) if until is not None else self._now
+            # Numeric 'until': the stop timeout already advanced the
+            # clock; keep the contract explicit.
+            self.now = max(self.now, float(until)) if until is not None else self.now
             return None
-        except EmptySchedule:
-            if stop is not None and not stop.triggered:
-                raise SimulationError(
-                    "simulation ran out of events before the 'until' "
-                    "condition fired") from None
-            return None
+        finally:
+            self.events_processed += processed
+
+        # Queue drained without the stop condition firing.
+        if stop is not None and not stop.triggered:
+            raise SimulationError(
+                "simulation ran out of events before the 'until' "
+                "condition fired")
+        return None
+
+    def step_until(self, at: float) -> int:
+        """Advance the clock to ``at``, dispatching all due events.
+
+        Equivalent to ``run(until=at)`` but without materializing a stop
+        :class:`Timeout` or unwinding via exception — the driver-facing
+        batch API for real-time stepping (one Python call per tick, not
+        one per event). Returns the number of events dispatched.
+
+        A sequence number is still consumed so that the tie-breaking
+        order of events scheduled *after* this call is byte-identical to
+        the ``run(until=...)`` path it replaces (the stop timeout there
+        consumed one).
+        """
+        at = float(at)
+        if at < self.now:
+            raise ValueError(f"until={at} is in the past (now={self.now})")
+        self._eid += 1
+        boundary = (at, NORMAL, self._eid)
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while queue and queue[0] < boundary:
+                self.now, _, _, event = pop(queue)
+                processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self.events_processed += processed
+        self.now = at
+        return processed
+
+    def run_batch(self, max_events: int) -> int:
+        """Dispatch up to ``max_events`` events; return how many ran.
+
+        Stops early when the queue drains. Unlike :meth:`run` this never
+        raises on an empty queue, making it suitable for cooperative
+        driver loops that interleave simulation with other work.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while queue and processed < max_events:
+                self.now, _, _, event = pop(queue)
+                processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self.events_processed += processed
+        return processed
 
 
 class _StopSimulation(Exception):

@@ -21,6 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class _Waiter(Event):
     """Base class for queued requests; adds cancellation."""
 
+    __slots__ = ("cancelled",)
+
     def __init__(self, env: "Environment") -> None:
         super().__init__(env)
         self.cancelled = False
@@ -33,6 +35,8 @@ class _Waiter(Event):
 
 class ResourceRequest(_Waiter):
     """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
@@ -105,6 +109,8 @@ class Resource:
 
 class ContainerEvent(_Waiter):
     """A pending put or get of some ``amount`` on a :class:`Container`."""
+
+    __slots__ = ("amount",)
 
     def __init__(self, env: "Environment", amount: float) -> None:
         if amount <= 0:
@@ -189,6 +195,8 @@ class Container:
 
 class StoreEvent(_Waiter):
     """A pending put or get on a :class:`Store`."""
+
+    __slots__ = ("item",)
 
     def __init__(self, env: "Environment", item: Any = None) -> None:
         super().__init__(env)

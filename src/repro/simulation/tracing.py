@@ -41,6 +41,14 @@ class TraceRecorder:
         if self.enabled:
             self._records.append(TraceRecord(time, category, name, fields))
 
+    def record_packed(self, time: float, category: str, name: str,
+                      fields: Dict[str, Any]) -> None:
+        """:meth:`record` taking the payload as an already-built dict
+        (same contract as ``EventBus.record_packed``: the dict is handed
+        over and must not be mutated by the caller afterwards)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, category, name, fields))
+
     def __len__(self) -> int:
         return len(self._records)
 

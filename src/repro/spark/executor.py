@@ -36,7 +36,11 @@ from repro.observability.categories import (
     EV_TASK_START,
 )
 from repro.simulation.events import Interrupt
-from repro.spark.memory import gc_slowdown
+from repro.spark.memory import (
+    COMFORTABLE_HEAP_BYTES,
+    gc_slowdown,
+    usable_heap_bytes,
+)
 from repro.spark.shuffle import FetchFailedError, MapStatus
 from repro.spark.task import NOMINAL_RECORD_BYTES, TaskAttempt, TaskState
 
@@ -139,10 +143,39 @@ class Executor:
         #: bootstrap because its functions relinquish after each task.
         self.task_setup_s = float(task_setup_s)
         self.cores = int(cores)
+        # Hot-path caches: the per-task jitter knob and the burstable-CPU
+        # hook are fixed for the executor's lifetime; resolving them per
+        # task was a measurable share of ``_execute``.
+        self._task_jitter = float(conf.get("spark.sim.task.jitter"))
+        self._consume_cpu = getattr(vm, "consume_cpu", None)
+        # GC fast path: a comfortable heap whose live working set fits
+        # pays no slowdown, so the per-task check collapses to two
+        # comparisons. The fallback recomputes the full model, so a
+        # borderline float only changes which path computes the (same)
+        # answer, never the answer itself.
+        self._usable_heap_bytes = usable_heap_bytes(self.memory_bytes)
+        self._gc_comfortable = self.memory_bytes >= COMFORTABLE_HEAP_BYTES
+        # Host identity and I/O paths are fixed for the executor's
+        # lifetime (links are created once in the host's __init__), so
+        # the shuffle fetch loop reads plain attributes instead of
+        # re-deriving them per map-output batch.
+        if kind is HostKind.VM:
+            self._host = vm
+            self.host_name: str = vm.name
+            self._disk_links: Tuple["FairShareLink", ...] = (vm.ebs_link,)
+            self._net_links: Tuple["FairShareLink", ...] = (vm.net_link,)
+        else:
+            self._host = lambda_instance
+            self.host_name = lambda_instance.name
+            self._disk_links = ()
+            self._net_links = (lambda_instance.net_link,)
         #: Straggler multiplier (>= 1) on compute demand; set by a fault
         #: injector for its window, applied to tasks launched while
         #: active.
         self.cpu_slowdown = 1.0
+        self._record_base = {"executor": self.executor_id,
+                             "kind": self.kind.value,
+                             "host": self.host_name}
         self._cache: Dict[Tuple[int, int], float] = {}
         #: In-flight attempts -> their simulation processes.
         self._tasks: Dict[TaskAttempt, object] = {}
@@ -156,27 +189,16 @@ class Executor:
 
     @property
     def host_alive(self) -> bool:
-        if self.state is ExecutorState.DEAD:
-            return False
-        if self.kind is HostKind.VM:
-            return self.vm.is_running
-        return self.lambda_instance.is_running
+        return (self.state is not ExecutorState.DEAD
+                and self._host.is_running)
 
-    @property
-    def host_name(self) -> str:
-        return self.vm.name if self.kind is HostKind.VM else self.lambda_instance.name
-
-    def disk_links(self) -> List["FairShareLink"]:
+    def disk_links(self) -> Tuple["FairShareLink", ...]:
         """Links local writes/reads cross (Lambda /tmp is memory-fast)."""
-        if self.kind is HostKind.VM:
-            return [self.vm.ebs_link]
-        return []
+        return self._disk_links
 
-    def net_links(self) -> List["FairShareLink"]:
+    def net_links(self) -> Tuple["FairShareLink", ...]:
         """Links remote transfers cross on this executor's side."""
-        if self.kind is HostKind.VM:
-            return [self.vm.net_link]
-        return [self.lambda_instance.net_link]
+        return self._net_links
 
     @property
     def uptime(self) -> float:
@@ -220,9 +242,11 @@ class Executor:
     @property
     def is_free(self) -> bool:
         """Accepting tasks: registered, alive, with a free core."""
+        # REGISTERED already implies not DEAD, so the host flag is the
+        # only aliveness read needed (and it is a plain attribute).
         return (self.state is ExecutorState.REGISTERED
                 and len(self._tasks) < self.cores
-                and self.host_alive)
+                and self._host.is_running)
 
     def same_host(self, other: "Executor") -> bool:
         """True when both executors share a VM (intra-host data paths)."""
@@ -325,43 +349,48 @@ class Executor:
             metrics.fetch_seconds = self.env.now - fetch_start
 
             # ---- Compute phase: run the pipeline after any cache hit. ----
-            steps = list(spec.pipeline)
+            # The last cached step we hold wins; every held cached step
+            # gets its LRU touch. ``cache_steps`` is empty for cache-free
+            # workloads, so this is usually a no-op.
             skip_until = -1
-            for i, step in enumerate(steps):
-                if step.cache and self.has_cached(step.rdd_id, spec.partition):
+            partition = spec.partition
+            for i, step in spec.cache_steps:
+                if (step.rdd_id, partition) in self._cache:
                     skip_until = i
-                    self.touch_cached(step.rdd_id, spec.partition)
-            live_steps = steps[skip_until + 1:]
+                    self.touch_cached(step.rdd_id, partition)
+            live_from = skip_until + 1
             metrics.cache_hit = skip_until >= 0
-            input_bytes = sum(step.input_bytes for step in live_steps)
+            input_bytes = spec.input_bytes_from[live_from]
             if input_bytes > 0:
                 input_start = self.env.now
                 yield from scheduler.read_input(self, input_bytes)
                 metrics.input_seconds = self.env.now - input_start
                 metrics.input_bytes = input_bytes
-            base = sum(step.compute_seconds for step in live_steps)
+            base = spec.compute_seconds_from[live_from]
             base /= self.cpu_speed
             base *= self.cpu_slowdown
-            concurrent_ws = sum(a.spec.working_set_bytes
-                                for a in self._tasks)
-            slowdown = gc_slowdown(
-                concurrent_ws + self.cached_bytes,
-                self.memory_bytes, self.uptime)
+            concurrent_ws = sum([a.spec.working_set_bytes
+                                 for a in self._tasks])
+            live_bytes = concurrent_ws + self.cached_bytes
+            if self._gc_comfortable and live_bytes <= self._usable_heap_bytes:
+                slowdown = 1.0
+            else:
+                slowdown = gc_slowdown(
+                    live_bytes, self.memory_bytes, self.uptime)
             demand = base * slowdown
-            if self.vm is not None and hasattr(self.vm, "consume_cpu"):
+            if self._consume_cpu is not None:
                 # Burstable host: credits convert demand into wall time.
-                demand = self.vm.consume_cpu(demand)
-            jitter = self.conf.get("spark.sim.task.jitter")
+                demand = self._consume_cpu(demand)
             service = self.rng.uniform_jitter("task.jitter", demand,
-                                              jitter) if base > 0 else 0.0
+                                              self._task_jitter) if base > 0 else 0.0
             compute_start = self.env.now
             if service > 0:
                 yield self.env.timeout(service)
             metrics.compute_seconds = self.env.now - compute_start
             metrics.gc_overhead_seconds = max(0.0, base * (slowdown - 1.0))
-            for step in live_steps:
-                if step.cache:
-                    self.add_cached(step.rdd_id, spec.partition,
+            for i, step in spec.cache_steps:
+                if i >= live_from:
+                    self.add_cached(step.rdd_id, partition,
                                     step.working_set_bytes)
 
             # ---- Write phase: persist the map output. ----
@@ -435,10 +464,14 @@ class Executor:
         self._record(EV_DEAD, reason=reason)
 
     def _record(self, event: str, **fields) -> None:
-        if self._trace is not None:
-            self._trace.record(self.env.now, CAT_EXECUTOR, event,
-                               executor=self.executor_id, kind=self.kind.value,
-                               host=self.host_name, **fields)
+        trace = self._trace
+        if trace is not None:
+            # The identity triple is fixed for the executor's lifetime;
+            # merging the precomputed base dict and handing the result
+            # to record_packed skips a kwargs repack per event (the
+            # merge allocates a fresh dict, as record_packed requires).
+            trace.record_packed(self.env.now, CAT_EXECUTOR, event,
+                                {**self._record_base, **fields})
 
     def __repr__(self) -> str:
         return (f"<Executor {self.executor_id} {self.kind.value} "

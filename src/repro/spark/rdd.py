@@ -141,20 +141,29 @@ class RDD:
     def narrow_ancestry(self) -> List["RDD"]:
         """This RDD plus everything reachable through narrow deps only,
         in upstream-to-downstream (topological) order — the pipeline a
-        single stage executes."""
-        seen = []
-        seen_ids = set()
+        single stage executes.
 
-        def visit(rdd: "RDD") -> None:
-            if rdd.rdd_id in seen_ids:
-                return
-            for dep in rdd.narrow_deps:
-                visit(dep.parent)
-            seen_ids.add(rdd.rdd_id)
-            seen.append(rdd)
+        Lineage is immutable after construction, so the walk is memoized
+        (the DAG scheduler re-asks once per task otherwise). Callers get
+        a fresh list; the cached tuple is never exposed for mutation.
+        """
+        cached = getattr(self, "_narrow_ancestry", None)
+        if cached is None:
+            seen = []
+            seen_ids = set()
 
-        visit(self)
-        return seen
+            def visit(rdd: "RDD") -> None:
+                if rdd.rdd_id in seen_ids:
+                    return
+                for dep in rdd.deps:
+                    if isinstance(dep, NarrowDependency):
+                        visit(dep.parent)
+                seen_ids.add(rdd.rdd_id)
+                seen.append(rdd)
+
+            visit(self)
+            cached = self._narrow_ancestry = tuple(seen)
+        return list(cached)
 
     def __repr__(self) -> str:
         return f"<RDD {self.rdd_id} {self.name} p={self.num_partitions}>"

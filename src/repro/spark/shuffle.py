@@ -67,12 +67,17 @@ class MapOutputTracker:
     def expected_maps(self, shuffle_id: int) -> int:
         return self._num_maps.get(shuffle_id, 0)
 
+    _EMPTY: Dict[int, MapStatus] = {}
+
     def first_missing_partition(self, shuffle_id: int) -> Optional[int]:
         """The lowest unregistered map partition, or None if complete."""
         expected = self._num_maps.get(shuffle_id)
         if expected is None:
             return None
-        have = self.registered_partitions(shuffle_id)
+        # Membership straight on the per-shuffle dict: this runs per
+        # reducer fetch, and materializing a set of registered
+        # partitions each time was pure allocation.
+        have = self._outputs.get(shuffle_id, self._EMPTY)
         for p in range(expected):
             if p not in have:
                 return p
@@ -156,12 +161,14 @@ class LocalShuffleBackend(ShuffleBackend):
         # Spark batches block fetches by source host: one fused transfer
         # per host carries all of that host's slices.
         per_host: Dict[str, list] = {}
+        executors_get = executors.get
+        setdefault = per_host.setdefault
         for status in statuses:
-            source = executors.get(status.executor_id)
+            source = executors_get(status.executor_id)
             if source is None or not source.host_alive:
                 raise FetchFailedError(shuffle_id, status.map_partition,
                                        f"executor {status.executor_id} lost")
-            entry = per_host.setdefault(source.host_name, [source, 0.0])
+            entry = setdefault(source.host_name, [source, 0.0])
             entry[1] += slice_bytes
         events = []
         for source, nbytes in per_host.values():

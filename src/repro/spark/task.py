@@ -12,6 +12,33 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 
+class _lazy:
+    """Lock-free ``cached_property``: first access computes the value and
+    stores it in the instance ``__dict__``, shadowing this non-data
+    descriptor so later reads are plain attribute hits. This Python's
+    ``functools.cached_property`` takes a lock on *every* access, which
+    the per-task hot path pays several times per spec — hence the local
+    variant. Works on frozen dataclasses for the same reason
+    ``cached_property`` does: it writes ``__dict__`` directly, and
+    dataclass eq/hash only consult declared fields."""
+
+    __slots__ = ("func", "name")
+
+    def __init__(self, func):
+        self.func = func
+        self.name = func.__name__
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def __get__(self, obj, owner=None):
+        if obj is None:
+            return self
+        value = self.func(obj)
+        obj.__dict__[self.name] = value
+        return value
+
+
 class TaskState(enum.Enum):
     PENDING = "pending"
     RUNNING = "running"
@@ -60,19 +87,26 @@ class TaskSpec:
     #: size was chosen for ("vm" | "lambda"), or None for uniform tasks.
     sized_for: "str | None" = None
 
-    @property
+    # The executor's inner loop touches these once per task attempt (and
+    # the scheduler once per dispatch probe), so the derived views are
+    # cached_property: computed on first use, then a plain __dict__ read.
+    # The dataclass is frozen, but cached_property writes the instance
+    # __dict__ directly, and dataclass eq/hash only consult declared
+    # fields — the caches never leak into identity.
+
+    @_lazy
     def total_compute_seconds(self) -> float:
         """Reference-core compute with no cache hits."""
         return sum(step.compute_seconds for step in self.pipeline)
 
-    @property
+    @_lazy
     def working_set_bytes(self) -> float:
         """Peak per-task working set (max across pipeline steps)."""
         if not self.pipeline:
             return 0.0
         return max(step.working_set_bytes for step in self.pipeline)
 
-    @property
+    @_lazy
     def total_shuffle_read_bytes(self) -> float:
         return sum(nbytes for _sid, nbytes in self.shuffle_reads)
 
@@ -80,8 +114,40 @@ class TaskSpec:
     def is_shuffle_map(self) -> bool:
         return self.shuffle_write is not None
 
-    def describe(self) -> str:
+    @_lazy
+    def cache_steps(self) -> Tuple[Tuple[int, "PipelineStep"], ...]:
+        """(pipeline index, step) for every ``cache``-enabled step —
+        what the cache-hit scan and locality preference actually need,
+        empty for cache-free workloads so both short-circuit."""
+        return tuple((i, step) for i, step in enumerate(self.pipeline)
+                     if step.cache)
+
+    @_lazy
+    def input_bytes_from(self) -> Tuple[float, ...]:
+        """Suffix sums: ``input_bytes_from[i]`` is the input volume of
+        ``pipeline[i:]`` — the live-step input after a cache hit at
+        ``i-1`` (index 0 = no hit, last index = full hit). Each entry is
+        a fresh left-to-right ``sum`` so float rounding is bit-identical
+        to summing the live slice inline (suffix accumulation would add
+        in the opposite order)."""
+        pipe = self.pipeline
+        return tuple(sum(step.input_bytes for step in pipe[i:])
+                     for i in range(len(pipe) + 1))
+
+    @_lazy
+    def compute_seconds_from(self) -> Tuple[float, ...]:
+        """Suffix sums of ``compute_seconds`` (same layout and rounding
+        contract as :attr:`input_bytes_from`)."""
+        pipe = self.pipeline
+        return tuple(sum(step.compute_seconds for step in pipe[i:])
+                     for i in range(len(pipe) + 1))
+
+    @_lazy
+    def _description(self) -> str:
         return f"stage{self.stage_id}/p{self.partition}"
+
+    def describe(self) -> str:
+        return self._description
 
 
 #: Nominal bytes per record for the records-in/out proxy. The simulation
@@ -91,7 +157,7 @@ class TaskSpec:
 NOMINAL_RECORD_BYTES = 256.0
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskMetrics:
     """Spark-style per-attempt breakdown, for analysis and timelines.
 
@@ -167,7 +233,7 @@ class TaskMetrics:
         }
 
 
-@dataclass(eq=False)  # identity semantics: attempts are tracked by object
+@dataclass(eq=False, slots=True)  # identity semantics: tracked by object
 class TaskAttempt:
     """One execution of a :class:`TaskSpec` on an executor."""
 

@@ -177,6 +177,11 @@ class TaskScheduler:
         self._speculation_interval = float(
             conf.get("spark.speculation.interval"))
         self._speculation_active = False
+        # The Lambda-timeout knob is fixed at conf-construction time;
+        # re-reading it per executor per dispatch was a measurable share
+        # of the free-executor scan.
+        _timeout = conf.get("spark.lambda.executor.timeout")
+        self._lambda_timeout = None if _timeout is None else float(_timeout)
         self._blacklist_enabled = bool(conf.get("spark.blacklist.enabled"))
         self._blacklist_threshold = int(
             conf.get("spark.blacklist.maxFailedTasksPerExecutor"))
@@ -308,35 +313,73 @@ class TaskScheduler:
     def _preferred_executors(self, spec: TaskSpec) -> Set[str]:
         """Executors holding a cached partition this task could reuse."""
         preferred: Set[str] = set()
-        for step in spec.pipeline:
-            if not step.cache:
-                continue
-            for ex in self.executors.values():
-                if ex.has_cached(step.rdd_id, spec.partition):
+        cache_steps = spec.cache_steps
+        if not cache_steps:
+            return preferred
+        partition = spec.partition
+        for ex in self.executors.values():
+            cache = ex._cache
+            for _i, step in cache_steps:
+                if (step.rdd_id, partition) in cache:
                     preferred.add(ex.executor_id)
+                    break
         return preferred
+
+    def _holds_cached_step(self, executor: Executor, spec: TaskSpec) -> bool:
+        """True when ``executor`` itself holds a cached partition for
+        ``spec`` (the fast-path half of :meth:`_preferred_executors`)."""
+        cache = executor._cache
+        partition = spec.partition
+        for _i, step in spec.cache_steps:
+            if (step.rdd_id, partition) in cache:
+                return True
+        return False
+
+    def _anyone_holds_cached_step(self, spec: TaskSpec) -> bool:
+        """True when any registered executor holds a cached partition for
+        ``spec`` — i.e. :meth:`_preferred_executors` would be non-empty —
+        with first-holder early exit."""
+        partition = spec.partition
+        for ex in self.executors.values():
+            cache = ex._cache
+            for _i, step in spec.cache_steps:
+                if (step.rdd_id, partition) in cache:
+                    return True
+        return False
 
     def _check_lambda_timeout(self, executor: Executor) -> bool:
         """SplitServe hook: True if the executor should be drained instead
         of receiving tasks (its Lambda has run past the timeout knob)."""
-        timeout = self.conf.get("spark.lambda.executor.timeout")
+        timeout = self._lambda_timeout
         if timeout is None or executor.kind is not HostKind.LAMBDA:
             return False
-        return executor.time_on_lambda >= float(timeout)
+        return executor.time_on_lambda >= timeout
 
     def _free_executors(self) -> List[Executor]:
+        # Deterministic order: registration order is dict order.
+        blacklisted = self.blacklisted
+        if self._lambda_timeout is None:
+            # Common path: nothing below mutates the registry, so scan it
+            # directly (no snapshot) with ``is_free`` inlined — including
+            # the host-liveness read (state is REGISTERED already implies
+            # not DEAD, so ``host_alive``'s extra check is redundant here).
+            registered = ExecutorState.REGISTERED
+            return [ex for ex in self.executors.values()
+                    if ex.state is registered
+                    and len(ex._tasks) < ex.cores
+                    and ex._host.is_running
+                    and ex.executor_id not in blacklisted]
         free = []
         for ex in list(self.executors.values()):
             if not ex.is_free:
                 continue
-            if ex.executor_id in self.blacklisted:
+            if ex.executor_id in blacklisted:
                 continue
             if self._check_lambda_timeout(ex):
                 ex.drain()
                 self._finalize_drained(ex)
                 continue
             free.append(ex)
-        # Deterministic order: registration order is dict order.
         return free
 
     def _select_task(self, taskset: TaskSet, executor: Executor,
@@ -352,10 +395,14 @@ class TaskScheduler:
         any_choice: Optional[int] = None
         for partition in taskset.pending:
             spec = taskset.specs[partition]
-            preferred = self._preferred_executors(spec)
-            if executor.executor_id in preferred:
+            # Split the old build-the-whole-preferred-set probe into two
+            # early-exit checks: "this executor holds it" (the return
+            # case) and "anyone holds it" (only needed while a
+            # no-preference fallback is still being sought).
+            if self._holds_cached_step(executor, spec):
                 return partition
-            if not preferred and no_pref_choice is None:
+            if no_pref_choice is None \
+                    and not self._anyone_holds_cached_step(spec):
                 no_pref_choice = partition
             if any_choice is None:
                 any_choice = partition
@@ -389,9 +436,20 @@ class TaskScheduler:
         """Match free executors to pending tasks; defer for locality."""
         launched = True
         wake_in: Optional[float] = None
+        free: Optional[List[Executor]] = None
+        # Launching is synchronous bookkeeping — the task process only
+        # starts when its Initialize event is dispatched later — so a
+        # launch can change the freeness of exactly one executor: the one
+        # it ran on. The pooled per-launch re-sort loop therefore keeps
+        # the free list across iterations with a point fix instead of
+        # rescanning the registry each time. The Lambda-timeout path
+        # keeps the rescan: its scan drains overdue executors (side
+        # effects the reuse would skip).
+        reuse_free = self._lambda_timeout is None
         while launched:
             launched = False
-            free = self._free_executors()
+            if free is None:
+                free = self._free_executors()
             if not free:
                 break
             for taskset in self._schedulable_tasksets():
@@ -411,15 +469,24 @@ class TaskScheduler:
                             delay = max(0.001, remaining)
                             wake_in = delay if wake_in is None else min(wake_in, delay)
                         continue
+                    if self._resort_each_launch:
+                        self._launch(taskset, partition, ex)
+                        launched = True
+                        if reuse_free:
+                            if not ex.is_free:
+                                free.remove(ex)
+                        else:
+                            free = None
+                        break
                     free.remove(ex)
                     self._launch(taskset, partition, ex)
                     launched = True
-                    if self._resort_each_launch:
-                        break
                 if launched and self._resort_each_launch:
                     # Re-enter the outer loop so running-task counts feed
                     # back into the pool ordering before the next offer.
                     break
+            if not (self._resort_each_launch and reuse_free):
+                free = None
         if wake_in is not None:
             self._schedule_redispatch(wake_in)
 

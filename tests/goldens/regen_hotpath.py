@@ -1,0 +1,96 @@
+"""Regenerate ``hotpath_identity.json`` — the byte-identity golden for
+the hot-path refactor gate (see tests/observability/test_hotpath_identity.py).
+
+Run only after an *intentional* simulation-model change::
+
+    PYTHONPATH=src python -m tests.goldens.regen_hotpath
+
+The golden pins, for fixed seeds:
+
+- sha256 of the JSONL event log of representative scenario runs (the
+  full observable event stream, byte for byte);
+- the multijob replay's canonical RunRecord digest plus its
+  ``events_processed`` count (the kernel-throughput denominator);
+- the exact ``deterministic_metric_lines`` of a small served flow.
+
+Any hot-path optimization (kernel, bus dispatch, batched sampling)
+must reproduce all of these unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import tempfile
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "hotpath_identity.json"
+
+#: ``repro run`` invocations whose JSONL event logs get digest-pinned.
+EVENT_LOG_CASES = {
+    "sparkpi-ss_hybrid_segue-s3": [
+        "run", "--workload", "sparkpi", "--scenario", "ss_hybrid_segue",
+        "--seed", "3"],
+    "pagerank-small-spark_R_vm-s1": [
+        "run", "--workload", "pagerank-small", "--scenario", "spark_R_vm",
+        "--seed", "1"],
+    "kmeans-ss_R_la-s2": [
+        "run", "--workload", "kmeans", "--scenario", "ss_R_la",
+        "--seed", "2"],
+}
+
+
+def event_log_digest(args) -> str:
+    from repro.cli import main
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "events.jsonl"
+        rc = main(list(args) + ["--events-out", str(path)])
+        assert rc == 0, f"repro {' '.join(args)} failed"
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def multijob_pin() -> dict:
+    from benchmarks.bench_core_speed import _spec
+    from repro.experiments.runner import run_spec
+    record = run_spec(_spec())
+    canonical = json.dumps(record.canonical(), sort_keys=True)
+    return {
+        "events_processed": int(record.metrics["events_processed"]),
+        "record_sha256": hashlib.sha256(canonical.encode()).hexdigest(),
+    }
+
+
+def serve_metric_lines() -> list:
+    from repro.api.service import ServeConfig, ServeRuntime
+    from repro.observability.serve_obs import deterministic_metric_lines
+    service = ServeRuntime(ServeConfig(max_concurrent=2, seed=0,
+                                       pool_cores=4)).start()
+    try:
+        status = service.submit({"workload": "sparkpi",
+                                 "scenario": "spark_R_vm", "seed": 0})
+        assert service.drain(timeout=120.0)
+        assert service.job(status.job_id).state == "completed"
+        return deterministic_metric_lines(service.metrics_text())
+    finally:
+        service.close()
+
+
+def build_golden() -> dict:
+    return {
+        "event_logs": {case: event_log_digest(args)
+                       for case, args in sorted(EVENT_LOG_CASES.items())},
+        "multijob": multijob_pin(),
+        "serve_metric_lines": serve_metric_lines(),
+    }
+
+
+def main() -> None:
+    golden = build_golden()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

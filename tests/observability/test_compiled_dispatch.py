@@ -1,0 +1,207 @@
+"""Property tests for the EventBus's compiled dispatch plans.
+
+The bus compiles a flat call plan per (category, name) instead of
+resolving subscribers on every publish. These tests pin the compiled
+path to a *naive reference dispatcher* — the behaviour the bus had
+before plans existed — across the full event taxonomy, with and without
+an ambient context, and under subscriber churn (the plan-invalidation
+edge that a stale-cache bug would hide in).
+"""
+
+import itertools
+
+from repro.observability.bus import (
+    EventBus,
+    ListenerInterface,
+    dispatch_method,
+)
+from repro.observability.categories import EVENTS, validate_event
+
+
+class Recording(ListenerInterface):
+    """Overrides every hook; appends one tuple per delivery."""
+
+    def __init__(self, tag):
+        self.tag = tag
+        self.calls = []
+
+    def _typed(self, method, time, fields):
+        self.calls.append((self.tag, method, time, dict(fields)))
+
+    def on_task_start(self, time, fields):
+        self._typed("on_task_start", time, fields)
+
+    def on_task_end(self, time, fields):
+        self._typed("on_task_end", time, fields)
+
+    def on_stage_submitted(self, time, fields):
+        self._typed("on_stage_submitted", time, fields)
+
+    def on_stage_completed(self, time, fields):
+        self._typed("on_stage_completed", time, fields)
+
+    def on_executor_added(self, time, fields):
+        self._typed("on_executor_added", time, fields)
+
+    def on_executor_removed(self, time, fields):
+        self._typed("on_executor_removed", time, fields)
+
+    def on_segue_triggered(self, time, fields):
+        self._typed("on_segue_triggered", time, fields)
+
+    def on_fault_injected(self, time, fields):
+        self._typed("on_fault_injected", time, fields)
+
+    def on_event(self, time, category, name, fields):
+        self.calls.append((self.tag, "on_event", time, category, name,
+                           dict(fields)))
+
+
+class TypedOnly(ListenerInterface):
+    """Overrides only two typed hooks — exercises the plan's pruning of
+    base-class no-ops (a naive dispatcher calls them; a correct plan
+    skips them without perturbing anyone else's deliveries)."""
+
+    def __init__(self, tag):
+        self.tag = tag
+        self.calls = []
+
+    def on_task_start(self, time, fields):
+        self.calls.append((self.tag, "on_task_start", time, dict(fields)))
+
+    def on_fault_injected(self, time, fields):
+        self.calls.append((self.tag, "on_fault_injected", time, dict(fields)))
+
+
+def naive_dispatch(subscribers, context, time, category, name, fields):
+    """The reference semantics: validate, merge context, then for every
+    subscriber in subscription order call its typed hook (if any) and
+    its generic ``on_event`` hook."""
+    validate_event(category, name)
+    if context:
+        fields = {**context, **fields}
+    method = dispatch_method(category, name)
+    for sub in subscribers:
+        if method is not None:
+            getattr(sub, method)(time, fields)
+        sub.on_event(time, category, name, fields)
+
+
+def taxonomy_events():
+    """One publish per registered (category, name), deterministic order,
+    with per-event distinguishable payloads."""
+    clock = itertools.count(1)
+    for category in sorted(EVENTS):
+        for name in sorted(EVENTS[category]):
+            t = float(next(clock))
+            yield t, category, name, {"seq": t, "kind": "vm",
+                                      "state": "finished"}
+
+
+def _run_both(context):
+    bus = EventBus()
+    bus_subs = [bus.subscribe(Recording("a")),
+                bus.subscribe(TypedOnly("b")),
+                bus.subscribe(Recording("c"))]
+    ref_subs = [Recording("a"), TypedOnly("b"), Recording("c")]
+    bus.set_context(context)
+    for time, category, name, fields in taxonomy_events():
+        bus.record(time, category, name, **fields)
+        naive_dispatch(ref_subs, context, time, category, name, dict(fields))
+    bus.set_context(None)
+    return bus_subs, ref_subs
+
+
+def test_compiled_dispatch_matches_reference_across_taxonomy():
+    bus_subs, ref_subs = _run_both(context=None)
+    for got, want in zip(bus_subs, ref_subs):
+        assert got.calls == want.calls
+
+
+def test_compiled_dispatch_matches_reference_with_context():
+    context = {"trace_ids": "job-1,job-2", "seq": -1.0}
+    bus_subs, ref_subs = _run_both(context=context)
+    for got, want in zip(bus_subs, ref_subs):
+        assert got.calls == want.calls
+    # Context merged, explicit fields winning on collision.
+    merged = [c[-1] for c in bus_subs[0].calls if c[1] == "on_event"]
+    assert all(f["trace_ids"] == "job-1,job-2" for f in merged)
+    assert all(f["seq"] != -1.0 for f in merged)
+
+
+def test_context_cleared_midstream_matches_reference():
+    # Alternate context on/off between publishes — the serve driver does
+    # exactly this every sim step. The plan must not bake the context in.
+    bus = EventBus()
+    got = bus.subscribe(Recording("x"))
+    want = Recording("x")
+    for i, (time, category, name, fields) in enumerate(taxonomy_events()):
+        context = {"trace_ids": "t"} if i % 2 else None
+        bus.set_context(context)
+        bus.record(time, category, name, **fields)
+        naive_dispatch([want], context, time, category, name, dict(fields))
+    assert got.calls == want.calls
+
+
+def test_churn_keeps_dispatch_order_and_reference_parity():
+    """Regression for the unsubscribe rework: interleave publishes with
+    subscribe/unsubscribe churn (including re-subscribing the same
+    listener) and require exact reference parity — order, payloads, and
+    plan invalidation all at once."""
+    bus = EventBus()
+    listeners = [Recording(tag) for tag in "abcd"]
+    reference = [Recording(tag) for tag in "abcd"]
+    live_bus, live_ref = [], []
+
+    def publish(time, category, name, **fields):
+        bus.record(time, category, name, **fields)
+        naive_dispatch(live_ref, None, time, category, name, dict(fields))
+
+    script = [
+        ("sub", 0), ("sub", 1), ("pub",), ("sub", 2), ("pub",),
+        ("unsub", 1), ("pub",), ("sub", 3), ("sub", 1), ("pub",),
+        ("unsub", 0), ("unsub", 2), ("pub",), ("sub", 0), ("pub",),
+        ("unsub", 3), ("unsub", 1), ("unsub", 0), ("pub",),
+    ]
+    events = itertools.cycle(taxonomy_events())
+    for step in script:
+        if step[0] == "sub":
+            bus.subscribe(listeners[step[1]])
+            live_bus.append(listeners[step[1]])
+            live_ref.append(reference[step[1]])
+        elif step[0] == "unsub":
+            bus.unsubscribe(listeners[step[1]])
+            live_bus.remove(listeners[step[1]])
+            live_ref.remove(reference[step[1]])
+        else:
+            time, category, name, fields = next(events)
+            publish(time, category, name, **fields)
+    for got, want in zip(listeners, reference):
+        assert got.calls == want.calls
+    assert bus.subscriber_count == 0
+
+
+def test_churned_bus_preserves_subscription_order_of_survivors():
+    # After removing the middle subscriber, deliveries must keep the
+    # original relative order of the survivors — not move the re-added
+    # one to the front or back unexpectedly.
+    bus = EventBus()
+    a, b, c = Recording("a"), Recording("b"), Recording("c")
+    order = []
+
+    class Probe(ListenerInterface):
+        def __init__(self, tag):
+            self.tag = tag
+
+        def on_event(self, time, category, name, fields):
+            order.append(self.tag)
+
+    pa, pb, pc = Probe("a"), Probe("b"), Probe("c")
+    for p in (pa, pb, pc):
+        bus.subscribe(p)
+    bus.record(1.0, "executor", "task_start", executor="e")
+    bus.unsubscribe(pb)
+    bus.record(2.0, "executor", "task_start", executor="e")
+    bus.subscribe(pb)
+    bus.record(3.0, "executor", "task_start", executor="e")
+    assert order == ["a", "b", "c", "a", "c", "a", "c", "b"]

@@ -1,0 +1,62 @@
+"""Byte-identity gate for the hot-path refactor (ISSUE 9).
+
+``tests/goldens/hotpath_identity.json`` pins, from before the fast
+kernel / compiled bus dispatch / batched sampling work, the observable
+outputs the optimizations must not change:
+
+- sha256 of full JSONL event logs for representative fixed-seed
+  scenario runs (every event, every field, byte for byte);
+- the multijob replay's canonical RunRecord digest and its
+  ``events_processed`` count (the kernel-throughput denominator the
+  bench divides by);
+- the exact ``deterministic_metric_lines`` of a small served flow.
+
+Combined with ``tests/cluster/golden_scenarios.json`` this is the
+"nothing observable changed" proof the ROADMAP demands for kernel
+optimizations. To regenerate after an intentional model change::
+
+    PYTHONPATH=src python -m tests.goldens.regen_hotpath
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from tests.goldens.regen_hotpath import (
+    EVENT_LOG_CASES,
+    GOLDEN_PATH,
+    event_log_digest,
+    multijob_pin,
+    serve_metric_lines,
+)
+
+
+def _golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+GOLDEN = _golden()
+
+
+@pytest.mark.parametrize("case", sorted(EVENT_LOG_CASES))
+def test_event_log_bytes_match_golden(case):
+    assert event_log_digest(EVENT_LOG_CASES[case]) \
+        == GOLDEN["event_logs"][case], (
+        f"JSONL event log for {case} drifted from the pinned digest — "
+        "a hot-path change altered the observable event stream")
+
+
+def test_multijob_record_and_event_count_match_golden():
+    pin = multijob_pin()
+    assert pin["events_processed"] \
+        == GOLDEN["multijob"]["events_processed"], (
+        "the multijob replay dispatched a different number of kernel "
+        "events — the bench denominator is no longer comparable")
+    assert pin["record_sha256"] == GOLDEN["multijob"]["record_sha256"], (
+        "the multijob RunRecord (metrics, latencies, costs) drifted")
+
+
+def test_serve_deterministic_metric_lines_match_golden():
+    assert serve_metric_lines() == GOLDEN["serve_metric_lines"]
